@@ -1,0 +1,71 @@
+// Command paretoexplore prints the full ordering design space of the
+// analytic cost model (§IV / Table IV) for a given network shape: every
+// 2^(2L) configuration's communication and sparse-operation cost, with
+// the Pareto-optimal candidates marked.
+//
+// Example:
+//
+//	paretoexplore -dims 602,128,41 -p 8
+//	paretoexplore -dims 128,256,256,40 -p 8 -ra 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gnnrdm/internal/costmodel"
+)
+
+func main() {
+	dimsFlag := flag.String("dims", "128,128,40", "layer widths f_0,...,f_L")
+	p := flag.Int("p", 8, "device count")
+	ra := flag.Int("ra", 0, "adjacency replication factor (0 = P, full replication)")
+	n := flag.Int64("n", 1_000_000, "vertex count (scales communication)")
+	nnz := flag.Int64("nnz", 20_000_000, "adjacency nonzeros (scales sparse ops)")
+	noMemo := flag.Bool("nomemo", false, "disable forward-intermediate memoization (Table III N.M.)")
+	flag.Parse()
+
+	var dims []int
+	for _, s := range strings.Split(*dimsFlag, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || d < 1 {
+			fmt.Fprintf(os.Stderr, "paretoexplore: bad -dims entry %q\n", s)
+			os.Exit(2)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) < 2 {
+		fmt.Fprintln(os.Stderr, "paretoexplore: need at least 2 dims (one layer)")
+		os.Exit(2)
+	}
+	if *ra == 0 {
+		*ra = *p
+	}
+	net := costmodel.Network{Dims: dims, N: *n, NNZ: *nnz, P: *p, RA: *ra, NoMemo: *noMemo}
+	layers := net.Layers()
+	costs := costmodel.EvaluateAll(net)
+	pareto := map[int]bool{}
+	for _, id := range costmodel.Pareto(costs) {
+		pareto[id] = true
+	}
+
+	fmt.Printf("Design space: L=%d layers, dims=%v, P=%d, RA=%d, N=%d, nnz=%d\n",
+		layers, dims, *p, *ra, *n, *nnz)
+	fmt.Printf("Comm in units of (P-1)/P*N elements; sparse ops in units of nnz FMAs.\n\n")
+	fmt.Printf("%4s  %-24s %14s %14s %14s %14s  %s\n",
+		"ID", "ordering", "comm(units)", "sparse(units)", "comm(MB)", "sparse(GFMA)", "pareto")
+	for id, c := range costs {
+		cfg := costmodel.ConfigFromID(id, layers)
+		mark := ""
+		if pareto[id] {
+			mark = "  *"
+		}
+		fmt.Printf("%4d  %-24s %14.1f %14.1f %14.1f %14.2f%s\n",
+			id, cfg.String(), c.CommUnits, c.SparseUnits,
+			float64(c.CommVolumeBytes())/(1<<20), c.SparseOps/1e9, mark)
+	}
+	fmt.Printf("\nPareto-optimal candidates: %v\n", costmodel.Pareto(costs))
+}

@@ -1,0 +1,128 @@
+// Command rdmbench regenerates the paper's evaluation tables and figures
+// on the simulated multi-GPU fabric.
+//
+// Usage:
+//
+//	rdmbench [flags] <experiment>
+//
+// Experiments: fig8 fig9 fig10 fig11 fig12 fig13 table6 table7 table8
+// table9 table10 memo ra volume all
+//
+// Example:
+//
+//	rdmbench -scale 128 -gpus 2,4,8 fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gnnrdm/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes; large values keep pure-Go runtimes sane)")
+	gpus := flag.String("gpus", "2,4,8", "comma-separated device counts")
+	epochs := flag.Int("epochs", 2, "epochs per measured run (first is warm-up)")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	saintEpochs := flag.Int("saint-epochs", 15, "training epochs for fig13 curves")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rdmbench [flags] <experiment>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "  fig8 fig9 fig10 fig11  training throughput (2/3 layers x 128/256 hidden)\n")
+		fmt.Fprintf(os.Stderr, "  fig12                  epoch time breakdown: compute vs communication\n")
+		fmt.Fprintf(os.Stderr, "  fig13                  accuracy vs time: GCN-RDM / SAINT-RDM / SAINT-DDP\n")
+		fmt.Fprintf(os.Stderr, "  table6                 pareto-optimal configuration candidates\n")
+		fmt.Fprintf(os.Stderr, "  table7                 geomean speedups over CAGNET and DGCL\n")
+		fmt.Fprintf(os.Stderr, "  table8                 measured pareto vs non-pareto epoch times\n")
+		fmt.Fprintf(os.Stderr, "  table9                 CAGNET/RDM epoch and comm time ratios\n")
+		fmt.Fprintf(os.Stderr, "  table10                per-GPU space model (paper-scale)\n")
+		fmt.Fprintf(os.Stderr, "  memo ra volume         ablations (memoization, R_A sweep, volume scaling)\n")
+		fmt.Fprintf(os.Stderr, "  hwablate predict spmm  interconnect sensitivity; model validation; SpMM kernels\n")
+		fmt.Fprintf(os.Stderr, "  all                    everything above\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		Scale:  *scale,
+		Epochs: *epochs,
+		Out:    os.Stdout,
+	}
+	for _, s := range strings.Split(*gpus, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			fatal(fmt.Errorf("bad -gpus entry %q", s))
+		}
+		cfg.GPUs = append(cfg.GPUs, p)
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var run func(name string)
+	run = func(name string) {
+		var err error
+		switch name {
+		case "fig8":
+			_, err = bench.RunThroughput(cfg, 2, 128)
+		case "fig9":
+			_, err = bench.RunThroughput(cfg, 2, 256)
+		case "fig10":
+			_, err = bench.RunThroughput(cfg, 3, 128)
+		case "fig11":
+			_, err = bench.RunThroughput(cfg, 3, 256)
+		case "fig12":
+			_, err = bench.RunFig12(cfg)
+		case "fig13":
+			_, err = bench.RunFig13(cfg, *saintEpochs)
+		case "table6":
+			_, err = bench.RunTable6(cfg)
+		case "table7":
+			_, err = bench.RunTable7(cfg)
+		case "table8":
+			_, err = bench.RunTable8(cfg)
+		case "table9":
+			_, err = bench.RunTable9(cfg)
+		case "table10":
+			_, err = bench.RunTable10(cfg, true)
+		case "memo":
+			_, err = bench.RunMemoAblation(cfg)
+		case "ra":
+			_, err = bench.RunRAAblation(cfg)
+		case "volume":
+			_, err = bench.RunVolumeScaling(cfg)
+		case "hwablate":
+			_, err = bench.RunHWAblation(cfg)
+		case "predict":
+			_, err = bench.RunPredictionValidation(cfg)
+		case "spmm":
+			_, err = bench.RunSpMMKernels(cfg)
+		case "all":
+			for _, e := range []string{"table6", "table10", "fig8", "fig9", "fig10", "fig11",
+				"fig12", "table7", "table8", "table9", "memo", "ra", "volume", "hwablate",
+				"predict", "spmm", "fig13"} {
+				fmt.Println("==== " + e + " ====")
+				run(e)
+				fmt.Println()
+			}
+		default:
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	run(flag.Arg(0))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdmbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command rdminfo inspects the synthetic dataset recipes standing in for
+// the paper's Table V datasets: it prints their characteristics at a
+// chosen scale, the GCN normalization statistics, and the greedy
+// partitioner's edge cut per device count (the quantity DGCL's
+// communication is proportional to).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gnnrdm/internal/baselines"
+	"gnnrdm/internal/graph"
+)
+
+func main() {
+	scale := flag.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes)")
+	cuts := flag.Bool("cuts", false, "also compute LDG partitioner edge cuts (builds each graph)")
+	flag.Parse()
+
+	fmt.Printf("Dataset recipes (Table V), scale=1/%d\n", *scale)
+	fmt.Printf("%-14s %10s %12s %9s %7s %9s %7s\n",
+		"dataset", "vertices", "edges", "feat", "labels", "kind", "splits")
+	for _, r := range graph.Recipes() {
+		s := r.Scaled(*scale)
+		fmt.Printf("%-14s %10d %12d %9d %7d %9s %7v\n",
+			s.Name, s.Vertices, s.Edges, s.FeatureDim, s.Labels, s.Kind, s.HasSplits)
+	}
+
+	if !*cuts {
+		return
+	}
+	fmt.Printf("\nLDG partitioner edge cuts (fraction of stored entries crossing parts)\n")
+	fmt.Printf("%-14s %10s %10s %10s %10s\n", "dataset", "nnz", "P=2", "P=4", "P=8")
+	for _, r := range graph.Recipes() {
+		g := r.Scaled(*scale).Build()
+		nnz := g.NNZ()
+		fmt.Printf("%-14s %10d", r.Name, nnz)
+		for _, p := range []int{2, 4, 8} {
+			cut := baselines.EdgeCut(g.Adj, baselines.Partition(g.Adj, p))
+			fmt.Printf(" %9.1f%%", 100*float64(cut)/float64(nnz))
+		}
+		fmt.Println()
+	}
+	_ = os.Stdout
+}

@@ -1,0 +1,53 @@
+// Cost-model walkthrough: reproduce Table VI (the Pareto-optimal
+// ordering candidates for every dataset) from the analytic performance
+// model alone, then show how the winner shifts with the network shape
+// and how R_A < P changes the trade-off.
+//
+//	go run ./examples/costmodel
+package main
+
+import (
+	"fmt"
+
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/graph"
+)
+
+func main() {
+	fmt.Println("Table VI: Pareto-optimal configuration IDs, 2-layer GCN, hidden=128, P=8")
+	fmt.Printf("%-14s %6s %6s %6s   %s\n", "dataset", "f_in", "f_h", "f_out", "candidates")
+	for _, r := range graph.Recipes() {
+		net := costmodel.Network{
+			Dims: []int{r.FeatureDim, 128, r.Labels},
+			N:    int64(r.Vertices), NNZ: 2 * r.Edges, P: 8, RA: 8,
+		}
+		fmt.Printf("%-14s %6d %6d %6d   %v\n",
+			r.Name, r.FeatureDim, 128, r.Labels, costmodel.ParetoConfigs(net))
+	}
+
+	fmt.Println("\nHow the winner moves with the output width (f_in=128, f_h=128):")
+	fmt.Printf("%8s   %s\n", "f_out", "pareto candidates")
+	for _, fout := range []int{8, 40, 100, 128, 349, 1024} {
+		net := costmodel.Network{
+			Dims: []int{128, 128, fout}, N: 1_000_000, NNZ: 20_000_000, P: 8, RA: 8,
+		}
+		fmt.Printf("%8d   %v\n", fout, costmodel.ParetoConfigs(net))
+	}
+
+	fmt.Println("\nR_A trade-off on Reddit's shape (f=602,128,41), config 10:")
+	fmt.Printf("%4s %16s %14s %14s\n", "RA", "comm(M elems)", "bcast incl.", "space/GPU(MB)")
+	for _, ra := range []int{1, 2, 4, 8} {
+		net := costmodel.Network{
+			Dims: []int{602, 128, 41}, N: 232_965, NNZ: 229_697_714 + 232_965, P: 8, RA: ra,
+		}
+		c := costmodel.Evaluate(net, costmodel.ConfigFromID(10, 2))
+		fmt.Printf("%4d %16.1f %14s %14.1f\n",
+			ra, c.CommElems/1e6, "yes", float64(costmodel.SpaceModel(net))/(1<<20))
+	}
+
+	fmt.Println("\nChooseRA picks the largest replication that fits device memory:")
+	for _, mem := range []int64{48 << 30, 2 << 30, 1 << 29} {
+		ra := costmodel.ChooseRA(8, mem, 2<<30, 4<<30)
+		fmt.Printf("  M=%4dMB per GPU, H_all=2GB, G=4GB  ->  R_A = %d\n", mem>>20, ra)
+	}
+}

@@ -1,0 +1,162 @@
+// Package gnnrdm is the public API of the GNN-RDM reproduction: training
+// Graph Convolutional Networks (and GraphSAGE variants) across simulated
+// multi-GPU fabrics with the paper's ReDistribution-of-Matrices scheme,
+// plus its analytic performance model, samplers, baselines and dataset
+// recipes.
+//
+// The implementation lives in internal/ subpackages (one per subsystem;
+// see DESIGN.md); this package re-exports the supported surface so
+// downstream modules can depend on it:
+//
+//	prob := &gnnrdm.Problem{A: gnnrdm.GCNNormalize(adj), X: feats, Labels: labels}
+//	ids := gnnrdm.ParetoConfigs(gnnrdm.Network{Dims: []int{128, 128, 40},
+//	        N: int64(prob.N()), NNZ: prob.A.NNZ(), P: 8, RA: 8})
+//	res := gnnrdm.Train(8, gnnrdm.A6000(), prob, gnnrdm.TrainOptions{
+//	        Dims: []int{128, 128, 40}, Config: gnnrdm.ConfigFromID(ids[0], 2),
+//	        Memoize: true}, 100)
+package gnnrdm
+
+import (
+	"gnnrdm/internal/baselines"
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/graph"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/saint"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+// Core training types (internal/core).
+type (
+	// Problem is a training task: normalized adjacency, features,
+	// labels, optional masks/weights.
+	Problem = core.Problem
+	// TrainOptions configures an RDM run (ordering config, R_A,
+	// memoization, SAGE, sampling, ...).
+	TrainOptions = core.Options
+	// Result is a finished run: per-epoch stats, logits, weights.
+	Result = core.Result
+	// EpochStats is one epoch's loss, simulated times, and exact
+	// communicated bytes.
+	EpochStats = core.EpochStats
+	// Engine is the per-device SPMD training engine (advanced use).
+	Engine = core.Engine
+	// Checkpoint is a serializable weights+optimizer snapshot.
+	Checkpoint = core.Checkpoint
+)
+
+// Cost model types (internal/costmodel, §IV of the paper).
+type (
+	// Network is the cost model's view of a GNN workload.
+	Network = costmodel.Network
+	// OrderingConfig is a complete SpMM-first/GEMM-first choice
+	// (Table IV).
+	OrderingConfig = costmodel.Config
+	// Cost is a configuration's modelled communication and sparse ops.
+	Cost = costmodel.Cost
+)
+
+// Data types.
+type (
+	// CSR is a compressed-sparse-row matrix.
+	CSR = sparse.CSR
+	// Dense is a row-major float32 matrix.
+	Dense = tensor.Dense
+	// Graph is a generated dataset (adjacency, features, labels,
+	// splits).
+	Graph = graph.Graph
+	// Recipe describes one of the paper's Table V dataset stand-ins.
+	Recipe = graph.Recipe
+	// HardwareModel is the analytic device/interconnect model.
+	HardwareModel = hw.Model
+	// SamplingCurve is a GraphSAINT accuracy-versus-time series
+	// (Fig. 13).
+	SamplingCurve = saint.Curve
+)
+
+// Training entry points.
+var (
+	// Train runs distributed RDM GCN training on p simulated devices.
+	Train = core.Train
+	// TrainResumable is Train with checkpoint restore/snapshot.
+	TrainResumable = core.TrainResumable
+	// AutoTune probes the model's Pareto candidates and returns the
+	// fastest (§IV-B).
+	AutoTune = core.AutoTune
+	// ReferenceTrain is the single-node ground-truth trainer.
+	ReferenceTrain = core.ReferenceTrain
+	// NewEngine builds one device's engine (advanced SPMD use).
+	NewEngine = core.NewEngine
+	// ReadCheckpoint deserializes a checkpoint stream.
+	ReadCheckpoint = core.ReadCheckpoint
+)
+
+// Cost model entry points.
+var (
+	// Evaluate prices one ordering configuration on a network.
+	Evaluate = costmodel.Evaluate
+	// EvaluateAll prices the whole 2^(2L) design space.
+	EvaluateAll = costmodel.EvaluateAll
+	// ParetoConfigs returns the Pareto-optimal configuration IDs.
+	ParetoConfigs = costmodel.ParetoConfigs
+	// ConfigFromID decodes a Table IV configuration ID.
+	ConfigFromID = costmodel.ConfigFromID
+	// ChooseRA picks the largest replication factor that fits memory
+	// (§III-E).
+	ChooseRA = costmodel.ChooseRA
+	// SpaceModel estimates per-GPU memory (Table X).
+	SpaceModel = costmodel.SpaceModel
+	// PredictEpochTime turns model counts into predicted seconds.
+	PredictEpochTime = costmodel.PredictEpochTime
+)
+
+// Graph utilities.
+var (
+	// GCNNormalize builds D^{-1/2}(A+I)D^{-1/2} (symmetric).
+	GCNNormalize = sparse.GCNNormalize
+	// RowNormalize builds D^{-1}(A+I) (asymmetric; pair with
+	// Problem.ATranspose).
+	RowNormalize = sparse.RowNormalize
+	// Recipes returns the paper's eight Table V dataset recipes.
+	Recipes = graph.Recipes
+	// RecipeByName looks up one recipe.
+	RecipeByName = graph.RecipeByName
+	// PlantedPartition, RMAT and ErdosRenyi generate synthetic graphs.
+	PlantedPartition = graph.PlantedPartition
+	RMAT             = graph.RMAT
+	ErdosRenyi       = graph.ErdosRenyi
+	// ReadEdgeList / WriteEdgeList / ReadCSR / WriteCSR are the I/O
+	// formats.
+	ReadEdgeList  = graph.ReadEdgeList
+	WriteEdgeList = graph.WriteEdgeList
+	ReadCSRFile   = graph.ReadCSR
+	WriteCSRFile  = graph.WriteCSR
+)
+
+// Hardware models.
+var (
+	// A6000 approximates the paper's testbed (8x RTX A6000, PCIe4).
+	A6000 = hw.A6000
+	// A6000NVLink / A6000SlowPCIe vary the interconnect for
+	// sensitivity studies.
+	A6000NVLink   = hw.A6000NVLink
+	A6000SlowPCIe = hw.A6000SlowPCIe
+)
+
+// GraphSAINT (§V-C) and baselines (§V-B).
+var (
+	// TrainSAINTRDM trains sampled subgraphs across all devices with
+	// RDM (one update per subgraph).
+	TrainSAINTRDM = saint.TrainSAINTRDM
+	// TrainSAINTDDP is the DGL-style DDP baseline (S/G updates per
+	// epoch).
+	TrainSAINTDDP = saint.TrainSAINTDDP
+	// NeighborMaskProvider enables masked-SpMM fanout sampling with a
+	// shared seed (§III-F); assign to TrainOptions.MaskProvider.
+	NeighborMaskProvider = saint.NeighborMaskProvider
+	// TrainCAGNET / TrainDGCL are the comparison systems on the same
+	// fabric.
+	TrainCAGNET = baselines.TrainCAGNET
+	TrainDGCL   = baselines.TrainDGCL
+)

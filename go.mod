@@ -1,0 +1,3 @@
+module gnnrdm
+
+go 1.22

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+)
+
+// MemoAblationRow compares memoized vs non-memoized training (§III-C /
+// Table III "N.M.") for one configuration.
+type MemoAblationRow struct {
+	Dataset string
+	Config  int
+	// Epoch times in seconds and communicated bytes per epoch.
+	MemoTime, NoMemoTime   float64
+	MemoBytes, NoMemoBytes int64
+}
+
+// RunMemoAblation measures the benefit of forward-intermediate
+// memoization on configurations whose backward pass relies on it
+// (GEMM-first backward layers).
+func RunMemoAblation(cfg Config) ([]MemoAblationRow, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden, p, id = 2, 128, 8, 10 // ID 10 reuses T_d (§III-C)
+	cfg.printf("Memoization ablation: config %d, 2-layer h=128, P=%d (scale=1/%d)\n", id, p, cfg.Scale)
+	cfg.printf("%-14s %14s %14s %12s %12s\n", "dataset", "memo(s)", "no-memo(s)", "memo-MB", "no-memo-MB")
+	var rows []MemoAblationRow
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		run := func(memo bool) *core.Result {
+			return core.Train(p, cfg.HW, w.Prob, core.Options{
+				Dims:    w.Dims(layers, hidden),
+				Config:  costmodel.ConfigFromID(id, layers),
+				Memoize: memo,
+				LR:      0.01,
+				Seed:    11,
+			}, cfg.Epochs)
+		}
+		m, nm := run(true), run(false)
+		row := MemoAblationRow{
+			Dataset:  name,
+			Config:   id,
+			MemoTime: m.MeanEpochTime(), NoMemoTime: nm.MeanEpochTime(),
+			MemoBytes:   m.Epochs[len(m.Epochs)-1].CommBytes,
+			NoMemoBytes: nm.Epochs[len(nm.Epochs)-1].CommBytes,
+		}
+		rows = append(rows, row)
+		cfg.printf("%-14s %14.4f %14.4f %12.1f %12.1f\n", name,
+			row.MemoTime, row.NoMemoTime, mb(row.MemoBytes), mb(row.NoMemoBytes))
+	}
+	return rows, nil
+}
+
+// RAAblationRow records communication volume and epoch time for one
+// replication factor (§III-E / Table II's R_A rows).
+type RAAblationRow struct {
+	Dataset string
+	RA      int
+	Bytes   int64
+	Time    float64
+	SpaceMB float64
+}
+
+// RunRAAblation sweeps the adjacency replication factor on 8 devices:
+// smaller R_A trades communication for memory (the Table II / Table X
+// trade-off).
+func RunRAAblation(cfg Config) ([]RAAblationRow, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden, p = 2, 128, 8
+	cfg.printf("R_A replication sweep: 2-layer h=128, P=%d (scale=1/%d)\n", p, cfg.Scale)
+	cfg.printf("%-14s %4s %12s %12s %12s\n", "dataset", "RA", "epoch(s)", "comm-MB", "space-MB")
+	var rows []RAAblationRow
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, ra := range []int{1, 2, 4, 8} {
+			res := core.Train(p, cfg.HW, w.Prob, core.Options{
+				Dims:    w.Dims(layers, hidden),
+				Config:  costmodel.ConfigFromID(10, layers),
+				RA:      ra,
+				Memoize: true,
+				LR:      0.01,
+				Seed:    11,
+			}, cfg.Epochs)
+			net := w.Net(layers, hidden, p, ra)
+			row := RAAblationRow{
+				Dataset: name,
+				RA:      ra,
+				Bytes:   res.Epochs[len(res.Epochs)-1].CommBytes,
+				Time:    res.MeanEpochTime(),
+				SpaceMB: mb(costmodel.SpaceModel(net)),
+			}
+			rows = append(rows, row)
+			cfg.printf("%-14s %4d %12.4f %12.1f %12.1f\n", name, ra, row.Time, mb(row.Bytes), row.SpaceMB)
+		}
+	}
+	return rows, nil
+}
+
+// VolumeScalingRow records one (system, P) communication volume — the
+// paper's §I scalability claim in metered bytes.
+type VolumeScalingRow struct {
+	Dataset string
+	P       int
+	// Per-epoch bytes moved by each system.
+	RDM, CAGNET, DGCL int64
+}
+
+// RunVolumeScaling meters per-epoch communication volume versus device
+// count for the three systems.
+func RunVolumeScaling(cfg Config) ([]VolumeScalingRow, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden = 2, 128
+	cfg.printf("Per-epoch communication volume (MB) vs P: 2-layer h=128 (scale=1/%d)\n", cfg.Scale)
+	cfg.printf("%-14s %4s %12s %12s %12s\n", "dataset", "P", "RDM", "CAGNET", "DGCL")
+	var rows []VolumeScalingRow
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cfg.GPUs {
+			rdm, _ := RunRDMBest(cfg, w, layers, hidden, p)
+			cagnet := RunCAGNET(cfg, w, layers, hidden, p)
+			dgcl := RunDGCL(cfg, w, layers, hidden, p)
+			last := func(r *core.Result) int64 { return r.Epochs[len(r.Epochs)-1].CommBytes }
+			row := VolumeScalingRow{
+				Dataset: name, P: p,
+				RDM: last(rdm), CAGNET: last(cagnet), DGCL: last(dgcl),
+			}
+			rows = append(rows, row)
+			cfg.printf("%-14s %4d %12.2f %12.2f %12.2f\n", name, p,
+				mb(row.RDM), mb(row.CAGNET), mb(row.DGCL))
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps unit-test runtime low: heavily scaled datasets, a subset
+// of recipes, two device counts.
+// Scale matters: the shape claims (RDM beating broadcast baselines,
+// volume constant in P) hold when N·f dominates the O(f²) weight
+// all-reduce the paper ignores, so the shape tests use scale 32 on
+// cheap-feature datasets rather than a microscopic graph.
+// The weight-gradient all-reduce is identical across systems and
+// configurations, so it cancels out of throughput and ranking
+// comparisons, letting most tests run at scale 128; only the
+// volume-growth test needs a larger N·f (scale 64 on Web-Google).
+func fastCfg() Config {
+	return Config{
+		Scale:    128,
+		GPUs:     []int{2, 8},
+		Epochs:   2,
+		Datasets: []string{"Web-Google", "CAMI-Airways"},
+	}
+}
+
+func TestBuildWorkloadCached(t *testing.T) {
+	a, err := BuildWorkload("OGB-Arxiv", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BuildWorkload("OGB-Arxiv", 512)
+	if a != b {
+		t.Fatal("workload must be cached")
+	}
+	if _, err := BuildWorkload("nope", 512); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	if a.Prob.N() != 169343/512 {
+		t.Fatalf("N=%d", a.Prob.N())
+	}
+}
+
+func TestWorkloadDims(t *testing.T) {
+	w, _ := BuildWorkload("OGB-Arxiv", 512)
+	if d := w.Dims(2, 128); len(d) != 3 || d[0] != 128 || d[1] != 128 || d[2] != 40 {
+		t.Fatalf("dims %v", d)
+	}
+	if d := w.Dims(3, 256); len(d) != 4 || d[1] != 256 || d[2] != 256 {
+		t.Fatalf("dims %v", d)
+	}
+}
+
+func TestThroughputShape(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunThroughput(cfg, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 { // 2 datasets x 2 device counts
+		t.Fatalf("cells: %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.RDM <= 0 || c.CAGNET <= 0 || c.DGCL <= 0 {
+			t.Fatalf("non-positive throughput: %+v", c)
+		}
+		// The paper's headline: RDM beats CAGNET everywhere.
+		if c.RDM <= c.CAGNET {
+			t.Errorf("%s P=%d: RDM %.2f should beat CAGNET %.2f", c.Dataset, c.P, c.RDM, c.CAGNET)
+		}
+		// And beats DGCL at 8 devices.
+		if c.P == 8 && c.RDM <= c.DGCL {
+			t.Errorf("%s P=8: RDM %.2f should beat DGCL %.2f", c.Dataset, c.RDM, c.DGCL)
+		}
+	}
+	if !strings.Contains(buf.String(), "Web-Google") {
+		t.Fatal("output rendering missing")
+	}
+	sc, sd := res.Speedups(8)
+	if sc <= 1 || sd <= 1 {
+		t.Fatalf("P=8 speedups should exceed 1: %.2f %.2f", sc, sd)
+	}
+}
+
+func TestFig12CommDominanceShape(t *testing.T) {
+	cfg := fastCfg()
+	rows, err := RunFig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// RDM communicates less than CAGNET (time and exact bytes).
+		if r.RDMComm >= r.CAGNETComm {
+			t.Errorf("%s: RDM comm time %.4f should be below CAGNET %.4f", r.Dataset, r.RDMComm, r.CAGNETComm)
+		}
+		if r.RDMBytes >= r.CAGNETBytes {
+			t.Errorf("%s: RDM bytes %d should be below CAGNET %d", r.Dataset, r.RDMBytes, r.CAGNETBytes)
+		}
+	}
+}
+
+func TestTable6FullTableVI(t *testing.T) {
+	cfg := Config{Scale: 512} // all eight datasets; analytic, cheap
+	rows, err := RunTable6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int{
+		"OGB-Arxiv":    {5},
+		"OGB-MAG":      {10},
+		"OGB-Products": {5},
+		"Reddit":       {2, 3, 10},
+		"Web-Google":   {2, 3, 10},
+		"Com-Orkut":    {5, 10},
+		"CAMI-Airways": {2, 3, 10},
+		"CAMI-Oral":    {2, 3, 10},
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		w := want[r.Dataset]
+		if len(w) != len(r.Candidates) {
+			t.Fatalf("%s: %v want %v", r.Dataset, r.Candidates, w)
+		}
+		for i := range w {
+			if w[i] != r.Candidates[i] {
+				t.Fatalf("%s: %v want %v", r.Dataset, r.Candidates, w)
+			}
+		}
+	}
+}
+
+func TestTable8ModelValidates(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Scale = 64
+	cfg.GPUs = []int{8}
+	cfg.Datasets = []string{"Web-Google"}
+	rows, err := RunTable8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.ParetoMin <= 0 || r.NonParetoMax <= r.ParetoMin {
+		t.Fatalf("times implausible: %+v", r)
+	}
+	// On Web-Google (f_in=256 >> f_out) the model prediction must hold.
+	if !r.ModelValidated {
+		t.Fatalf("model should validate on Web-Google: pareto %v..%v vs non-pareto %v..%v",
+			r.ParetoMin, r.ParetoMax, r.NonParetoMin, r.NonParetoMax)
+	}
+}
+
+func TestTable10ShapeMatchesPaper(t *testing.T) {
+	cfg := Config{}
+	rows, err := RunTable10(cfg, true) // full-size analytic
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !(r.Bytes[0] < r.Bytes[1] && r.Bytes[1] < r.Bytes[2] && r.Bytes[2] < r.Bytes[3]) {
+			t.Fatalf("%s: space must grow with RA: %v", r.Dataset, r.Bytes)
+		}
+	}
+	// Spot-check magnitudes against Table X (same order of magnitude).
+	for _, r := range rows {
+		if r.Dataset == "OGB-Arxiv" {
+			if mb(r.Bytes[0]) < 10 || mb(r.Bytes[0]) > 100 {
+				t.Fatalf("arxiv CAGNET %f MB implausible vs paper's 26MB", mb(r.Bytes[0]))
+			}
+		}
+		if r.Dataset == "Reddit" {
+			if mb(r.Bytes[3]) < 500 || mb(r.Bytes[3]) > 4000 {
+				t.Fatalf("reddit RA=8 %f MB implausible vs paper's 1.5GB", mb(r.Bytes[3]))
+			}
+		}
+	}
+}
+
+func TestVolumeScalingShape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Scale = 64
+	cfg.Datasets = []string{"Web-Google"}
+	rows, err := RunVolumeScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := map[int]VolumeScalingRow{}
+	for _, r := range rows {
+		byP[r.P] = r
+	}
+	// RDM's inherent growth is (P-1)/P (1/2 -> 7/8 = 1.75x) plus the
+	// small O(f²) all-reduce; it must stay well below CAGNET's ~(P-1)
+	// growth and far below CAGNET's absolute volume at P=8.
+	growthRDM := float64(byP[8].RDM) / float64(byP[2].RDM)
+	growthCAG := float64(byP[8].CAGNET) / float64(byP[2].CAGNET)
+	if growthRDM > 2.2 {
+		t.Fatalf("RDM volume not ~constant: %d -> %d (%.2fx)", byP[2].RDM, byP[8].RDM, growthRDM)
+	}
+	if growthCAG < 1.5*growthRDM {
+		t.Fatalf("CAGNET growth %.2fx should far exceed RDM %.2fx", growthCAG, growthRDM)
+	}
+	if byP[8].CAGNET < 2*byP[8].RDM {
+		t.Fatalf("CAGNET at P=8 (%d) should move >2x RDM (%d)", byP[8].CAGNET, byP[8].RDM)
+	}
+	// DGCL grows too.
+	if byP[8].DGCL <= byP[2].DGCL {
+		t.Fatalf("DGCL volume should grow: %d -> %d", byP[2].DGCL, byP[8].DGCL)
+	}
+}
+
+func TestMemoAblationShape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Scale = 128
+	cfg.Datasets = []string{"OGB-Arxiv"}
+	rows, err := RunMemoAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Config 10's backward layer 2 is GEMM-first and reuses the memoized
+	// forward product: disabling memoization must cost extra bytes and
+	// time.
+	if r.NoMemoBytes <= r.MemoBytes {
+		t.Fatalf("no-memo should move more: %d vs %d", r.NoMemoBytes, r.MemoBytes)
+	}
+	if r.NoMemoTime < r.MemoTime {
+		t.Fatalf("no-memo should not be faster: %v vs %v", r.NoMemoTime, r.MemoTime)
+	}
+}
+
+func TestRAAblationShape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Scale = 128
+	cfg.Datasets = []string{"Reddit"}
+	rows, err := RunRAAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Volume decreases as RA rises; space increases.
+	for i := 1; i < 4; i++ {
+		if rows[i].Bytes >= rows[i-1].Bytes {
+			t.Fatalf("comm should fall with RA: %+v", rows)
+		}
+		if rows[i].SpaceMB <= rows[i-1].SpaceMB {
+			t.Fatalf("space should rise with RA: %+v", rows)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); g != 2 {
+		t.Fatalf("geomean=%v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Scale = 128
+	cfg.Datasets = []string{"OGB-Arxiv"}
+	res, err := RunFig13(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results: %d", len(res))
+	}
+	r := res[0]
+	for _, c := range []interface{ BestAcc() float64 }{r.FullBatch, r.RDMSampled, r.DDP} {
+		if c.BestAcc() <= 0 {
+			t.Fatal("curves must record accuracy")
+		}
+	}
+	// DDP makes fewer updates than SAINT-RDM for the same epochs.
+	if r.DDP.Final().Updates >= r.RDMSampled.Final().Updates {
+		t.Fatalf("DDP updates %d should be < SAINT-RDM %d",
+			r.DDP.Final().Updates, r.RDMSampled.Final().Updates)
+	}
+}
+
+func TestHWAblationShape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Datasets = []string{"Web-Google"}
+	rows, err := RunHWAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLink := map[string]HWAblationRow{}
+	for _, r := range rows {
+		byLink[r.Link] = r
+	}
+	slow, fast := byLink["pcie3-12GBs"], byLink["nvlink-56GBs"]
+	// Slower links magnify RDM's advantage.
+	if slow.Speedup <= fast.Speedup {
+		t.Fatalf("slow links should favour RDM more: %.2f vs %.2f", slow.Speedup, fast.Speedup)
+	}
+	// CAGNET's comm share exceeds RDM's under every link.
+	for _, r := range rows {
+		if r.CommShareCAGNET <= r.CommShareRDM {
+			t.Fatalf("%s: CAGNET comm share %.2f should exceed RDM %.2f",
+				r.Link, r.CommShareCAGNET, r.CommShareRDM)
+		}
+	}
+}
+
+func TestPredictionValidation(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Scale = 64
+	cfg.Datasets = []string{"Web-Google"}
+	rows, err := RunPredictionValidation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		ratio := r.Predicted / r.Measured
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("cfg %d: prediction %.4fms vs measured %.4fms (ratio %.2f) out of band",
+				r.ConfigID, r.Predicted*1e3, r.Measured*1e3, ratio)
+		}
+	}
+}
+
+func TestSpMMKernelsShape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.GPUs = []int{4}
+	cfg.Datasets = []string{"Web-Google"}
+	rows, err := RunSpMMKernels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// All four variants produce volume; RDM (one redist in, one out)
+	// moves less than 1D's (P-1)·N·f gather.
+	if r.RDMBytes <= 0 || r.C1DBytes <= 0 || r.C15DBytes <= 0 || r.C2DBytes <= 0 {
+		t.Fatalf("missing volumes: %+v", r)
+	}
+	if r.RDMBytes >= r.C1DBytes {
+		t.Fatalf("RDM kernel volume %d should beat 1D %d", r.RDMBytes, r.C1DBytes)
+	}
+	if r.C15DBytes >= r.C1DBytes {
+		t.Fatalf("1.5D volume %d should beat 1D %d", r.C15DBytes, r.C1DBytes)
+	}
+}

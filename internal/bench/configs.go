@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/graph"
+)
+
+// Table6Row is one dataset row of Table VI: the model's Pareto-optimal
+// configuration candidates for the 2-layer, 128-hidden GCN.
+type Table6Row struct {
+	Dataset       string
+	Fin, Fh, Fout int
+	Candidates    []int
+}
+
+// RunTable6 regenerates Table VI from the analytic model (no training).
+func RunTable6(cfg Config) ([]Table6Row, error) {
+	cfg = cfg.withDefaults()
+	cfg.printf("Pareto-optimal configurations (Table IV IDs), 2-layer GCN, hidden=128\n")
+	cfg.printf("%-14s %6s %6s %6s  %s\n", "dataset", "f_in", "f_h", "f_out", "candidate IDs")
+	var rows []Table6Row
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		net := w.Net(2, 128, 8, 8)
+		row := Table6Row{
+			Dataset: name,
+			Fin:     net.Dims[0], Fh: net.Dims[1], Fout: net.Dims[2],
+			Candidates: costmodel.ParetoConfigs(net),
+		}
+		rows = append(rows, row)
+		cfg.printf("%-14s %6d %6d %6d  %v\n", name, row.Fin, row.Fh, row.Fout, row.Candidates)
+	}
+	return rows, nil
+}
+
+// Table8Row is one (dataset, P) row of Table VIII: measured epoch time of
+// the model-predicted Pareto configurations versus all the rest.
+type Table8Row struct {
+	Dataset string
+	P       int
+	// ParetoIDs are the model's candidates; times in seconds.
+	ParetoIDs                  []int
+	ParetoMin, ParetoMax       float64
+	NonParetoMin, NonParetoMax float64
+	// ModelValidated reports whether the best Pareto time beats the best
+	// non-Pareto time (the paper's "with very few exceptions" check).
+	ModelValidated bool
+	// Times[id] is each configuration's measured epoch time.
+	Times [16]float64
+}
+
+// RunTable8 regenerates Table VIII: every 2-layer ordering configuration
+// is trained and timed; rows compare Pareto-predicted against
+// non-predicted configurations.
+func RunTable8(cfg Config) ([]Table8Row, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden = 2, 128
+	cfg.printf("Measured epoch time (ms): Pareto vs non-Pareto configs, 2-layer h=128, scale=1/%d\n", cfg.Scale)
+	cfg.printf("%-14s %4s %-14s %16s %18s %6s\n", "dataset", "P", "paretoIDs", "pareto(ms)", "non-pareto(ms)", "valid")
+	var rows []Table8Row
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cfg.GPUs {
+			row := Table8Row{Dataset: name, P: p}
+			row.ParetoIDs = costmodel.ParetoConfigs(w.Net(layers, hidden, p, p))
+			inPareto := map[int]bool{}
+			for _, id := range row.ParetoIDs {
+				inPareto[id] = true
+			}
+			var pTimes, npTimes []float64
+			for id := 0; id < 16; id++ {
+				res := RunRDMConfig(cfg, w, layers, hidden, p, id)
+				t := res.MeanEpochTime()
+				row.Times[id] = t
+				if inPareto[id] {
+					pTimes = append(pTimes, t)
+				} else {
+					npTimes = append(npTimes, t)
+				}
+			}
+			ps, nps := sortedCopy(pTimes), sortedCopy(npTimes)
+			row.ParetoMin, row.ParetoMax = ps[0], ps[len(ps)-1]
+			row.NonParetoMin, row.NonParetoMax = nps[0], nps[len(nps)-1]
+			row.ModelValidated = row.ParetoMin <= row.NonParetoMin
+			rows = append(rows, row)
+			cfg.printf("%-14s %4d %-14v %16s %18s %6v\n",
+				name, p, row.ParetoIDs,
+				formatRange(row.ParetoMin, row.ParetoMax),
+				formatRange(row.NonParetoMin, row.NonParetoMax),
+				row.ModelValidated)
+		}
+	}
+	return rows, nil
+}
+
+// Table10Row is one dataset row of Table X: modelled per-GPU space for
+// CAGNET (R_A = 1) and RDM at R_A in {2, 4, 8}, on 8 devices.
+type Table10Row struct {
+	Dataset string
+	// Bytes[0] is CAGNET; Bytes[1..3] are RDM at R_A = 2, 4, 8.
+	Bytes [4]int64
+}
+
+// RunTable10 regenerates Table X. With FullSize true the model is
+// evaluated at the paper's full dataset sizes (the model is analytic, so
+// no scaling is needed); otherwise at the configured scale.
+func RunTable10(cfg Config, fullSize bool) ([]Table10Row, error) {
+	cfg = cfg.withDefaults()
+	scale := cfg.Scale
+	if fullSize {
+		scale = 1
+	}
+	cfg.printf("Per-GPU space (MB), P=8, 2-layer h=128 (scale=1/%d)\n", scale)
+	cfg.printf("%-14s %10s %10s %10s %10s\n", "dataset", "CAGNET", "RA=2", "RA=4", "RA=8")
+	var rows []Table10Row
+	for _, name := range cfg.Datasets {
+		recipeNet, err := spaceNet(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Table10Row{Dataset: name}
+		for i, ra := range []int{1, 2, 4, 8} {
+			n := recipeNet
+			n.RA = ra
+			row.Bytes[i] = costmodel.SpaceModel(n)
+		}
+		rows = append(rows, row)
+		cfg.printf("%-14s %10.1f %10.1f %10.1f %10.1f\n", name,
+			mb(row.Bytes[0]), mb(row.Bytes[1]), mb(row.Bytes[2]), mb(row.Bytes[3]))
+	}
+	return rows, nil
+}
+
+// spaceNet builds the cost-model network for the space model straight
+// from the recipe (no graph materialization needed at full size: nnz is
+// taken as 2x the recipe's undirected edge count plus self loops).
+func spaceNet(name string, scale int) (costmodel.Network, error) {
+	r, err := recipeAt(name, scale)
+	if err != nil {
+		return costmodel.Network{}, err
+	}
+	return costmodel.Network{
+		Dims: []int{r.FeatureDim, 128, r.Labels},
+		N:    int64(r.Vertices),
+		NNZ:  2*r.Edges + int64(r.Vertices),
+		P:    8,
+		RA:   1,
+	}, nil
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// recipeAt returns the (possibly scaled) recipe for a dataset.
+func recipeAt(name string, scale int) (graph.Recipe, error) {
+	r, err := graph.RecipeByName(name)
+	if err != nil {
+		return graph.Recipe{}, err
+	}
+	return r.Scaled(scale), nil
+}

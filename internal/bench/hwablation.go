@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/hw"
+)
+
+// HWAblationRow records RDM's speedup over CAGNET under one interconnect
+// model.
+type HWAblationRow struct {
+	Dataset string
+	Link    string
+	// Speedup is RDM/CAGNET epochs-per-second at P=8.
+	Speedup float64
+	// CommShareRDM/CommShareCAGNET are the communication fractions of
+	// epoch time.
+	CommShareRDM, CommShareCAGNET float64
+}
+
+// RunHWAblation measures how the RDM advantage depends on link speed
+// (design-sensitivity study): slow PCIe-class links magnify the benefit
+// of constant communication volume; NVLink-class links shrink it.
+func RunHWAblation(cfg Config) ([]HWAblationRow, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden, p = 2, 128, 8
+	links := []struct {
+		name  string
+		model *hw.Model
+	}{
+		{"pcie3-12GBs", hw.A6000SlowPCIe()},
+		{"pcie4-22GBs", hw.A6000()},
+		{"nvlink-56GBs", hw.A6000NVLink()},
+	}
+	cfg.printf("Interconnect sensitivity: RDM vs CAGNET at P=8, 2-layer h=128 (scale=1/%d)\n", cfg.Scale)
+	cfg.printf("%-14s %-14s %10s %12s %12s\n", "dataset", "link", "speedup", "RDM-comm%", "CAG-comm%")
+	var rows []HWAblationRow
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, lk := range links {
+			c := cfg
+			c.HW = lk.model
+			rdm, _ := RunRDMBest(c, w, layers, hidden, p)
+			cagnet := RunCAGNET(c, w, layers, hidden, p)
+			rEp := rdm.Epochs[len(rdm.Epochs)-1]
+			cEp := cagnet.Epochs[len(cagnet.Epochs)-1]
+			row := HWAblationRow{
+				Dataset:         name,
+				Link:            lk.name,
+				Speedup:         cagnet.MeanEpochTime() / rdm.MeanEpochTime(),
+				CommShareRDM:    rEp.CommTime / rEp.Time,
+				CommShareCAGNET: cEp.CommTime / cEp.Time,
+			}
+			rows = append(rows, row)
+			cfg.printf("%-14s %-14s %10.2f %11.1f%% %11.1f%%\n",
+				name, lk.name, row.Speedup, 100*row.CommShareRDM, 100*row.CommShareCAGNET)
+		}
+	}
+	return rows, nil
+}
+
+// PredictionRow compares the analytic epoch-time prediction against the
+// simulator's measurement for one configuration.
+type PredictionRow struct {
+	Dataset             string
+	ConfigID            int
+	Predicted, Measured float64
+}
+
+// RunPredictionValidation compares costmodel.PredictEpochTime against
+// simulated epoch times across the Pareto candidates (a model-fidelity
+// check beyond the paper's ranking-only validation).
+func RunPredictionValidation(cfg Config) ([]PredictionRow, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden, p = 2, 128, 8
+	cfg.printf("Analytic prediction vs simulated epoch time, P=8 (scale=1/%d)\n", cfg.Scale)
+	cfg.printf("%-14s %6s %14s %14s %8s\n", "dataset", "cfg", "predicted(ms)", "simulated(ms)", "ratio")
+	var rows []PredictionRow
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		net := w.Net(layers, hidden, p, p)
+		for _, id := range costmodel.ParetoConfigs(net) {
+			res := RunRDMConfig(cfg, w, layers, hidden, p, id)
+			row := PredictionRow{
+				Dataset:   name,
+				ConfigID:  id,
+				Predicted: costmodel.PredictEpochTime(net, costmodel.ConfigFromID(id, layers), cfg.HW),
+				Measured:  res.MeanEpochTime(),
+			}
+			rows = append(rows, row)
+			cfg.printf("%-14s %6d %14.3f %14.3f %8.2f\n",
+				name, id, row.Predicted*1e3, row.Measured*1e3, row.Predicted/row.Measured)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"gnnrdm/internal/saint"
+)
+
+// Fig13Datasets are the six labelled recipes of Fig. 13 (Web-Google and
+// Com-Orkut carry no training data and are omitted, as in the paper).
+var Fig13Datasets = []string{
+	"OGB-Arxiv", "OGB-MAG", "OGB-Products", "Reddit", "CAMI-Airways", "CAMI-Oral",
+}
+
+// Fig13Result holds one dataset's three accuracy-versus-time curves.
+type Fig13Result struct {
+	Dataset string
+	// FullBatch is GCN-RDM; RDMSampled is GraphSAINT-RDM; DDP is
+	// GraphSAINT-DGL-style DDP.
+	FullBatch, RDMSampled, DDP *saint.Curve
+}
+
+// RunFig13 regenerates Fig. 13: test accuracy versus training time for
+// GCN-RDM, GraphSAINT-RDM and GraphSAINT-DDP on 8 devices with a
+// 2-layer, 128-hidden GCN.
+func RunFig13(cfg Config, epochs int) ([]Fig13Result, error) {
+	cfg = cfg.withDefaults()
+	if epochs == 0 {
+		epochs = 15
+	}
+	const p = 8
+	var out []Fig13Result
+	for _, name := range Fig13Datasets {
+		if !contains(cfg.Datasets, name) {
+			continue
+		}
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		lr := 0.01
+		if name == "CAMI-Airways" || name == "CAMI-Oral" {
+			lr = 0.001 // the paper's stability adjustment (§V-A)
+		}
+		opts := saint.Options{
+			Dims:       w.Dims(2, 128),
+			LR:         lr,
+			Seed:       11,
+			Kind:       saint.RandomWalkSampler,
+			Budget:     maxI(w.Prob.N()/8, 16),
+			WalkLength: 3,
+			NormTrials: 20,
+			ConfigID:   0,
+		}
+		testMask := w.Graph.TestMask
+		res := Fig13Result{Dataset: name}
+		res.FullBatch = saint.TrainFullBatchCurve(p, cfg.HW, w.RawProb, testMask, opts, epochs)
+		res.RDMSampled = saint.TrainSAINTRDM(p, cfg.HW, w.RawProb, testMask, opts, epochs)
+		res.DDP = saint.TrainSAINTDDP(p, cfg.HW, w.RawProb, testMask, opts, epochs)
+		out = append(out, res)
+
+		cfg.printf("Accuracy vs time: %s (2-layer h=128, P=8, scale=1/%d)\n", name, cfg.Scale)
+		cfg.printf("%-18s %12s %12s %12s %10s\n", "curve", "final-acc", "best-acc", "time(s)", "updates")
+		for _, c := range []*saint.Curve{res.FullBatch, res.RDMSampled, res.DDP} {
+			f := c.Final()
+			cfg.printf("%-18s %12.4f %12.4f %12.4f %10d\n", c.Name, f.TestAcc, c.BestAcc(), f.Time, f.Updates)
+		}
+	}
+	return out, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package bench
+
+// ThroughputCell is one bar group of Figs. 8-11: training throughput
+// (epochs/second) of the three systems on one dataset and device count.
+type ThroughputCell struct {
+	Dataset string
+	P       int
+	// RDM/CAGNET/DGCL are epochs per simulated second.
+	RDM, CAGNET, DGCL float64
+	// RDMConfig is the winning Table IV configuration ID.
+	RDMConfig int
+}
+
+// ThroughputResult holds one full figure (one layer-count/hidden-size
+// combination across datasets and device counts).
+type ThroughputResult struct {
+	Layers, Hidden, Scale int
+	Cells                 []ThroughputCell
+}
+
+// RunThroughput regenerates one of Figs. 8-11: layers ∈ {2,3},
+// hidden ∈ {128, 256}.
+func RunThroughput(cfg Config, layers, hidden int) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ThroughputResult{Layers: layers, Hidden: hidden, Scale: cfg.Scale}
+	cfg.printf("Training throughput (epochs/s): %d-layer GCN, hidden=%d, scale=1/%d\n",
+		layers, hidden, cfg.Scale)
+	cfg.printf("%-14s %4s %10s %10s %10s %8s\n", "dataset", "P", "RDM", "CAGNET", "DGCL", "cfgID")
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cfg.GPUs {
+			rdm, id := RunRDMBest(cfg, w, layers, hidden, p)
+			cagnet := RunCAGNET(cfg, w, layers, hidden, p)
+			dgcl := RunDGCL(cfg, w, layers, hidden, p)
+			cell := ThroughputCell{
+				Dataset:   name,
+				P:         p,
+				RDM:       rdm.EpochsPerSecond(),
+				CAGNET:    cagnet.EpochsPerSecond(),
+				DGCL:      dgcl.EpochsPerSecond(),
+				RDMConfig: id,
+			}
+			res.Cells = append(res.Cells, cell)
+			cfg.printf("%-14s %4d %10.2f %10.2f %10.2f %8d\n",
+				name, p, cell.RDM, cell.CAGNET, cell.DGCL, cell.RDMConfig)
+		}
+	}
+	return res, nil
+}
+
+// Speedups returns the geometric-mean speedup of RDM over CAGNET and
+// DGCL at device count p, across all datasets (one Table VII row).
+func (r *ThroughputResult) Speedups(p int) (vsCAGNET, vsDGCL float64) {
+	var sc, sd []float64
+	for _, c := range r.Cells {
+		if c.P != p {
+			continue
+		}
+		sc = append(sc, c.RDM/c.CAGNET)
+		sd = append(sd, c.RDM/c.DGCL)
+	}
+	return Geomean(sc), Geomean(sd)
+}
+
+// Table7Row is one row of Table VII.
+type Table7Row struct {
+	P, Layers, Hidden          int
+	SpeedupCAGNET, SpeedupDGCL float64
+}
+
+// RunTable7 regenerates Table VII (geometric-mean speedups of RDM over
+// CAGNET and DGCL) from the four underlying throughput figures.
+func RunTable7(cfg Config) ([]Table7Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table7Row
+	figs := make(map[[2]int]*ThroughputResult)
+	for _, shape := range [][2]int{{2, 128}, {2, 256}, {3, 128}, {3, 256}} {
+		quiet := cfg
+		quiet.Out = nil
+		quiet = quiet.withDefaults()
+		r, err := RunThroughput(quiet, shape[0], shape[1])
+		if err != nil {
+			return nil, err
+		}
+		figs[shape] = r
+	}
+	cfg.printf("Geomean speedup of RDM over CAGNET and DGCL (scale=1/%d)\n", cfg.Scale)
+	cfg.printf("%4s %7s %9s %14s %12s\n", "GPUs", "Layers", "Features", "vs. CAGNET", "vs. DGCL")
+	for _, p := range cfg.GPUs {
+		for _, shape := range [][2]int{{2, 128}, {2, 256}, {3, 128}, {3, 256}} {
+			sc, sd := figs[shape].Speedups(p)
+			rows = append(rows, Table7Row{
+				P: p, Layers: shape[0], Hidden: shape[1],
+				SpeedupCAGNET: sc, SpeedupDGCL: sd,
+			})
+			cfg.printf("%4d %7d %9d %14.2f %12.2f\n", p, shape[0], shape[1], sc, sd)
+		}
+	}
+	return rows, nil
+}
+
+// Fig12Row is one dataset's epoch-time breakdown at P=8 (Fig. 12).
+type Fig12Row struct {
+	Dataset                string
+	CAGNETComm, CAGNETComp float64
+	RDMComm, RDMComp       float64
+	CAGNETBytes, RDMBytes  int64
+}
+
+// RunFig12 regenerates Fig. 12: per-epoch compute vs communication time
+// of CAGNET and RDM for the 2-layer, 128-hidden GCN on 8 devices, plus
+// the exact metered volumes.
+func RunFig12(cfg Config) ([]Fig12Row, error) {
+	cfg = cfg.withDefaults()
+	const layers, hidden, p = 2, 128, 8
+	cfg.printf("Epoch time breakdown, 2-layer h=128, P=8 (seconds, scale=1/%d)\n", cfg.Scale)
+	cfg.printf("%-14s %12s %12s %12s %12s %12s %12s\n",
+		"dataset", "CAG-comm", "CAG-comp", "RDM-comm", "RDM-comp", "CAG-MB", "RDM-MB")
+	var rows []Fig12Row
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cagnet := RunCAGNET(cfg, w, layers, hidden, p)
+		rdm, _ := RunRDMBest(cfg, w, layers, hidden, p)
+		cEp := cagnet.Epochs[len(cagnet.Epochs)-1]
+		rEp := rdm.Epochs[len(rdm.Epochs)-1]
+		row := Fig12Row{
+			Dataset:    name,
+			CAGNETComm: cEp.CommTime, CAGNETComp: cEp.ComputeTime,
+			RDMComm: rEp.CommTime, RDMComp: rEp.ComputeTime,
+			CAGNETBytes: cEp.CommBytes, RDMBytes: rEp.CommBytes,
+		}
+		rows = append(rows, row)
+		cfg.printf("%-14s %12.4f %12.4f %12.4f %12.4f %12.1f %12.1f\n",
+			name, row.CAGNETComm, row.CAGNETComp, row.RDMComm, row.RDMComp,
+			float64(row.CAGNETBytes)/(1<<20), float64(row.RDMBytes)/(1<<20))
+	}
+	return rows, nil
+}
+
+// Table9Row is one dataset row of Table IX: CAGNET-to-RDM epoch-time and
+// communication-time ratios for the four network shapes.
+type Table9Row struct {
+	Dataset string
+	// Ratios[i] = {epochRatio, commRatio} for shapes
+	// (2,128), (2,256), (3,128), (3,256).
+	Ratios [4][2]float64
+}
+
+// RunTable9 regenerates Table IX at P=8.
+func RunTable9(cfg Config) ([]Table9Row, error) {
+	cfg = cfg.withDefaults()
+	const p = 8
+	shapes := [4][2]int{{2, 128}, {2, 256}, {3, 128}, {3, 256}}
+	cfg.printf("Ratio of CAGNET epoch/comm time over RDM, P=8 (scale=1/%d)\n", cfg.Scale)
+	cfg.printf("%-14s", "dataset")
+	for _, s := range shapes {
+		cfg.printf("  %dL-h%-4d(Ep/Comm)", s[0], s[1])
+	}
+	cfg.printf("\n")
+	var rows []Table9Row
+	for _, name := range cfg.Datasets {
+		w, err := BuildWorkload(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		var row Table9Row
+		row.Dataset = name
+		cfg.printf("%-14s", name)
+		for i, s := range shapes {
+			cagnet := RunCAGNET(cfg, w, s[0], s[1], p)
+			rdm, _ := RunRDMBest(cfg, w, s[0], s[1], p)
+			row.Ratios[i][0] = cagnet.MeanEpochTime() / rdm.MeanEpochTime()
+			row.Ratios[i][1] = cagnet.MeanCommTime() / rdm.MeanCommTime()
+			cfg.printf("  %8.2f/%-8.2f", row.Ratios[i][0], row.Ratios[i][1])
+		}
+		cfg.printf("\n")
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

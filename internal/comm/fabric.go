@@ -1,0 +1,519 @@
+// Package comm implements the simulated multi-device fabric on which the
+// GNN-RDM reproduction runs. Each simulated device is a goroutine with
+// private buffers; collectives move real bytes between device memories
+// (data is copied, never shared), meter the exact communicated volume,
+// and advance per-device simulated clocks through the hw.Model.
+//
+// Clock semantics follow how distributed GPU time is measured in the
+// paper: a collective synchronizes all participants to
+// max(participant clocks) + modelled collective time, and the elapsed
+// time (including skew wait) is charged to each participant's
+// communication time. Compute kernels charge their modelled duration to
+// compute time.
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gnnrdm/internal/hw"
+)
+
+// Fabric is a set of P simulated devices sharing a communication fabric.
+type Fabric struct {
+	P  int
+	HW *hw.Model
+
+	devices []*Device
+
+	mu     sync.Mutex
+	groups map[string]*groupComm
+
+	volumes [6]atomic.Int64 // bytes moved, indexed by hw.CollectiveKind
+	calls   [6]atomic.Int64
+}
+
+// NewFabric creates a fabric with p devices using the given hardware model.
+func NewFabric(p int, model *hw.Model) *Fabric {
+	if p < 1 {
+		panic("comm: need at least one device")
+	}
+	f := &Fabric{P: p, HW: model, groups: make(map[string]*groupComm)}
+	f.devices = make([]*Device, p)
+	for r := 0; r < p; r++ {
+		f.devices[r] = &Device{Rank: r, F: f}
+	}
+	return f
+}
+
+// Device returns the device with the given rank.
+func (f *Fabric) Device(rank int) *Device { return f.devices[rank] }
+
+// Run executes fn concurrently on every device and waits for completion.
+func (f *Fabric) Run(fn func(d *Device)) {
+	var wg sync.WaitGroup
+	for r := 0; r < f.P; r++ {
+		wg.Add(1)
+		go func(d *Device) {
+			defer wg.Done()
+			fn(d)
+		}(f.devices[r])
+	}
+	wg.Wait()
+}
+
+// Run creates a fabric of p devices, executes fn on each, and returns the
+// fabric for metric inspection.
+func Run(p int, model *hw.Model, fn func(d *Device)) *Fabric {
+	f := NewFabric(p, model)
+	f.Run(fn)
+	return f
+}
+
+// Volume returns the total bytes moved across device boundaries by
+// collectives of the given kind since fabric creation (or the last
+// ResetVolumes).
+func (f *Fabric) Volume(kind hw.CollectiveKind) int64 { return f.volumes[kind].Load() }
+
+// TotalVolume returns the total bytes moved across device boundaries by
+// all collectives.
+func (f *Fabric) TotalVolume() int64 {
+	var s int64
+	for i := range f.volumes {
+		s += f.volumes[i].Load()
+	}
+	return s
+}
+
+// Calls returns the number of collectives of the given kind executed.
+func (f *Fabric) Calls(kind hw.CollectiveKind) int64 { return f.calls[kind].Load() }
+
+// ResetVolumes zeroes the volume and call counters (e.g. after warmup).
+// Must not race with in-flight collectives.
+func (f *Fabric) ResetVolumes() {
+	for i := range f.volumes {
+		f.volumes[i].Store(0)
+		f.calls[i].Store(0)
+	}
+}
+
+// MaxClock returns the maximum simulated clock across devices.
+func (f *Fabric) MaxClock() float64 {
+	m := 0.0
+	for _, d := range f.devices {
+		if d.clock > m {
+			m = d.clock
+		}
+	}
+	return m
+}
+
+func (f *Fabric) addVolume(kind hw.CollectiveKind, bytes int64) {
+	f.volumes[kind].Add(bytes)
+	f.calls[kind].Add(1)
+}
+
+// groupComm is a reusable two-phase rendezvous for one device group.
+type groupComm struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	arrived  int
+	readers  int
+	gen      uint64
+	slots    []any
+	clocks   []float64
+	newClock float64
+	aux      any // round-scoped value passed from finalize to extract
+}
+
+func (f *Fabric) groupFor(ranks []int) (*groupComm, string) {
+	key := groupKey(ranks)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g, ok := f.groups[key]
+	if !ok {
+		g = &groupComm{n: len(ranks), slots: make([]any, len(ranks)), clocks: make([]float64, len(ranks))}
+		g.cond = sync.NewCond(&g.mu)
+		f.groups[key] = g
+	}
+	return g, key
+}
+
+func groupKey(ranks []int) string {
+	b := make([]byte, 0, 4*len(ranks))
+	for i, r := range ranks {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(r), 10)
+	}
+	return string(b)
+}
+
+// exchange runs one rendezvous round: every group member deposits a
+// contribution; the last arriver runs finalize (which computes the new
+// synchronized clock and does volume accounting); every member then runs
+// extract over the complete slot array before the slots are recycled.
+// Both callbacks run under the group lock and must not call back into the
+// fabric.
+func (g *groupComm) exchange(idx int, clock float64, in any,
+	finalize func(slots []any, clocks []float64) (float64, any),
+	extract func(slots []any, aux any)) float64 {
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.readers > 0 { // previous round still draining
+		g.cond.Wait()
+	}
+	g.slots[idx] = in
+	g.clocks[idx] = clock
+	g.arrived++
+	if g.arrived == g.n {
+		g.newClock, g.aux = finalize(g.slots, g.clocks)
+		g.arrived = 0
+		g.readers = g.n
+		g.gen++
+		g.cond.Broadcast()
+	} else {
+		gen := g.gen
+		for g.gen == gen {
+			g.cond.Wait()
+		}
+	}
+	if extract != nil {
+		extract(g.slots, g.aux)
+	}
+	g.readers--
+	if g.readers == 0 {
+		for i := range g.slots {
+			g.slots[i] = nil
+		}
+		g.aux = nil
+		g.cond.Broadcast()
+	} else {
+		// Wait for the round to drain completely before returning, so no
+		// participant can mutate a deposited buffer while another is
+		// still copying from it.
+		for g.readers > 0 {
+			g.cond.Wait()
+		}
+	}
+	return g.newClock
+}
+
+// Device is one simulated GPU: a rank, private simulated clock, and
+// time/volume accounting.
+type Device struct {
+	Rank int
+	F    *Fabric
+
+	clock       float64
+	commTime    float64
+	computeTime float64
+}
+
+// Clock returns the device's simulated time in seconds.
+func (d *Device) Clock() float64 { return d.clock }
+
+// CommTime returns the accumulated simulated communication time
+// (including synchronization skew, as NCCL timing would observe).
+func (d *Device) CommTime() float64 { return d.commTime }
+
+// ComputeTime returns the accumulated simulated kernel time.
+func (d *Device) ComputeTime() float64 { return d.computeTime }
+
+// P returns the fabric size.
+func (d *Device) P() int { return d.F.P }
+
+// World returns the all-ranks group [0, 1, ..., P-1].
+func (d *Device) World() []int {
+	g := make([]int, d.F.P)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// ChargeGemm advances the clock by the modelled time of an m x k x n GEMM.
+func (d *Device) ChargeGemm(m, k, n int) {
+	t := d.F.HW.GemmTime(m, k, n)
+	d.clock += t
+	d.computeTime += t
+}
+
+// ChargeSpMM advances the clock by the modelled time of an SpMM with the
+// given stored-entry count and dense width.
+func (d *Device) ChargeSpMM(nnz int64, f int) {
+	t := d.F.HW.SpMMTime(nnz, f)
+	d.clock += t
+	d.computeTime += t
+}
+
+// ChargeMem advances the clock by the modelled time of a memory-bound
+// kernel touching the given bytes.
+func (d *Device) ChargeMem(bytes int64) {
+	t := d.F.HW.MemTime(bytes)
+	d.clock += t
+	d.computeTime += t
+}
+
+func (d *Device) groupIndex(ranks []int) int {
+	for i, r := range ranks {
+		if r == d.Rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("comm: rank %d not in group %v", d.Rank, ranks))
+}
+
+func validateGroup(ranks []int) {
+	if len(ranks) == 0 {
+		panic("comm: empty group")
+	}
+	if !sort.IntsAreSorted(ranks) {
+		panic(fmt.Sprintf("comm: group must be sorted: %v", ranks))
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] == ranks[i-1] {
+			panic(fmt.Sprintf("comm: duplicate rank in group: %v", ranks))
+		}
+	}
+}
+
+// collective runs the common rendezvous pattern and charges comm time.
+func (d *Device) collective(group []int, in any,
+	finalize func(slots []any, clocks []float64) (float64, any),
+	extract func(slots []any, aux any)) {
+
+	validateGroup(group)
+	idx := d.groupIndex(group)
+	g, _ := d.F.groupFor(group)
+	before := d.clock
+	newClock := g.exchange(idx, d.clock, in, finalize, extract)
+	d.clock = newClock
+	d.commTime += newClock - before
+}
+
+// Broadcast sends root's buffer to every member of group and returns each
+// member's private copy (root returns the original buffer). group must be
+// sorted; root is a rank, not an index.
+func (d *Device) Broadcast(group []int, root int, data []float32) []float32 {
+	if len(group) == 1 {
+		return data
+	}
+	var out []float32
+	f := d.F
+	rootIdx := indexOf(group, root)
+	var contribution any
+	if d.Rank == root {
+		contribution = data
+	}
+	d.collective(group, contribution,
+		func(slots []any, clocks []float64) (float64, any) {
+			buf := slots[rootIdx].([]float32)
+			bytes := int64(len(buf)) * 4
+			f.addVolume(hw.OpBroadcast, bytes*int64(len(group)-1))
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpBroadcast, len(group), bytes), nil
+		},
+		func(slots []any, _ any) {
+			if d.Rank == root {
+				out = data
+				return
+			}
+			src := slots[rootIdx].([]float32)
+			out = append(make([]float32, 0, len(src)), src...)
+		})
+	return out
+}
+
+// AllGather exchanges every member's buffer; the result is indexed by
+// group position. Entries for other ranks are private copies.
+func (d *Device) AllGather(group []int, local []float32) [][]float32 {
+	if len(group) == 1 {
+		return [][]float32{local}
+	}
+	out := make([][]float32, len(group))
+	f := d.F
+	myIdx := d.groupIndex(group)
+	d.collective(group, local,
+		func(slots []any, clocks []float64) (float64, any) {
+			var total int64
+			for _, s := range slots {
+				total += int64(len(s.([]float32))) * 4
+			}
+			f.addVolume(hw.OpAllGather, total*int64(len(group)-1))
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllGather, len(group), total), nil
+		},
+		func(slots []any, _ any) {
+			for i, s := range slots {
+				src := s.([]float32)
+				if i == myIdx {
+					out[i] = local
+					continue
+				}
+				out[i] = append(make([]float32, 0, len(src)), src...)
+			}
+		})
+	return out
+}
+
+// AllReduceSum element-wise sums every member's buffer and returns a
+// private copy of the sum on each member. Buffers must share a length.
+func (d *Device) AllReduceSum(group []int, local []float32) []float32 {
+	if len(group) == 1 {
+		return append(make([]float32, 0, len(local)), local...)
+	}
+	out := make([]float32, len(local))
+	f := d.F
+	d.collective(group, local,
+		func(slots []any, clocks []float64) (float64, any) {
+			first := slots[0].([]float32)
+			sum := make([]float32, len(first))
+			for _, s := range slots {
+				buf := s.([]float32)
+				if len(buf) != len(sum) {
+					panic("comm: AllReduceSum length mismatch across ranks")
+				}
+				for i, v := range buf {
+					sum[i] += v
+				}
+			}
+			bytes := int64(len(sum)) * 4
+			f.addVolume(hw.OpAllReduce, 2*bytes*int64(len(group)-1))
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllReduce, len(group), bytes), sum
+		},
+		func(slots []any, aux any) {
+			copy(out, aux.([]float32))
+		})
+	return out
+}
+
+// AllToAll performs personalized exchange: parts[j] is sent to group[j];
+// the returned slice holds the buffer received from each group member
+// (own part is passed through without copy). This is the redistribution
+// primitive of Fig. 7.
+func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
+	if len(parts) != len(group) {
+		panic("comm: AllToAll needs one part per group member")
+	}
+	if len(group) == 1 {
+		return [][]float32{parts[0]}
+	}
+	out := make([][]float32, len(group))
+	f := d.F
+	myIdx := d.groupIndex(group)
+	d.collective(group, parts,
+		func(slots []any, clocks []float64) (float64, any) {
+			var maxInject, total int64
+			for i, s := range slots {
+				ps := s.([][]float32)
+				var inject int64
+				for j, pt := range ps {
+					if i == j {
+						continue
+					}
+					inject += int64(len(pt)) * 4
+				}
+				total += inject
+				if inject > maxInject {
+					maxInject = inject
+				}
+			}
+			f.addVolume(hw.OpAllToAll, total)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil
+		},
+		func(slots []any, _ any) {
+			for i, s := range slots {
+				ps := s.([][]float32)
+				src := ps[myIdx]
+				if i == myIdx {
+					out[i] = src
+					continue
+				}
+				out[i] = append(make([]float32, 0, len(src)), src...)
+			}
+		})
+	return out
+}
+
+// ReduceScatterSum element-wise sums every member's buffer (all the same
+// length) and returns to each member its shard: counts[i] elements for
+// group position i, with sum(counts) == len(local). Used by the CAGNET
+// 1.5D baseline's partial-result reduction.
+func (d *Device) ReduceScatterSum(group []int, local []float32, counts []int) []float32 {
+	if len(counts) != len(group) {
+		panic("comm: ReduceScatterSum needs one count per member")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(local) {
+		panic("comm: ReduceScatterSum counts mismatch buffer length")
+	}
+	myIdx := d.groupIndex(group)
+	if len(group) == 1 {
+		return append(make([]float32, 0, len(local)), local...)
+	}
+	offset := 0
+	for i := 0; i < myIdx; i++ {
+		offset += counts[i]
+	}
+	out := make([]float32, counts[myIdx])
+	f := d.F
+	d.collective(group, local,
+		func(slots []any, clocks []float64) (float64, any) {
+			sum := make([]float32, total)
+			for _, s := range slots {
+				buf := s.([]float32)
+				if len(buf) != total {
+					panic("comm: ReduceScatterSum length mismatch across ranks")
+				}
+				for i, v := range buf {
+					sum[i] += v
+				}
+			}
+			bytes := int64(total) * 4
+			f.addVolume(hw.OpReduceScatter, bytes*int64(len(group)-1))
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum
+		},
+		func(slots []any, aux any) {
+			copy(out, aux.([]float32)[offset:offset+counts[myIdx]])
+		})
+	return out
+}
+
+// Barrier synchronizes the group's clocks (latency-only cost).
+func (d *Device) Barrier(group []int) {
+	if len(group) == 1 {
+		return
+	}
+	f := d.F
+	d.collective(group, nil,
+		func(slots []any, clocks []float64) (float64, any) {
+			return maxClock(clocks) + f.HW.LinkLatency, nil
+		}, nil)
+}
+
+func indexOf(ranks []int, r int) int {
+	for i, v := range ranks {
+		if v == r {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("comm: rank %d not in group %v", r, ranks))
+}
+
+func maxClock(clocks []float64) float64 {
+	m := clocks[0]
+	for _, c := range clocks[1:] {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

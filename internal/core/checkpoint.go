@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gnnrdm/internal/tensor"
+)
+
+// Checkpoint is a serializable snapshot of a training run: the layer
+// dimensions, the (replicated) weights, and the Adam state, sufficient to
+// resume training or run inference elsewhere.
+type Checkpoint struct {
+	Dims    []int
+	SAGE    bool
+	Step    int
+	Weights []*tensor.Dense
+	AdamM   []*tensor.Dense
+	AdamV   []*tensor.Dense
+}
+
+// Snapshot captures this engine's weights and optimizer state. Weights
+// are replicated, so any device's snapshot is the model.
+func (e *Engine) Snapshot() *Checkpoint {
+	cp := &Checkpoint{
+		Dims: append([]int(nil), e.opts.Dims...),
+		SAGE: e.opts.SAGE,
+	}
+	m, v, step := e.adam.Moments()
+	cp.Step = step
+	for i := range e.weights {
+		cp.Weights = append(cp.Weights, e.weights[i].Clone())
+		cp.AdamM = append(cp.AdamM, m[i].Clone())
+		cp.AdamV = append(cp.AdamV, v[i].Clone())
+	}
+	return cp
+}
+
+// Restore loads a checkpoint into this engine (SPMD: call on every
+// device with the same checkpoint).
+func (e *Engine) Restore(cp *Checkpoint) error {
+	if len(cp.Dims) != len(e.opts.Dims) || cp.SAGE != e.opts.SAGE {
+		return fmt.Errorf("core: checkpoint shape mismatch: dims %v sage %v vs %v %v",
+			cp.Dims, cp.SAGE, e.opts.Dims, e.opts.SAGE)
+	}
+	for i, d := range cp.Dims {
+		if d != e.opts.Dims[i] {
+			return fmt.Errorf("core: checkpoint dim %d = %d, want %d", i, d, e.opts.Dims[i])
+		}
+	}
+	if len(cp.Weights) != len(e.weights) {
+		return fmt.Errorf("core: checkpoint has %d weights, want %d", len(cp.Weights), len(e.weights))
+	}
+	for i := range e.weights {
+		e.weights[i].CopyFrom(cp.Weights[i])
+	}
+	e.adam.Restore(cp.AdamM, cp.AdamV, cp.Step)
+	return nil
+}
+
+const checkpointMagic = 0x52444d43 // "RDMC"
+
+// Write serializes the checkpoint in a compact little-endian binary
+// format.
+func (cp *Checkpoint) Write(w io.Writer) error {
+	le := binary.LittleEndian
+	wr := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(w, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sage := uint64(0)
+	if cp.SAGE {
+		sage = 1
+	}
+	if err := wr(uint64(checkpointMagic), uint64(len(cp.Dims)), sage, uint64(cp.Step),
+		uint64(len(cp.Weights))); err != nil {
+		return err
+	}
+	for _, d := range cp.Dims {
+		if err := wr(uint64(d)); err != nil {
+			return err
+		}
+	}
+	writeMat := func(m *tensor.Dense) error {
+		if err := wr(uint64(m.Rows), uint64(m.Cols)); err != nil {
+			return err
+		}
+		return wr(m.Data)
+	}
+	for _, group := range [][]*tensor.Dense{cp.Weights, cp.AdamM, cp.AdamV} {
+		for _, m := range group {
+			if err := writeMat(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	le := binary.LittleEndian
+	var hdr [5]uint64
+	for i := range hdr {
+		if err := binary.Read(r, le, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("core: reading checkpoint header: %w", err)
+		}
+	}
+	if hdr[0] != checkpointMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %#x", hdr[0])
+	}
+	nDims, sage, step, nW := hdr[1], hdr[2], hdr[3], hdr[4]
+	if nDims > 64 || nW > 128 {
+		return nil, fmt.Errorf("core: implausible checkpoint header %v", hdr)
+	}
+	cp := &Checkpoint{SAGE: sage != 0, Step: int(step)}
+	for i := uint64(0); i < nDims; i++ {
+		var d uint64
+		if err := binary.Read(r, le, &d); err != nil {
+			return nil, err
+		}
+		cp.Dims = append(cp.Dims, int(d))
+	}
+	readMat := func() (*tensor.Dense, error) {
+		var rc [2]uint64
+		if err := binary.Read(r, le, &rc); err != nil {
+			return nil, err
+		}
+		if rc[0] > 1<<24 || rc[1] > 1<<24 || rc[0]*rc[1] > 1<<28 {
+			return nil, fmt.Errorf("core: implausible matrix %dx%d", rc[0], rc[1])
+		}
+		// Chunked reads: a hostile header cannot force a large
+		// allocation before the stream delivers the bytes.
+		total := rc[0] * rc[1]
+		const chunk = 1 << 16
+		data := make([]float32, 0, minU64ck(total, chunk))
+		for uint64(len(data)) < total {
+			c := minU64ck(total-uint64(len(data)), chunk)
+			buf := make([]float32, c)
+			if err := binary.Read(r, le, &buf); err != nil {
+				return nil, err
+			}
+			data = append(data, buf...)
+		}
+		return tensor.FromRowMajor(int(rc[0]), int(rc[1]), data), nil
+	}
+	for g := 0; g < 3; g++ {
+		for i := uint64(0); i < nW; i++ {
+			m, err := readMat()
+			if err != nil {
+				return nil, err
+			}
+			switch g {
+			case 0:
+				cp.Weights = append(cp.Weights, m)
+			case 1:
+				cp.AdamM = append(cp.AdamM, m)
+			case 2:
+				cp.AdamV = append(cp.AdamV, m)
+			}
+		}
+	}
+	return cp, nil
+}
+
+func minU64ck(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,655 @@
+// Package core implements GNN-RDM, the paper's primary contribution:
+// distributed GCN training built on communication-free SpMM and GEMM with
+// redistribution of dense matrices between stages (§III), supporting
+// every SpMM-first/GEMM-first ordering configuration of Table IV,
+// forward-intermediate memoization (§III-C), row-panel adjacency
+// replication R_A (§III-E), and model-driven configuration selection
+// (§IV-B).
+//
+// The engine is SPMD: one Engine per simulated device, all executing the
+// same sequence of collective operations on the comm fabric. Dense
+// activations live in dist.Mat layouts; the adjacency matrix is held as a
+// per-device row panel replicated R_A times across the grid of §III-E
+// (R_A = P is full replication, the main RDM scheme; R_A = 1 degenerates
+// to CAGNET's 1D scheme).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/nn"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+// Problem is the training task: a normalized propagation matrix, input
+// features, labels, and an optional training mask. With the default GCN
+// normalization D^{-1/2}(A+I)D^{-1/2} of an undirected graph the
+// operator is symmetric and A serves both passes; for asymmetric
+// operators set ATranspose.
+type Problem struct {
+	A         *sparse.CSR
+	X         *tensor.Dense
+	Labels    []int32
+	TrainMask []bool
+	// LossWeights optionally weights each vertex's loss term
+	// (GraphSAINT's λ_v normalization); nil means uniform.
+	LossWeights []float32
+	// ATranspose holds Aᵀ for asymmetric propagation operators (directed
+	// graphs, random-walk normalization D⁻¹(A+I)). The forward pass
+	// aggregates with Aᵀ (eq. 1) and the backward pass with A (eq. 3).
+	// Leave nil for symmetric operators (GCN normalization), where
+	// Aᵀ = A.
+	ATranspose *sparse.CSR
+}
+
+// fwdOperator returns the forward-aggregation matrix (Aᵀ).
+func (p *Problem) fwdOperator() *sparse.CSR {
+	if p.ATranspose != nil {
+		return p.ATranspose
+	}
+	return p.A
+}
+
+// N returns the vertex count.
+func (p *Problem) N() int { return p.A.Rows }
+
+// Options configures an RDM training run.
+type Options struct {
+	// Dims is f_0..f_L; Dims[0] must equal the feature width.
+	Dims []int
+	// Config is the SpMM/GEMM ordering (Table IV). Zero value = all
+	// SpMM-first.
+	Config costmodel.Config
+	// RA is the adjacency replication factor (§III-E); 0 means P (full
+	// replication, the main RDM scheme). Must divide P.
+	RA int
+	// Memoize keeps the forward AᵀH^{l-1} products for backward reuse
+	// (§III-C). Disabling it is the paper's "N.M." ablation.
+	Memoize bool
+	// ComputeInputGrad computes G^0, the gradient of the input features
+	// (a final output in Fig. 4, included in Table IV's accounting).
+	ComputeInputGrad bool
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed controls weight initialization (identical on all devices).
+	Seed int64
+	// EvalMask, when set, selects the vertices whose prediction accuracy
+	// is computed after every epoch (EpochStats.EvalAcc) — the paper's
+	// test-accuracy-versus-time instrumentation (Fig. 13).
+	EvalMask []bool
+	// MaskProvider, when set, turns every aggregation into a masked SpMM
+	// over sampled neighbors (§III-F's non-subgraph sampling): given the
+	// epoch and a global row range it returns, per row, the permitted
+	// column indices (sorted; nil keeps all). Deterministic per-row
+	// generation from a shared seed means replicas of a row panel agree
+	// without communicating the mask — the paper's shared-seed trick.
+	MaskProvider func(epoch, rowLo, rowHi int) [][]int32
+	// SAGE switches every layer to the two-weight GraphSAGE form
+	// Z^l = AᵀH^{l-1}W_n + H^{l-1}W_s (the paper lists GraphSAGE among
+	// the GNN variants RDM applies to). The self term is computed in the
+	// vertex-sliced layout and redistributed when the layer's SpMM-side
+	// output is feature-sliced.
+	SAGE bool
+}
+
+// Layers returns L.
+func (o Options) Layers() int { return len(o.Dims) - 1 }
+
+func (o Options) withDefaults(p int) Options {
+	if o.RA == 0 {
+		o.RA = p
+	}
+	if len(o.Config.Fwd) == 0 {
+		o.Config = costmodel.ConfigFromID(0, o.Layers())
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+	return o
+}
+
+func (o Options) validate(p int, prob *Problem) {
+	if len(o.Dims) < 2 {
+		panic("core: need at least one layer")
+	}
+	if o.Dims[0] != prob.X.Cols {
+		panic(fmt.Sprintf("core: Dims[0]=%d != feature width %d", o.Dims[0], prob.X.Cols))
+	}
+	if o.Config.Layers() != o.Layers() {
+		panic("core: config layer count mismatch")
+	}
+	if o.RA < 1 || o.RA > p || p%o.RA != 0 {
+		panic(fmt.Sprintf("core: RA=%d invalid for P=%d", o.RA, p))
+	}
+	if prob.A.Rows != prob.A.Cols || prob.A.Rows != prob.X.Rows {
+		panic("core: adjacency/features shape mismatch")
+	}
+	if len(prob.Labels) != prob.X.Rows {
+		panic("core: labels length mismatch")
+	}
+}
+
+// Engine is one device's view of an RDM training run.
+type Engine struct {
+	dev  *comm.Device
+	prob *Problem
+	opts Options
+
+	gridL    dist.Layout
+	colGroup []int
+	// panelFwd/panelBwd are this device's row panels of the forward (Aᵀ)
+	// and backward (A) operators; the same object when the operator is
+	// symmetric.
+	panelFwd, panelBwd       *sparse.CSR
+	panelFwdNNZ, panelBwdNNZ int64
+
+	weights []*tensor.Dense
+	adam    *nn.Adam
+
+	// epochMask is the current epoch's sampled-neighbor mask for this
+	// device's panel rows (nil when sampling is off).
+	epochMask [][]int32
+	epoch     int
+
+	// lastLogits is this device's horizontal tile of the most recent
+	// forward pass's output (pre-loss), for evaluation.
+	lastLogits *dist.Mat
+	lastLoss   float64
+}
+
+// NewEngine builds the device-local state: the adjacency row panel and
+// replicated, identically-initialized weights.
+func NewEngine(dev *comm.Device, prob *Problem, opts Options) *Engine {
+	p := dev.P()
+	opts = opts.withDefaults(p)
+	opts.validate(p, prob)
+	e := &Engine{dev: dev, prob: prob, opts: opts}
+	e.gridL = dist.G(opts.RA).Normalize(p)
+	// Column group: ranks sharing my grid column index (same feature
+	// slice), holding between them every row panel. Ascending rank order
+	// equals ascending panel order.
+	j := dev.Rank % opts.RA
+	for r := j; r < p; r += opts.RA {
+		e.colGroup = append(e.colGroup, r)
+	}
+	e.extractPanels()
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for l := 1; l <= opts.Layers(); l++ {
+		w := tensor.NewDense(opts.Dims[l-1], opts.Dims[l])
+		w.GlorotInit(rng)
+		e.weights = append(e.weights, w)
+		if opts.SAGE {
+			ws := tensor.NewDense(opts.Dims[l-1], opts.Dims[l])
+			ws.GlorotInit(rng)
+			e.weights = append(e.weights, ws)
+		}
+	}
+	e.adam = nn.NewAdam(opts.LR, e.weights)
+	return e
+}
+
+// wN returns layer l's neighbor-aggregation weight matrix.
+func (e *Engine) wN(l int) *tensor.Dense {
+	if e.opts.SAGE {
+		return e.weights[2*(l-1)]
+	}
+	return e.weights[l-1]
+}
+
+// wS returns layer l's self weight matrix (SAGE only).
+func (e *Engine) wS(l int) *tensor.Dense {
+	if !e.opts.SAGE {
+		panic("core: wS without SAGE")
+	}
+	return e.weights[2*(l-1)+1]
+}
+
+// Weights exposes the (replicated) weight matrices.
+func (e *Engine) Weights() []*tensor.Dense { return e.weights }
+
+// LastLogits returns this device's horizontal logits tile from the most
+// recent epoch.
+func (e *Engine) LastLogits() *dist.Mat { return e.lastLogits }
+
+// LastLoss returns the most recent epoch's training loss.
+func (e *Engine) LastLoss() float64 { return e.lastLoss }
+
+// extractPanels slices this device's row panels out of the problem's
+// operators.
+func (e *Engine) extractPanels() {
+	rlo, rhi := dist.RowRange(e.gridL, e.dev.P(), e.dev.Rank, e.prob.N())
+	e.panelBwd = e.prob.A.RowPanel(rlo, rhi)
+	e.panelBwdNNZ = e.panelBwd.NNZ()
+	if e.prob.ATranspose != nil {
+		if e.opts.MaskProvider != nil {
+			panic("core: MaskProvider requires a symmetric operator")
+		}
+		e.panelFwd = e.prob.fwdOperator().RowPanel(rlo, rhi)
+		e.panelFwdNNZ = e.panelFwd.NNZ()
+	} else {
+		e.panelFwd, e.panelFwdNNZ = e.panelBwd, e.panelBwdNNZ
+	}
+}
+
+// spmm computes Aᵀ·m (forward) or A·m (backward) for a grid-distributed
+// dense matrix m, returning a grid-distributed result. With R_A = P
+// (vertical layout) this is communication-free (Fig. 2a); with R_A < P
+// each column group gathers its feature slice, moving (P/R_A - 1)·N·w
+// elements (§III-E).
+func (e *Engine) spmm(m *dist.Mat, forward bool) *dist.Mat {
+	if m.Layout != e.gridL {
+		panic(fmt.Sprintf("core: spmm input layout %v, want %v", m.Layout, e.gridL))
+	}
+	panel, nnz := e.panelBwd, e.panelBwdNNZ
+	if forward {
+		panel, nnz = e.panelFwd, e.panelFwdNNZ
+	}
+	w := m.Local.Cols
+	var full *tensor.Dense
+	if len(e.colGroup) == 1 {
+		full = m.Local
+	} else {
+		bufs := e.dev.AllGather(e.colGroup, m.Local.Data)
+		full = tensor.NewDense(m.GlobalRows, w)
+		at := 0
+		for _, buf := range bufs {
+			copy(full.Data[at:], buf)
+			at += len(buf)
+		}
+		e.dev.ChargeMem(full.Bytes())
+	}
+	var out *tensor.Dense
+	if e.epochMask != nil {
+		out = panel.MaskedSpMM(full, e.epochMask)
+	} else {
+		out = panel.SpMM(full)
+	}
+	e.dev.ChargeSpMM(nnz, w)
+	return dist.FromLocal(e.dev, e.gridL, m.GlobalRows, m.GlobalCols, out)
+}
+
+// gemm computes m · W (or m · Wᵀ) for a horizontal m with replicated W:
+// communication-free (Fig. 2b).
+func (e *Engine) gemm(m *dist.Mat, w *tensor.Dense, transW bool) *dist.Mat {
+	if m.Layout != dist.H {
+		panic("core: gemm input must be horizontal")
+	}
+	var out *tensor.Dense
+	if transW {
+		out = tensor.MatMulTB(m.Local, w)
+	} else {
+		out = tensor.MatMul(m.Local, w)
+	}
+	e.dev.ChargeGemm(m.Local.Rows, m.Local.Cols, out.Cols)
+	return dist.FromLocal(e.dev, dist.H, m.GlobalRows, out.Cols, out)
+}
+
+// lcache holds one logical matrix in every layout it has been
+// materialized in, so reuse across passes (Fig. 3/4) never re-pays a
+// redistribution.
+type lcache struct {
+	mats map[string]*dist.Mat
+}
+
+func newCache(ms ...*dist.Mat) *lcache {
+	c := &lcache{mats: make(map[string]*dist.Mat)}
+	for _, m := range ms {
+		c.put(m)
+	}
+	return c
+}
+
+func (c *lcache) put(m *dist.Mat) { c.mats[m.Layout.String()] = m }
+
+func (c *lcache) has(l dist.Layout, p int) bool {
+	_, ok := c.mats[l.Normalize(p).String()]
+	return ok
+}
+
+// get returns the matrix in the requested layout, redistributing (and
+// caching) from an existing copy if needed. Source preference is
+// deterministic: H, then V, then grids.
+func (c *lcache) get(l dist.Layout, p int) *dist.Mat {
+	key := l.Normalize(p).String()
+	if m, ok := c.mats[key]; ok {
+		return m
+	}
+	src := c.any()
+	out := src.Redistribute(l)
+	c.put(out)
+	return out
+}
+
+func (c *lcache) any() *dist.Mat {
+	for _, k := range []string{"H", "V"} {
+		if m, ok := c.mats[k]; ok {
+			return m
+		}
+	}
+	// Deterministic fallback: lowest grid PJ.
+	var best *dist.Mat
+	bestKey := ""
+	for k, m := range c.mats {
+		if best == nil || k < bestKey {
+			best, bestKey = m, k
+		}
+	}
+	if best == nil {
+		panic("core: empty layout cache")
+	}
+	return best
+}
+
+// pass holds the per-epoch forward state consumed by the backward pass.
+type pass struct {
+	h    []*lcache   // h[l] caches H^l (h[0] = input features)
+	memo []*dist.Mat // memo[l] = AᵀH^{l-1} horizontal, if fwd l was SpMM-first
+}
+
+// forward runs the forward pass under the configured ordering, computes
+// the loss, and returns the state plus the loss gradient G^L
+// (horizontal).
+func (e *Engine) forward() (*pass, *lcache) {
+	p := e.dev.P()
+	L := e.opts.Layers()
+	st := &pass{h: make([]*lcache, L+1), memo: make([]*dist.Mat, L+1)}
+	// H^0 is free in both layouts: the initial distribution is a
+	// data-loading choice (§IV-A1).
+	st.h[0] = newCache(dist.Distribute(e.dev, dist.H, e.prob.X), dist.Distribute(e.dev, e.gridL, e.prob.X))
+
+	for l := 1; l <= L; l++ {
+		var z *dist.Mat
+		if e.opts.Config.Fwd[l-1] == costmodel.SparseFirst {
+			x := st.h[l-1].get(e.gridL, p)
+			t := e.spmm(x, true).Redistribute(dist.H)
+			e.dev.ChargeMem(t.Local.Bytes()) // divide/merge accounted in dist; T write-out
+			if e.opts.Memoize {
+				st.memo[l] = t
+			}
+			z = e.gemm(t, e.wN(l), false)
+			if e.opts.SAGE {
+				self := e.gemm(st.h[l-1].get(dist.H, p), e.wS(l), false)
+				z.Local.Add(self.Local)
+				e.dev.ChargeMem(z.Local.Bytes())
+			}
+		} else {
+			x := st.h[l-1].get(dist.H, p)
+			t := e.gemm(x, e.wN(l), false)
+			z = t.Redistribute(e.gridL)
+			z = e.spmm(z, true)
+			if e.opts.SAGE {
+				self := e.gemm(x, e.wS(l), false).Redistribute(e.gridL)
+				z.Local.Add(self.Local)
+				e.dev.ChargeMem(z.Local.Bytes())
+			}
+		}
+		if l < L {
+			z.Local.ReLU()
+			e.dev.ChargeMem(z.Local.Bytes())
+		}
+		st.h[l] = newCache(z)
+	}
+
+	// Loss: vertex-complete logits required, so a vertical final layer
+	// pays one last redistribution (§IV-A1).
+	logits := st.h[L].get(dist.H, p)
+	e.lastLogits = logits
+	rlo, rhi := dist.RowRange(dist.H, p, e.dev.Rank, e.prob.N())
+	var mask []bool
+	if e.prob.TrainMask != nil {
+		mask = e.prob.TrainMask[rlo:rhi]
+	}
+	var lw []float32
+	if e.prob.LossWeights != nil {
+		lw = e.prob.LossWeights[rlo:rhi]
+	}
+	lossSum, grad, wtot := nn.WeightedSoftmaxCrossEntropySum(logits.Local, e.prob.Labels[rlo:rhi], mask, lw)
+	e.dev.ChargeMem(2 * logits.Local.Bytes())
+	tot := e.dev.AllReduceSum(e.dev.World(), []float32{float32(lossSum), float32(wtot)})
+	totalCount := float64(tot[1])
+	if totalCount > 0 {
+		grad.Scale(float32(1.0 / totalCount))
+		e.lastLoss = float64(tot[0]) / totalCount
+	} else {
+		e.lastLoss = 0
+	}
+	gl := dist.FromLocal(e.dev, dist.H, e.prob.N(), e.opts.Dims[L], grad)
+	return st, newCache(gl)
+}
+
+// backward runs the backward pass, returning the weight gradients
+// (identical on every device after all-reduce).
+func (e *Engine) backward(st *pass, gTop *lcache) []*tensor.Dense {
+	p := e.dev.P()
+	L := e.opts.Layers()
+	grads := make([]*tensor.Dense, len(e.weights))
+	setGrads := func(l int, yn, ys *tensor.Dense) {
+		if e.opts.SAGE {
+			grads[2*(l-1)], grads[2*(l-1)+1] = yn, ys
+		} else {
+			grads[l-1] = yn
+		}
+	}
+	g := gTop
+	for l := L; l >= 1; l-- {
+		var tb *dist.Mat // A·G^l horizontal, when backward is SpMM-first
+		needInputGrad := l > 1 || e.opts.ComputeInputGrad
+		if e.opts.Config.Bwd[l-1] == costmodel.SparseFirst {
+			gv := g.get(e.gridL, p)
+			tb = e.spmm(gv, false).Redistribute(dist.H)
+			setGrads(l, e.weightGrad(l, st, g, tb), e.selfGrad(l, st, g))
+			if needInputGrad {
+				u := e.gemm(tb, e.wN(l), true) // T_b · W_nᵀ, horizontal
+				if e.opts.SAGE {
+					self := e.gemm(g.get(dist.H, p), e.wS(l), true)
+					u.Local.Add(self.Local)
+					e.dev.ChargeMem(u.Local.Bytes())
+				}
+				if l > 1 {
+					e.applyReLUMask(u, st.h[l-1])
+				}
+				g = newCache(u)
+			} else {
+				g = nil
+			}
+		} else {
+			// GEMM-first: G^l must be horizontal (mismatch redistribution
+			// charged by the cache).
+			gh := g.get(dist.H, p)
+			g.put(gh)
+			setGrads(l, e.weightGrad(l, st, g, nil), e.selfGrad(l, st, g))
+			if needInputGrad {
+				u := e.gemm(gh, e.wN(l), true).Redistribute(e.gridL)
+				gn := e.spmm(u, false)
+				if e.opts.SAGE {
+					self := e.gemm(gh, e.wS(l), true).Redistribute(e.gridL)
+					gn.Local.Add(self.Local)
+					e.dev.ChargeMem(gn.Local.Bytes())
+				}
+				if l > 1 {
+					e.applyReLUMask(gn, st.h[l-1])
+				}
+				g = newCache(gn)
+			} else {
+				g = nil
+			}
+		}
+	}
+	return grads
+}
+
+// selfGrad computes the self-weight gradient (H^{l-1})ᵀ·G^l for SAGE
+// layers (nil otherwise): local vertex-sliced partial products summed
+// with an all-reduce.
+func (e *Engine) selfGrad(l int, st *pass, g *lcache) *tensor.Dense {
+	if !e.opts.SAGE {
+		return nil
+	}
+	p := e.dev.P()
+	h := st.h[l-1].get(dist.H, p)
+	gh := g.get(dist.H, p)
+	partial := tensor.MatMulTA(h.Local, gh.Local)
+	e.dev.ChargeGemm(h.Local.Cols, h.Local.Rows, gh.Local.Cols)
+	sum := e.dev.AllReduceSum(e.dev.World(), partial.Data)
+	return tensor.FromRowMajor(partial.Rows, partial.Cols, sum)
+}
+
+// weightGrad computes Y^l = (H^{l-1})ᵀ(A·G^l) following the reuse
+// analysis of Fig. 3: prefer a free vertex-sliced operand pair, fall back
+// to gathering the narrower missing operand, and only when the layer is
+// GEMM-first in both passes perform the extra SpMM (§III-C). The local
+// partial product is summed with an O(f²) all-reduce.
+func (e *Engine) weightGrad(l int, st *pass, g *lcache, tb *dist.Mat) *tensor.Dense {
+	p := e.dev.P()
+	in, out := e.opts.Dims[l-1], e.opts.Dims[l]
+	tf := st.memo[l]
+	hPrev := st.h[l-1]
+
+	var partial *tensor.Dense
+	mulTA := func(a, b *dist.Mat) *tensor.Dense {
+		pp := tensor.MatMulTA(a.Local, b.Local)
+		e.dev.ChargeGemm(a.Local.Cols, a.Local.Rows, b.Local.Cols)
+		return pp
+	}
+	switch {
+	case tf != nil && g.has(dist.H, p):
+		partial = mulTA(tf, g.get(dist.H, p))
+	case tb != nil && hPrev.has(dist.H, p):
+		partial = mulTA(hPrev.get(dist.H, p), tb)
+	case tf != nil && tb != nil:
+		if in <= out {
+			partial = mulTA(hPrev.get(dist.H, p), tb) // gather H^{l-1}: f_{l-1}
+		} else {
+			partial = mulTA(tf, g.get(dist.H, p)) // gather G^l: f_l
+		}
+	case tf != nil:
+		partial = mulTA(tf, g.get(dist.H, p))
+	case tb != nil:
+		partial = mulTA(hPrev.get(dist.H, p), tb)
+	default:
+		// Both passes GEMM-first: recompute the cheaper SpMM product.
+		if in <= out {
+			t := e.spmm(hPrev.get(e.gridL, p), true).Redistribute(dist.H)
+			partial = mulTA(t, g.get(dist.H, p))
+		} else {
+			t := e.spmm(g.get(e.gridL, p), false).Redistribute(dist.H)
+			partial = mulTA(hPrev.get(dist.H, p), t)
+		}
+	}
+	sum := e.dev.AllReduceSum(e.dev.World(), partial.Data)
+	return tensor.FromRowMajor(in, out, sum)
+}
+
+// applyReLUMask multiplies u element-wise by σ'(Z^{l-1}) = [H^{l-1} > 0].
+// When H^{l-1} exists in u's layout the mask is applied locally;
+// otherwise a byte-packed mask is redistributed (¼ of the elements — a
+// mechanical cost the paper's model omits; see EXPERIMENTS.md).
+func (e *Engine) applyReLUMask(u *dist.Mat, hPrev *lcache) {
+	p := e.dev.P()
+	var src *dist.Mat
+	if hPrev.has(u.Layout, p) {
+		src = hPrev.get(u.Layout, p)
+	} else {
+		from := hPrev.any()
+		mask := tensor.NewDense(from.Local.Rows, from.Local.Cols)
+		for i, v := range from.Local.Data {
+			if v > 0 {
+				mask.Data[i] = 1
+			}
+		}
+		e.dev.ChargeMem(mask.Bytes())
+		src = dist.FromLocal(e.dev, from.Layout, from.GlobalRows, from.GlobalCols, mask).
+			RedistributeMask(u.Layout)
+	}
+	for i, v := range src.Local.Data {
+		if v <= 0 {
+			u.Local.Data[i] = 0
+		}
+	}
+	e.dev.ChargeMem(u.Local.Bytes())
+}
+
+// Epoch runs one full training epoch (forward, loss, backward, Adam
+// update) and returns the training loss.
+func (e *Engine) Epoch() float64 {
+	if e.opts.MaskProvider != nil {
+		rlo, rhi := dist.RowRange(e.gridL, e.dev.P(), e.dev.Rank, e.prob.N())
+		e.epochMask = e.opts.MaskProvider(e.epoch, rlo, rhi)
+	}
+	e.epoch++
+	st, g := e.forward()
+	grads := e.backward(st, g)
+	e.adam.Step(e.weights, grads)
+	var wBytes int64
+	for _, w := range e.weights {
+		wBytes += w.Bytes()
+	}
+	e.dev.ChargeMem(4 * wBytes)
+	return e.lastLoss
+}
+
+// EvalAccuracy computes accuracy over the masked vertices using the most
+// recent epoch's logits, reduced across devices.
+func (e *Engine) EvalAccuracy(mask []bool) float64 {
+	if e.lastLogits == nil {
+		return 0
+	}
+	rlo, rhi := dist.RowRange(dist.H, e.dev.P(), e.dev.Rank, e.prob.N())
+	var m []bool
+	if mask != nil {
+		m = mask[rlo:rhi]
+	}
+	correct, total := localAccuracyCounts(e.lastLogits.Local, e.prob.Labels[rlo:rhi], m)
+	tot := e.dev.AllReduceSum(e.dev.World(), []float32{float32(correct), float32(total)})
+	if tot[1] == 0 {
+		return 0
+	}
+	return float64(tot[0]) / float64(tot[1])
+}
+
+func localAccuracyCounts(logits *tensor.Dense, labels []int32, mask []bool) (correct, total int) {
+	for i := 0; i < logits.Rows; i++ {
+		if (mask != nil && !mask[i]) || labels[i] < 0 {
+			continue
+		}
+		total++
+		row := logits.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == labels[i] {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// SetProblem swaps the training problem (e.g. a new GraphSAINT
+// subgraph), re-extracting this device's adjacency panel while keeping
+// the optimizer state and weights. Dims[0] must match the new feature
+// width.
+func (e *Engine) SetProblem(prob *Problem) {
+	if prob.X.Cols != e.opts.Dims[0] {
+		panic("core: SetProblem feature width mismatch")
+	}
+	e.prob = prob
+	e.extractPanels()
+	e.lastLogits = nil
+}
+
+// Forward runs inference only (no loss/backward) and returns this
+// device's horizontal logits tile.
+func (e *Engine) Forward() *dist.Mat {
+	st, _ := e.forward()
+	_ = st
+	return e.lastLogits
+}

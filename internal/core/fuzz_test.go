@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/graph"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/sparse"
+)
+
+// FuzzReadCheckpoint checks the checkpoint reader never panics or
+// over-allocates on arbitrary input, and that accepted checkpoints are
+// structurally sound.
+func FuzzReadCheckpoint(f *testing.F) {
+	var seed bytes.Buffer
+	// Valid small checkpoint as corpus seed.
+	fab := comm.NewFabric(1, hw.A6000())
+	eng := NewEngine(fab.Device(0), fuzzProblem(), testOpts([]int{4, 3, 2}, 0))
+	_ = eng.Snapshot().Write(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(cp.Weights) != len(cp.AdamM) || len(cp.Weights) != len(cp.AdamV) {
+			t.Fatal("uneven weight/moment groups accepted")
+		}
+		for i := range cp.Weights {
+			if cp.Weights[i].Rows*cp.Weights[i].Cols != len(cp.Weights[i].Data) {
+				t.Fatal("inconsistent matrix accepted")
+			}
+		}
+	})
+}
+
+func fuzzProblem() *Problem {
+	rng := rand.New(rand.NewSource(1))
+	adj, labels := graph.PlantedPartition(rng, 12, 36, 2, 0.7)
+	return &Problem{
+		A:      sparse.GCNNormalize(adj),
+		X:      graph.SynthesizeFeatures(rng, labels, 2, 4, 0.8),
+		Labels: labels,
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+
+	"gnnrdm/internal/nn"
+	"gnnrdm/internal/tensor"
+)
+
+// ReferenceResult is the outcome of the single-node reference trainer.
+type ReferenceResult struct {
+	Losses  []float64
+	Logits  *tensor.Dense
+	Weights []*tensor.Dense
+}
+
+// ReferenceTrain trains the same GCN as the distributed engine with plain
+// single-address-space matrix operations: the numerical ground truth the
+// distributed results are asserted against. It uses the identical weight
+// initialization (same seed), Adam, and loss, and computes
+//
+//	Z^l = A H^{l-1} W^l,   H^l = ReLU(Z^l)  (l < L)
+//	G^{l-1} = (A G^l (W^l)ᵀ) ⊙ σ'(Z^{l-1}),  Y^l = (H^{l-1})ᵀ A G^l
+//
+// using Problem.ATranspose for the forward aggregation when the operator
+// is asymmetric (Aᵀ = A otherwise).
+func ReferenceTrain(prob *Problem, opts Options, epochs int) *ReferenceResult {
+	opts = opts.withDefaults(1)
+	opts.validate(1, prob)
+	L := opts.Layers()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var weights []*tensor.Dense
+	for l := 1; l <= L; l++ {
+		w := tensor.NewDense(opts.Dims[l-1], opts.Dims[l])
+		w.GlorotInit(rng)
+		weights = append(weights, w)
+		if opts.SAGE {
+			ws := tensor.NewDense(opts.Dims[l-1], opts.Dims[l])
+			ws.GlorotInit(rng)
+			weights = append(weights, ws)
+		}
+	}
+	wN := func(l int) *tensor.Dense {
+		if opts.SAGE {
+			return weights[2*(l-1)]
+		}
+		return weights[l-1]
+	}
+	adam := nn.NewAdam(opts.LR, weights)
+	res := &ReferenceResult{Weights: weights}
+
+	for ep := 0; ep < epochs; ep++ {
+		// Forward.
+		hs := make([]*tensor.Dense, L+1)
+		hs[0] = prob.X
+		for l := 1; l <= L; l++ {
+			z := tensor.MatMul(prob.fwdOperator().SpMM(hs[l-1]), wN(l))
+			if opts.SAGE {
+				z.Add(tensor.MatMul(hs[l-1], weights[2*(l-1)+1]))
+			}
+			if l < L {
+				z.ReLU()
+			}
+			hs[l] = z
+		}
+		lossSum, grad, wtot := nn.WeightedSoftmaxCrossEntropySum(hs[L], prob.Labels, prob.TrainMask, prob.LossWeights)
+		loss := 0.0
+		if wtot > 0 {
+			grad.Scale(float32(1.0 / wtot))
+			loss = lossSum / wtot
+		}
+		res.Losses = append(res.Losses, loss)
+		res.Logits = hs[L]
+
+		// Backward.
+		grads := make([]*tensor.Dense, len(weights))
+		g := grad
+		for l := L; l >= 1; l-- {
+			t := prob.A.SpMM(g) // A·G^l
+			yn := tensor.MatMulTA(hs[l-1], t)
+			if opts.SAGE {
+				grads[2*(l-1)] = yn
+				grads[2*(l-1)+1] = tensor.MatMulTA(hs[l-1], g)
+			} else {
+				grads[l-1] = yn
+			}
+			if l > 1 {
+				next := tensor.MatMulTB(t, wN(l))
+				if opts.SAGE {
+					next.Add(tensor.MatMulTB(g, weights[2*(l-1)+1]))
+				}
+				g = next
+				mask := hs[l-1]
+				for i, v := range mask.Data {
+					if v <= 0 {
+						g.Data[i] = 0
+					}
+				}
+			}
+		}
+		adam.Step(weights, grads)
+	}
+	return res
+}

@@ -1,0 +1,412 @@
+// Package dist implements distributed dense matrices over the simulated
+// fabric: the Horizontal (vertex-sliced) and Vertical (feature-sliced)
+// layouts of Fig. 2, the grid layout of §III-E used when the adjacency
+// matrix is row-panel replicated R_A times, and the divide/exchange/merge
+// redistribution of Fig. 7 (an all-to-all personalized exchange whose
+// total volume (P-1)/P·N·f is independent of P).
+//
+// All methods are SPMD: every device in the group must call the same
+// method with the same arguments in the same order.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/tensor"
+)
+
+// Kind enumerates layout families.
+type Kind int
+
+const (
+	// Horizontal slices rows (vertices) across devices: device i owns
+	// rows PartRange(N, P, i) and all columns.
+	Horizontal Kind = iota
+	// Vertical slices columns (features) across devices: device i owns
+	// all rows and columns PartRange(f, P, i).
+	Vertical
+	// Grid slices rows into P/PJ panels and columns into PJ slices;
+	// device r owns row panel r/PJ and column slice r%PJ. With PJ=P this
+	// is Vertical; with PJ=1 it is Horizontal. PJ equals the adjacency
+	// replication factor R_A of §III-E.
+	Grid
+	// Replicated stores the full matrix on every device.
+	Replicated
+)
+
+// Layout describes how a global matrix is partitioned across P devices.
+type Layout struct {
+	Kind Kind
+	// PJ is the number of column slices for Grid layouts (ignored
+	// otherwise).
+	PJ int
+}
+
+// H, V and R are the common layouts.
+var (
+	H = Layout{Kind: Horizontal}
+	V = Layout{Kind: Vertical}
+	R = Layout{Kind: Replicated}
+)
+
+// G returns a Grid layout with pj column slices.
+func G(pj int) Layout { return Layout{Kind: Grid, PJ: pj} }
+
+func (l Layout) String() string {
+	switch l.Kind {
+	case Horizontal:
+		return "H"
+	case Vertical:
+		return "V"
+	case Grid:
+		return fmt.Sprintf("G%d", l.PJ)
+	case Replicated:
+		return "R"
+	}
+	return "?"
+}
+
+// Normalize returns the canonical form of l for a fabric of p devices:
+// degenerate grids fold into H (PJ<=1) or V (PJ>=P).
+func (l Layout) Normalize(p int) Layout { return l.normalize(p) }
+
+// normalize folds degenerate grids into H/V so layout comparisons are
+// canonical for a fabric of p devices.
+func (l Layout) normalize(p int) Layout {
+	if l.Kind == Grid {
+		if l.PJ <= 1 {
+			return H
+		}
+		if l.PJ >= p {
+			return V
+		}
+		if p%l.PJ != 0 {
+			panic(fmt.Sprintf("dist: grid PJ=%d does not divide P=%d", l.PJ, p))
+		}
+	}
+	return l
+}
+
+// PartRange returns the half-open range [lo, hi) of part i when n items
+// are split into parts balanced chunks (the first n%parts chunks get one
+// extra item).
+func PartRange(n, parts, i int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Mat is one device's view of a distributed GlobalRows x GlobalCols dense
+// matrix.
+type Mat struct {
+	Dev                    *comm.Device
+	GlobalRows, GlobalCols int
+	Layout                 Layout
+	// Local is this device's tile. Its shape is implied by Layout.
+	Local *tensor.Dense
+}
+
+// TileShape returns the local tile shape of the given device under a
+// layout.
+func TileShape(l Layout, p, rank, rows, cols int) (r, c int) {
+	switch l.normalize(p).Kind {
+	case Horizontal:
+		lo, hi := PartRange(rows, p, rank)
+		return hi - lo, cols
+	case Vertical:
+		lo, hi := PartRange(cols, p, rank)
+		return rows, hi - lo
+	case Grid:
+		pj := l.PJ
+		pi := p / pj
+		rlo, rhi := PartRange(rows, pi, rank/pj)
+		clo, chi := PartRange(cols, pj, rank%pj)
+		return rhi - rlo, chi - clo
+	case Replicated:
+		return rows, cols
+	}
+	panic("dist: bad layout")
+}
+
+// RowRange returns the global row range of a device's tile.
+func RowRange(l Layout, p, rank, rows int) (lo, hi int) {
+	switch l.normalize(p).Kind {
+	case Horizontal:
+		return PartRange(rows, p, rank)
+	case Vertical, Replicated:
+		return 0, rows
+	case Grid:
+		return PartRange(rows, p/l.PJ, rank/l.PJ)
+	}
+	panic("dist: bad layout")
+}
+
+// ColRange returns the global column range of a device's tile.
+func ColRange(l Layout, p, rank, cols int) (lo, hi int) {
+	switch l.normalize(p).Kind {
+	case Vertical:
+		return PartRange(cols, p, rank)
+	case Horizontal, Replicated:
+		return 0, cols
+	case Grid:
+		return PartRange(cols, l.PJ, rank%l.PJ)
+	}
+	panic("dist: bad layout")
+}
+
+// Distribute builds this device's tile of a global matrix by local
+// slicing. It models loading pre-partitioned data and charges no
+// communication.
+func Distribute(dev *comm.Device, l Layout, global *tensor.Dense) *Mat {
+	p := dev.P()
+	l = l.normalize(p)
+	rlo, rhi := RowRange(l, p, dev.Rank, global.Rows)
+	clo, chi := ColRange(l, p, dev.Rank, global.Cols)
+	var tile *tensor.Dense
+	if rlo == 0 && rhi == global.Rows && clo == 0 && chi == global.Cols {
+		tile = global.Clone()
+	} else if clo == 0 && chi == global.Cols {
+		tile = global.RowSlice(rlo, rhi)
+	} else if rlo == 0 && rhi == global.Rows {
+		tile = global.ColSlice(clo, chi)
+	} else {
+		tile = global.RowSlice(rlo, rhi).ColSlice(clo, chi)
+	}
+	return &Mat{Dev: dev, GlobalRows: global.Rows, GlobalCols: global.Cols, Layout: l, Local: tile}
+}
+
+// NewMat allocates a zeroed distributed matrix.
+func NewMat(dev *comm.Device, l Layout, rows, cols int) *Mat {
+	p := dev.P()
+	l = l.normalize(p)
+	r, c := TileShape(l, p, dev.Rank, rows, cols)
+	return &Mat{Dev: dev, GlobalRows: rows, GlobalCols: cols, Layout: l, Local: tensor.NewDense(r, c)}
+}
+
+// FromLocal wraps an existing tile; the caller asserts it matches the
+// layout's expected shape.
+func FromLocal(dev *comm.Device, l Layout, rows, cols int, tile *tensor.Dense) *Mat {
+	p := dev.P()
+	l = l.normalize(p)
+	wr, wc := TileShape(l, p, dev.Rank, rows, cols)
+	if tile.Rows != wr || tile.Cols != wc {
+		panic(fmt.Sprintf("dist: tile %dx%d does not match layout %v shape %dx%d",
+			tile.Rows, tile.Cols, l, wr, wc))
+	}
+	return &Mat{Dev: dev, GlobalRows: rows, GlobalCols: cols, Layout: l, Local: tile}
+}
+
+// Redistribute converts the matrix to the target layout, returning a new
+// Mat. Supported conversions: any -> Replicated (allgather),
+// Replicated -> any (local slice, free), Horizontal <-> Vertical,
+// Horizontal <-> Grid, Grid -> Horizontal, Grid <-> Vertical, and
+// identity (free).
+func (m *Mat) Redistribute(target Layout) *Mat {
+	p := m.Dev.P()
+	target = target.normalize(p)
+	src := m.Layout.normalize(p)
+	if src == target {
+		return m
+	}
+	switch {
+	case target.Kind == Replicated:
+		return m.replicate()
+	case src.Kind == Replicated:
+		out := Distribute(m.Dev, target, m.Local)
+		return out
+	}
+	// Express H and V as degenerate grids and use the general grid
+	// redistribution.
+	srcPJ, dstPJ := gridPJ(src, p), gridPJ(target, p)
+	return m.regrid(srcPJ, dstPJ, nil, nil)
+}
+
+// RedistributeMask converts a 0/1-valued matrix (a ReLU-derivative mask)
+// between grid-family layouts, shipping one byte per element — four mask
+// values packed per transmitted float32 — as a real implementation would
+// ship a uint8 mask over NCCL. Replicated layouts are not supported.
+func (m *Mat) RedistributeMask(target Layout) *Mat {
+	p := m.Dev.P()
+	target = target.normalize(p)
+	src := m.Layout.normalize(p)
+	if src == target {
+		return m
+	}
+	if src.Kind == Replicated || target.Kind == Replicated {
+		panic("dist: RedistributeMask supports grid-family layouts only")
+	}
+	return m.regrid(gridPJ(src, p), gridPJ(target, p), packMask, unpackMask)
+}
+
+// packMask packs four 0/1 float values per output float32 (one byte
+// each).
+func packMask(vals []float32) []float32 {
+	out := make([]float32, (len(vals)+3)/4)
+	for i, v := range vals {
+		if v != 0 {
+			word := i / 4
+			shift := uint(i%4) * 8
+			bits := math.Float32bits(out[word]) | 1<<shift
+			out[word] = math.Float32frombits(bits)
+		}
+	}
+	return out
+}
+
+// unpackMask reverses packMask given the original element count.
+func unpackMask(packed []float32, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		bits := math.Float32bits(packed[i/4])
+		if bits>>(uint(i%4)*8)&0xff != 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func gridPJ(l Layout, p int) int {
+	switch l.Kind {
+	case Horizontal:
+		return 1
+	case Vertical:
+		return p
+	case Grid:
+		return l.PJ
+	}
+	panic("dist: cannot grid layout " + l.String())
+}
+
+// regrid converts between two grid layouts (including the degenerate
+// H=G(1) and V=G(P)) with a single all-to-all over the world group.
+// Device r sends to device s exactly the intersection of r's source tile
+// and s's target tile, so the exchanged volume is minimal. Row-group or
+// column-group locality (e.g. the (R_A-1)/R_A·N·f of §IV-A4) emerges
+// naturally: disjoint tiles exchange nothing.
+//
+// When pack/unpack are non-nil every chunk payload is passed through them
+// before transmission and after receipt (used to ship byte-packed masks);
+// unpack receives the original element count.
+func (m *Mat) regrid(srcPJ, dstPJ int, pack func([]float32) []float32, unpack func([]float32, int) []float32) *Mat {
+	dev := m.Dev
+	p := dev.P()
+	rows, cols := m.GlobalRows, m.GlobalCols
+	srcL := G(srcPJ).normalize(p)
+	dstL := G(dstPJ).normalize(p)
+
+	myRlo, _ := RowRange(srcL, p, dev.Rank, rows)
+	myClo, _ := ColRange(srcL, p, dev.Rank, cols)
+
+	// Divide: build the part destined to each device.
+	parts := make([][]float32, p)
+	var divideBytes int64
+	for s := 0; s < p; s++ {
+		trlo, trhi := RowRange(dstL, p, s, rows)
+		tclo, tchi := ColRange(dstL, p, s, cols)
+		// Intersect with my tile (global coords).
+		rlo, rhi := max(trlo, myRlo), min(trhi, myRlo+m.Local.Rows)
+		clo, chi := max(tclo, myClo), min(tchi, myClo+m.Local.Cols)
+		if rlo >= rhi || clo >= chi {
+			parts[s] = nil
+			continue
+		}
+		sub := make([]float32, 0, (rhi-rlo)*(chi-clo))
+		for i := rlo; i < rhi; i++ {
+			row := m.Local.Row(i - myRlo)
+			sub = append(sub, row[clo-myClo:chi-myClo]...)
+		}
+		if pack != nil {
+			sub = pack(sub)
+		}
+		parts[s] = sub
+		if s != dev.Rank {
+			divideBytes += int64(len(sub)) * 4
+		}
+	}
+	dev.ChargeMem(divideBytes) // divide step (local packing)
+
+	recv := dev.AllToAll(dev.World(), parts)
+
+	// Merge: place received blocks into the new tile.
+	out := NewMat(dev, dstL, rows, cols)
+	nrlo, _ := RowRange(dstL, p, dev.Rank, rows)
+	nclo, _ := ColRange(dstL, p, dev.Rank, cols)
+	var mergeBytes int64
+	for s := 0; s < p; s++ {
+		buf := recv[s]
+		if len(buf) == 0 {
+			continue
+		}
+		srlo, srhi := RowRange(srcL, p, s, rows)
+		sclo, schi := ColRange(srcL, p, s, cols)
+		rlo, rhi := max(nrlo, srlo), min(nrlo+out.Local.Rows, srhi)
+		clo, chi := max(nclo, sclo), min(nclo+out.Local.Cols, schi)
+		if rlo >= rhi || clo >= chi {
+			panic(fmt.Sprintf("dist: regrid received %d elements from %d with empty intersection", len(buf), s))
+		}
+		w := chi - clo
+		n := (rhi - rlo) * w
+		if s != dev.Rank {
+			mergeBytes += int64(len(buf)) * 4
+		}
+		if unpack != nil {
+			buf = unpack(buf, n)
+		}
+		if n != len(buf) {
+			panic(fmt.Sprintf("dist: regrid merge size mismatch from %d: %d vs %d", s, n, len(buf)))
+		}
+		for i := rlo; i < rhi; i++ {
+			dst := out.Local.Row(i - nrlo)
+			copy(dst[clo-nclo:chi-nclo], buf[(i-rlo)*w:(i-rlo+1)*w])
+		}
+	}
+	dev.ChargeMem(mergeBytes) // merge step (local unpacking)
+	return out
+}
+
+// replicate gathers the full matrix onto every device.
+func (m *Mat) replicate() *Mat {
+	dev := m.Dev
+	p := dev.P()
+	src := m.Layout.normalize(p)
+	bufs := dev.AllGather(dev.World(), m.Local.Data)
+	out := NewMat(dev, R, m.GlobalRows, m.GlobalCols)
+	for s := 0; s < p; s++ {
+		rlo, rhi := RowRange(src, p, s, m.GlobalRows)
+		clo, chi := ColRange(src, p, s, m.GlobalCols)
+		w := chi - clo
+		buf := bufs[s]
+		for i := rlo; i < rhi; i++ {
+			copy(out.Local.Row(i)[clo:chi], buf[(i-rlo)*w:(i-rlo)*w+w])
+		}
+	}
+	dev.ChargeMem(out.Local.Bytes())
+	return out
+}
+
+// Assemble reconstructs the global matrix from all devices' Mats without
+// touching the fabric. For tests and result collection only.
+func Assemble(mats []*Mat) *tensor.Dense {
+	if len(mats) == 0 {
+		return tensor.NewDense(0, 0)
+	}
+	p := len(mats)
+	rows, cols := mats[0].GlobalRows, mats[0].GlobalCols
+	out := tensor.NewDense(rows, cols)
+	for _, m := range mats {
+		l := m.Layout.normalize(p)
+		rlo, rhi := RowRange(l, p, m.Dev.Rank, rows)
+		clo, chi := ColRange(l, p, m.Dev.Rank, cols)
+		for i := rlo; i < rhi; i++ {
+			copy(out.Row(i)[clo:chi], m.Local.Row(i-rlo))
+		}
+	}
+	return out
+}

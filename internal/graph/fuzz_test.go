@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that anything it
+// accepts is a valid symmetric loop-free adjacency.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n", 8)
+	f.Add("# c\n3 3\n0 7\n", 8)
+	f.Add("", 1)
+	f.Add("0 1 0.5\n", 4)
+	f.Fuzz(func(t *testing.T, in string, n int) {
+		if n < 1 || n > 256 {
+			return
+		}
+		adj, err := ReadEdgeList(strings.NewReader(in), n)
+		if err != nil {
+			return
+		}
+		if adj.Rows != n || adj.Cols != n {
+			t.Fatalf("bad shape %dx%d", adj.Rows, adj.Cols)
+		}
+		for i := 0; i < n; i++ {
+			for p := adj.RowPtr[i]; p < adj.RowPtr[i+1]; p++ {
+				j := int(adj.ColIdx[p])
+				if j == i {
+					t.Fatal("self loop survived")
+				}
+				if adj.At(j, i) != adj.Val[p] {
+					t.Fatal("asymmetric output")
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadCSR checks the binary reader rejects or safely parses
+// arbitrary input without panicking or over-allocating.
+func FuzzReadCSR(f *testing.F) {
+	var seed bytes.Buffer
+	adj, _ := PlantedPartition(newRand(1), 16, 48, 2, 0.7)
+	_ = WriteCSR(&seed, adj)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x52, 0x53, 0x43, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted matrices must satisfy CSR invariants.
+		if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != m.NNZ() {
+			t.Fatal("invalid row pointers accepted")
+		}
+		for _, c := range m.ColIdx {
+			if c < 0 || int(c) >= m.Cols {
+				t.Fatal("invalid column accepted")
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGemmTimeScalesLinearly(t *testing.T) {
+	m := A6000()
+	t1 := m.GemmTime(1000, 100, 100) - m.KernelLaunch
+	t2 := m.GemmTime(2000, 100, 100) - m.KernelLaunch
+	if math.Abs(t2/t1-2) > 1e-9 {
+		t.Fatalf("GemmTime not linear: %v vs %v", t1, t2)
+	}
+}
+
+func TestSpMMWidthEfficiency(t *testing.T) {
+	m := A6000()
+	// Per-FMA cost must be higher for narrow operands (reduced reuse).
+	narrow := (m.SpMMTime(1_000_000, 8) - m.KernelLaunch) / (1e6 * 8)
+	wide := (m.SpMMTime(1_000_000, 512) - m.KernelLaunch) / (1e6 * 512)
+	if narrow <= wide {
+		t.Fatalf("narrow per-FMA cost %v must exceed wide %v", narrow, wide)
+	}
+	if m.SpMMTime(0, 128) != m.KernelLaunch {
+		t.Fatal("zero-nnz SpMM should cost only launch overhead")
+	}
+}
+
+func TestSpMMSlowerThanGemmPerFMA(t *testing.T) {
+	m := A6000()
+	// The paper's premise: SpMM achieves far lower GFLOPs than GEMM.
+	spmm := (m.SpMMTime(10_000_000, 128) - m.KernelLaunch) / (1e7 * 128)
+	gemm := (m.GemmTime(10000, 1000, 128) - m.KernelLaunch) / (1e7 * 128)
+	if spmm < 10*gemm {
+		t.Fatalf("SpMM per-FMA (%v) should be >=10x GEMM per-FMA (%v)", spmm, gemm)
+	}
+}
+
+func TestCollectiveTimeSinglePeerFree(t *testing.T) {
+	m := A6000()
+	for _, k := range []CollectiveKind{OpBroadcast, OpAllGather, OpAllReduce, OpAllToAll} {
+		if m.CollectiveTime(k, 1, 1<<20) != 0 {
+			t.Fatalf("%v with p=1 must be free", k)
+		}
+	}
+}
+
+func TestBroadcastVsAllToAllScaling(t *testing.T) {
+	m := A6000()
+	// The central scaling claim: redistribution (all-to-all of N·f/P per
+	// device) gets cheaper with P, while broadcast of the full buffer does
+	// not.
+	total := int64(512 << 20)
+	bcast4 := m.CollectiveTime(OpBroadcast, 4, total)
+	bcast8 := m.CollectiveTime(OpBroadcast, 8, total)
+	a2a4 := m.CollectiveTime(OpAllToAll, 4, total/4)
+	a2a8 := m.CollectiveTime(OpAllToAll, 8, total/8)
+	if a2a8 >= a2a4 {
+		t.Fatalf("all-to-all should shrink with P: %v -> %v", a2a4, a2a8)
+	}
+	if bcast8 < bcast4*0.9 {
+		t.Fatalf("broadcast should not shrink with P: %v -> %v", bcast4, bcast8)
+	}
+	if a2a8 >= bcast8 {
+		t.Fatalf("redistribution must beat broadcast at P=8: %v vs %v", a2a8, bcast8)
+	}
+}
+
+func TestAllReduceTwiceAllGather(t *testing.T) {
+	m := A6000()
+	b := int64(64 << 20)
+	ag := m.CollectiveTime(OpAllGather, 8, b)
+	ar := m.CollectiveTime(OpAllReduce, 8, b)
+	if math.Abs(ar/ag-2) > 1e-9 {
+		t.Fatalf("allreduce should cost 2x allgather: %v vs %v", ar, ag)
+	}
+	rs := m.CollectiveTime(OpReduceScatter, 8, b)
+	if math.Abs(rs/ag-1) > 1e-9 {
+		t.Fatalf("reducescatter should cost 1x allgather: %v vs %v", rs, ag)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	m := A6000()
+	got := m.CollectiveTime(OpSendRecv, 2, int64(m.LinkBandwidth))
+	want := m.LinkLatency + 1.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sendrecv: %v want %v", got, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if OpBroadcast.String() != "broadcast" || OpAllToAll.String() != "alltoall" {
+		t.Fatal("bad kind strings")
+	}
+	if CollectiveKind(99).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestLinkVariants(t *testing.T) {
+	base, nvlink, pcie := A6000(), A6000NVLink(), A6000SlowPCIe()
+	if !(pcie.LinkBandwidth < base.LinkBandwidth && base.LinkBandwidth < nvlink.LinkBandwidth) {
+		t.Fatal("link bandwidth ordering wrong")
+	}
+	// Compute parameters are shared across variants.
+	if nvlink.GemmRate != base.GemmRate || pcie.SpMMRate != base.SpMMRate {
+		t.Fatal("variants must only change the interconnect")
+	}
+	// A fixed transfer is fastest on NVLink, slowest on PCIe3.
+	b := int64(256 << 20)
+	tn := nvlink.CollectiveTime(OpAllToAll, 8, b)
+	tb := base.CollectiveTime(OpAllToAll, 8, b)
+	tp := pcie.CollectiveTime(OpAllToAll, 8, b)
+	if !(tn < tb && tb < tp) {
+		t.Fatalf("transfer times out of order: %v %v %v", tn, tb, tp)
+	}
+}
+
+func TestMemTime(t *testing.T) {
+	m := A6000()
+	t1 := m.MemTime(1 << 20)
+	t2 := m.MemTime(2 << 20)
+	if t2 <= t1 {
+		t.Fatal("MemTime must grow with bytes")
+	}
+}

@@ -1,0 +1,339 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// parallel sparse kernels (SpMM, masked SpMM, transpose, row-panel
+// extraction, GCN normalization) that realize the aggregation step of a
+// GNN layer.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gnnrdm/internal/tensor"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i's nonzeros occupy ColIdx[RowPtr[i]:RowPtr[i+1]] (column indices,
+// sorted ascending within a row) and Val[RowPtr[i]:RowPtr[i+1]].
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []int32
+	Val        []float32
+}
+
+// NewEmpty returns an r x c CSR with no nonzeros.
+func NewEmpty(r, c int) *CSR {
+	return &CSR{Rows: r, Cols: c, RowPtr: make([]int64, r+1)}
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int64 { return m.RowPtr[m.Rows] }
+
+// Bytes reports the memory footprint of the index and value arrays.
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.RowPtr))*8 + int64(len(m.ColIdx))*4 + int64(len(m.Val))*4
+}
+
+// Coord is a single (row, col, value) triple used to build CSR matrices.
+type Coord struct {
+	Row, Col int32
+	Val      float32
+}
+
+// FromCoords builds a CSR from coordinate triples. Duplicate (row, col)
+// entries are summed. The input slice is reordered in place.
+func FromCoords(r, c int, coords []Coord) *CSR {
+	for _, e := range coords {
+		if int(e.Row) >= r || int(e.Col) >= c || e.Row < 0 || e.Col < 0 {
+			panic(fmt.Sprintf("sparse: coord (%d,%d) outside %dx%d", e.Row, e.Col, r, c))
+		}
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Row != coords[j].Row {
+			return coords[i].Row < coords[j].Row
+		}
+		return coords[i].Col < coords[j].Col
+	})
+	m := NewEmpty(r, c)
+	m.ColIdx = make([]int32, 0, len(coords))
+	m.Val = make([]float32, 0, len(coords))
+	for i := 0; i < len(coords); {
+		j := i
+		v := float32(0)
+		for j < len(coords) && coords[j].Row == coords[i].Row && coords[j].Col == coords[i].Col {
+			v += coords[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, coords[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[coords[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < r; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// At returns element (i, j); zero if not stored. O(log nnz(i)).
+func (m *CSR) At(i, j int) float32 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	idx := m.ColIdx[lo:hi]
+	k := sort.Search(len(idx), func(t int) bool { return idx[t] >= int32(j) })
+	if k < len(idx) && idx[k] == int32(j) {
+		return m.Val[lo+int64(k)]
+	}
+	return 0
+}
+
+// ToDense materializes the matrix densely (for tests on small inputs).
+func (m *CSR) ToDense() *tensor.Dense {
+	out := tensor.NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, int(m.ColIdx[p]), m.Val[p])
+		}
+	}
+	return out
+}
+
+// Transpose returns the CSR of the transpose (equivalently, the matrix in
+// CSC form reinterpreted as CSR).
+func (m *CSR) Transpose() *CSR {
+	t := NewEmpty(m.Cols, m.Rows)
+	nnz := m.NNZ()
+	t.ColIdx = make([]int32, nnz)
+	t.Val = make([]float32, nnz)
+	// Count entries per output row (= input column).
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int64, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			dst := next[c]
+			t.ColIdx[dst] = int32(i)
+			t.Val[dst] = m.Val[p]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// RowPanel returns a copy of rows [r0, r1) as an (r1-r0) x Cols CSR.
+func (m *CSR) RowPanel(r0, r1 int) *CSR {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic(fmt.Sprintf("sparse: RowPanel [%d,%d) outside %d rows", r0, r1, m.Rows))
+	}
+	out := NewEmpty(r1-r0, m.Cols)
+	lo, hi := m.RowPtr[r0], m.RowPtr[r1]
+	out.ColIdx = append([]int32(nil), m.ColIdx[lo:hi]...)
+	out.Val = append([]float32(nil), m.Val[lo:hi]...)
+	for i := r0; i <= r1; i++ {
+		out.RowPtr[i-r0] = m.RowPtr[i] - lo
+	}
+	return out
+}
+
+// ColPanel returns a copy of columns [c0, c1) as a Rows x (c1-c0) CSR
+// with column indices rebased to the panel. Rows stay sorted.
+func (m *CSR) ColPanel(c0, c1 int) *CSR {
+	if c0 < 0 || c1 > m.Cols || c0 > c1 {
+		panic(fmt.Sprintf("sparse: ColPanel [%d,%d) outside %d cols", c0, c1, m.Cols))
+	}
+	out := NewEmpty(m.Rows, c1-c0)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		idx := m.ColIdx[lo:hi]
+		a := sort.Search(len(idx), func(t int) bool { return idx[t] >= int32(c0) })
+		b := sort.Search(len(idx), func(t int) bool { return idx[t] >= int32(c1) })
+		for p := a; p < b; p++ {
+			out.ColIdx = append(out.ColIdx, idx[p]-int32(c0))
+			out.Val = append(out.Val, m.Val[lo+int64(p)])
+		}
+		out.RowPtr[i+1] = int64(len(out.ColIdx))
+	}
+	return out
+}
+
+// SubMatrix extracts the induced submatrix on the given (sorted or unsorted,
+// duplicate-free) row and column vertex sets, relabeling indices to the
+// positions within the sets. Used by GraphSAINT subgraph construction with
+// rows == cols.
+func (m *CSR) SubMatrix(rows, cols []int32) *CSR {
+	colPos := make(map[int32]int32, len(cols))
+	for i, c := range cols {
+		colPos[c] = int32(i)
+	}
+	var coords []Coord
+	for ri, r := range rows {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			if cj, ok := colPos[m.ColIdx[p]]; ok {
+				coords = append(coords, Coord{Row: int32(ri), Col: cj, Val: m.Val[p]})
+			}
+		}
+	}
+	return FromCoords(len(rows), len(cols), coords)
+}
+
+// SpMM computes Out = M * In for dense In, in parallel over disjoint row
+// blocks (deterministic summation order).
+func (m *CSR) SpMM(in *tensor.Dense) *tensor.Dense {
+	if in.Rows != m.Cols {
+		panic(fmt.Sprintf("sparse: SpMM inner mismatch %dx%d * %dx%d", m.Rows, m.Cols, in.Rows, in.Cols))
+	}
+	out := tensor.NewDense(m.Rows, in.Cols)
+	m.SpMMInto(in, out)
+	return out
+}
+
+// SpMMInto computes out = M * in, overwriting out.
+func (m *CSR) SpMMInto(in, out *tensor.Dense) {
+	if in.Rows != m.Cols || out.Rows != m.Rows || out.Cols != in.Cols {
+		panic("sparse: SpMMInto shape mismatch")
+	}
+	f := in.Cols
+	ParallelRowRanges(m.Rows, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			oi := out.Data[i*f : (i+1)*f]
+			for j := range oi {
+				oi[j] = 0
+			}
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Val[p]
+				src := in.Data[int(m.ColIdx[p])*f : int(m.ColIdx[p])*f+f]
+				for j, sv := range src {
+					oi[j] += v * sv
+				}
+			}
+		}
+	})
+}
+
+// MaskedSpMM computes Out = (M ⊙ mask) * In where mask selects, per output
+// row, a subset of M's stored columns. mask[i] lists the permitted column
+// indices for row i (sorted ascending); a nil mask row keeps all columns.
+// This realizes sampled aggregation for samplers that do not build explicit
+// subgraphs (§III-F).
+func (m *CSR) MaskedSpMM(in *tensor.Dense, mask [][]int32) *tensor.Dense {
+	if in.Rows != m.Cols {
+		panic("sparse: MaskedSpMM inner mismatch")
+	}
+	if mask != nil && len(mask) != m.Rows {
+		panic("sparse: MaskedSpMM mask length mismatch")
+	}
+	out := tensor.NewDense(m.Rows, in.Cols)
+	f := in.Cols
+	ParallelRowRanges(m.Rows, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			oi := out.Data[i*f : (i+1)*f]
+			var allowed []int32
+			if mask != nil {
+				allowed = mask[i]
+			}
+			k := 0
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				c := m.ColIdx[p]
+				if mask != nil && allowed != nil {
+					for k < len(allowed) && allowed[k] < c {
+						k++
+					}
+					if k >= len(allowed) || allowed[k] != c {
+						continue
+					}
+				}
+				v := m.Val[p]
+				src := in.Data[int(c)*f : int(c)*f+f]
+				for j, sv := range src {
+					oi[j] += v * sv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SpMMFLOPs returns the FMA count of M * In with f dense columns.
+func (m *CSR) SpMMFLOPs(f int) int64 { return m.NNZ() * int64(f) }
+
+// RowDegrees returns the stored-entry count of each row.
+func (m *CSR) RowDegrees() []int64 {
+	d := make([]int64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		d[i] = m.RowPtr[i+1] - m.RowPtr[i]
+	}
+	return d
+}
+
+// RowNormalize returns the random-walk propagation matrix D^{-1}(A + I):
+// each row of A plus a self loop divided by its degree. The result is
+// generally asymmetric — pair it with its Transpose via
+// core.Problem.ATranspose. This is the GraphSAGE-GCN ("mean")
+// aggregator's operator.
+func RowNormalize(a *CSR) *CSR {
+	if a.Rows != a.Cols {
+		panic("sparse: RowNormalize requires a square matrix")
+	}
+	n := a.Rows
+	coords := make([]Coord, 0, a.NNZ()+int64(n))
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{Row: int32(i), Col: int32(i), Val: 1})
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.ColIdx[p]) != i {
+				coords = append(coords, Coord{Row: int32(i), Col: a.ColIdx[p], Val: 1})
+			}
+		}
+	}
+	out := FromCoords(n, n, coords)
+	for i := 0; i < n; i++ {
+		deg := float32(out.RowPtr[i+1] - out.RowPtr[i])
+		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
+			out.Val[p] = 1 / deg
+		}
+	}
+	return out
+}
+
+// GCNNormalize returns the symmetric GCN propagation matrix
+// D^{-1/2} (A + I) D^{-1/2}, where D is the degree matrix of A + I. This is
+// the normalization used by Kipf & Welling GCN and reused from CAGNET in
+// the paper.
+func GCNNormalize(a *CSR) *CSR {
+	if a.Rows != a.Cols {
+		panic("sparse: GCNNormalize requires a square matrix")
+	}
+	n := a.Rows
+	coords := make([]Coord, 0, a.NNZ()+int64(n))
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{Row: int32(i), Col: int32(i), Val: 1})
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.ColIdx[p]) != i {
+				coords = append(coords, Coord{Row: int32(i), Col: a.ColIdx[p], Val: 1})
+			}
+		}
+	}
+	withSelf := FromCoords(n, n, coords)
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for p := withSelf.RowPtr[i]; p < withSelf.RowPtr[i+1]; p++ {
+			s += float64(withSelf.Val[p])
+		}
+		deg[i] = s
+	}
+	for i := 0; i < n; i++ {
+		di := 1.0 / math.Sqrt(deg[i])
+		for p := withSelf.RowPtr[i]; p < withSelf.RowPtr[i+1]; p++ {
+			dj := 1.0 / math.Sqrt(deg[withSelf.ColIdx[p]])
+			withSelf.Val[p] = float32(float64(withSelf.Val[p]) * di * dj)
+		}
+	}
+	return withSelf
+}

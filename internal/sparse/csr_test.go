@@ -1,0 +1,359 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gnnrdm/internal/tensor"
+)
+
+func randomCSR(rng *rand.Rand, r, c int, density float64) *CSR {
+	var coords []Coord
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				coords = append(coords, Coord{Row: int32(i), Col: int32(j), Val: float32(rng.NormFloat64())})
+			}
+		}
+	}
+	return FromCoords(r, c, coords)
+}
+
+func TestFromCoordsBasics(t *testing.T) {
+	m := FromCoords(3, 3, []Coord{
+		{0, 1, 2}, {2, 0, 5}, {0, 1, 3}, // duplicate (0,1) sums to 5
+		{1, 2, -1},
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ=%d want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("duplicate sum: At(0,1)=%v", m.At(0, 1))
+	}
+	if m.At(2, 0) != 5 || m.At(1, 2) != -1 || m.At(0, 0) != 0 {
+		t.Fatal("bad entries")
+	}
+}
+
+func TestFromCoordsSortedWithinRow(t *testing.T) {
+	m := FromCoords(1, 5, []Coord{{0, 4, 1}, {0, 1, 1}, {0, 3, 1}})
+	for p := int64(1); p < m.NNZ(); p++ {
+		if m.ColIdx[p-1] >= m.ColIdx[p] {
+			t.Fatalf("columns not sorted: %v", m.ColIdx)
+		}
+	}
+}
+
+func TestFromCoordsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromCoords(2, 2, []Coord{{2, 0, 1}})
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomCSR(rng, 20, 35, 0.1)
+	tr := m.Transpose()
+	if tr.Rows != 35 || tr.Cols != 20 || tr.NNZ() != m.NNZ() {
+		t.Fatalf("bad transpose shape/nnz")
+	}
+	md, td := m.ToDense(), tr.ToDense()
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 35; j++ {
+			if md.At(i, j) != td.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Columns within each row of the transpose must be sorted (the CSR invariant).
+	for i := 0; i < tr.Rows; i++ {
+		for p := tr.RowPtr[i] + 1; p < tr.RowPtr[i+1]; p++ {
+			if tr.ColIdx[p-1] >= tr.ColIdx[p] {
+				t.Fatal("transpose rows not sorted")
+			}
+		}
+	}
+}
+
+func TestRowPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomCSR(rng, 30, 10, 0.2)
+	p := m.RowPanel(10, 25)
+	if p.Rows != 15 || p.Cols != 10 {
+		t.Fatal("bad panel shape")
+	}
+	pd, md := p.ToDense(), m.ToDense()
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 10; j++ {
+			if pd.At(i, j) != md.At(i+10, j) {
+				t.Fatalf("panel mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	empty := m.RowPanel(5, 5)
+	if empty.Rows != 0 || empty.NNZ() != 0 {
+		t.Fatal("empty panel not empty")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := FromCoords(4, 4, []Coord{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {1, 3, 5}})
+	sub := m.SubMatrix([]int32{1, 3}, []int32{1, 3})
+	// Row 1 -> new row 0; entries at cols {2:2, 3:5}; only col 3 kept -> new col 1.
+	if sub.Rows != 2 || sub.Cols != 2 {
+		t.Fatal("bad sub shape")
+	}
+	if sub.At(0, 1) != 5 {
+		t.Fatalf("sub At(0,1)=%v want 5", sub.At(0, 1))
+	}
+	if sub.NNZ() != 1 {
+		t.Fatalf("sub NNZ=%d want 1", sub.NNZ())
+	}
+}
+
+func TestSpMMAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 50, 40, 0.08)
+	in := tensor.NewDense(40, 16)
+	in.Randomize(rng, 1)
+	got := m.SpMM(in)
+	want := tensor.MatMul(m.ToDense(), in)
+	if tensor.MaxAbsDiff(got, want) > 1e-4 {
+		t.Fatalf("SpMM diff %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestSpMMIntoOverwrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomCSR(rng, 10, 10, 0.3)
+	in := tensor.NewDense(10, 4)
+	in.Randomize(rng, 1)
+	out := tensor.NewDense(10, 4)
+	out.Fill(99)
+	m.SpMMInto(in, out)
+	want := m.SpMM(in)
+	if tensor.MaxAbsDiff(out, want) != 0 {
+		t.Fatal("SpMMInto must overwrite stale contents")
+	}
+}
+
+func TestMaskedSpMM(t *testing.T) {
+	m := FromCoords(2, 3, []Coord{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	in := tensor.FromRowMajor(3, 1, []float32{10, 20, 30})
+	// Row 0 keeps only column 2; row 1's empty (non-nil) mask keeps nothing.
+	out := m.MaskedSpMM(in, [][]int32{{2}, {}})
+	if out.At(0, 0) != 60 {
+		t.Fatalf("masked row0=%v want 60", out.At(0, 0))
+	}
+	if out.At(1, 0) != 0 {
+		t.Fatalf("masked row1=%v want 0 (empty mask drops all)", out.At(1, 0))
+	}
+	// nil mask row keeps everything.
+	out2 := m.MaskedSpMM(in, [][]int32{nil, nil})
+	want := m.SpMM(in)
+	if tensor.MaxAbsDiff(out2, want) != 0 {
+		t.Fatal("nil mask rows must keep all entries")
+	}
+	// nil mask entirely equals plain SpMM.
+	out3 := m.MaskedSpMM(in, nil)
+	if tensor.MaxAbsDiff(out3, want) != 0 {
+		t.Fatal("nil mask must equal SpMM")
+	}
+}
+
+func TestGCNNormalize(t *testing.T) {
+	// Path graph 0-1-2.
+	a := FromCoords(3, 3, []Coord{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}})
+	norm := GCNNormalize(a)
+	// A+I degrees: d0=2, d1=3, d2=2.
+	want00 := 1.0 / 2.0
+	if math.Abs(float64(norm.At(0, 0))-want00) > 1e-6 {
+		t.Fatalf("norm(0,0)=%v want %v", norm.At(0, 0), want00)
+	}
+	want01 := 1.0 / math.Sqrt(6)
+	if math.Abs(float64(norm.At(0, 1))-want01) > 1e-6 {
+		t.Fatalf("norm(0,1)=%v want %v", norm.At(0, 1), want01)
+	}
+	// Symmetric.
+	if norm.At(0, 1) != norm.At(1, 0) || norm.At(1, 2) != norm.At(2, 1) {
+		t.Fatal("normalized matrix must be symmetric")
+	}
+}
+
+func TestGCNNormalizeRowSumsProperty(t *testing.T) {
+	// Property: for a regular graph, row sums of the normalized matrix are 1.
+	// Build a ring (2-regular); with self loops all degrees are 3.
+	n := 12
+	var coords []Coord
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{int32(i), int32((i + 1) % n), 1})
+		coords = append(coords, Coord{int32((i + 1) % n), int32(i), 1})
+	}
+	norm := GCNNormalize(FromCoords(n, n, coords))
+	for i := 0; i < n; i++ {
+		var s float64
+		for p := norm.RowPtr[i]; p < norm.RowPtr[i+1]; p++ {
+			s += float64(norm.Val[p])
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sum %v want 1", i, s)
+		}
+	}
+}
+
+// Property: SpMM distributes over dense addition: M(X+Y) == MX + MY.
+func TestSpMMLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, k := 1+rng.Intn(15), 1+rng.Intn(15), 1+rng.Intn(8)
+		m := randomCSR(rng, r, c, 0.3)
+		x := tensor.NewDense(c, k)
+		y := tensor.NewDense(c, k)
+		x.Randomize(rng, 1)
+		y.Randomize(rng, 1)
+		sum := x.Clone()
+		sum.Add(y)
+		left := m.SpMM(sum)
+		right := m.SpMM(x)
+		right.Add(m.SpMM(y))
+		return tensor.MaxAbsDiff(left, right) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (Mᵀ)ᵀ == M exactly.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(25), 1+rng.Intn(25)
+		m := randomCSR(rng, r, c, 0.2)
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+			return false
+		}
+		return tensor.MaxAbsDiff(tt.ToDense(), m.ToDense()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: row-panel splits of M partition its rows: stacking panels
+// reproduces the full SpMM result.
+func TestRowPanelPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, k := 2+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(6)
+		m := randomCSR(rng, r, c, 0.25)
+		in := tensor.NewDense(c, k)
+		in.Randomize(rng, 1)
+		cut := 1 + rng.Intn(r-1)
+		top := m.RowPanel(0, cut).SpMM(in)
+		bot := m.RowPanel(cut, r).SpMM(in)
+		full := m.SpMM(in)
+		return tensor.MaxAbsDiff(tensor.ConcatRows(top, bot), full) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountsAndFootprint(t *testing.T) {
+	m := FromCoords(3, 3, []Coord{{0, 0, 1}, {1, 1, 1}, {1, 2, 1}})
+	if m.SpMMFLOPs(10) != 30 {
+		t.Fatalf("SpMMFLOPs=%d", m.SpMMFLOPs(10))
+	}
+	d := m.RowDegrees()
+	if d[0] != 1 || d[1] != 2 || d[2] != 0 {
+		t.Fatalf("degrees=%v", d)
+	}
+	if m.Bytes() <= 0 {
+		t.Fatal("Bytes must be positive")
+	}
+}
+
+func TestParallelRowRangesCoverage(t *testing.T) {
+	for _, rows := range []int{0, 1, 3, 100, 1001} {
+		seen := make([]bool, rows)
+		ParallelRowRanges(rows, func(r0, r1 int) {
+			for i := r0; i < r1; i++ {
+				seen[i] = true // disjoint ranges: no race
+			}
+		})
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("rows=%d: index %d not covered", rows, i)
+			}
+		}
+	}
+}
+
+func TestColPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomCSR(rng, 20, 30, 0.2)
+	p := m.ColPanel(7, 19)
+	if p.Rows != 20 || p.Cols != 12 {
+		t.Fatalf("bad panel shape %dx%d", p.Rows, p.Cols)
+	}
+	pd, md := p.ToDense(), m.ToDense()
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 12; j++ {
+			if pd.At(i, j) != md.At(i, j+7) {
+				t.Fatalf("col panel mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if e := m.ColPanel(5, 5); e.NNZ() != 0 || e.Cols != 0 {
+		t.Fatal("empty col panel")
+	}
+}
+
+// Property: column panels partition the columns: summing panel SpMMs over
+// matching input slices reproduces the full product.
+func TestColPanelPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, k := 2+rng.Intn(15), 2+rng.Intn(15), 1+rng.Intn(5)
+		m := randomCSR(rng, r, c, 0.3)
+		in := tensor.NewDense(c, k)
+		in.Randomize(rng, 1)
+		cut := 1 + rng.Intn(c-1)
+		left := m.ColPanel(0, cut).SpMM(in.RowSlice(0, cut))
+		right := m.ColPanel(cut, c).SpMM(in.RowSlice(cut, c))
+		left.Add(right)
+		return tensor.MaxAbsDiff(left, m.SpMM(in)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowNormalize(t *testing.T) {
+	a := FromCoords(3, 3, []Coord{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}})
+	rw := RowNormalize(a)
+	// Rows sum to exactly 1.
+	for i := 0; i < 3; i++ {
+		var s float64
+		for p := rw.RowPtr[i]; p < rw.RowPtr[i+1]; p++ {
+			s += float64(rw.Val[p])
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+	// Row 1 has degree 3 (self + 2 neighbors) -> entries 1/3.
+	if math.Abs(float64(rw.At(1, 1))-1.0/3) > 1e-6 {
+		t.Fatalf("At(1,1)=%v", rw.At(1, 1))
+	}
+	// Asymmetric: row 0 has 2 entries (1/2), row 1 has 3 (1/3).
+	if rw.At(0, 1) == rw.At(1, 0) {
+		t.Fatal("row normalization should be asymmetric here")
+	}
+}

@@ -1,0 +1,37 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelRowRanges runs fn over [0, rows) split into contiguous disjoint
+// chunks, one per worker, and waits for completion. Exported so sibling
+// packages can reuse the same deterministic partitioning for sparse-shaped
+// loops.
+func ParallelRowRanges(rows int, fn func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		if rows > 0 {
+			fn(0, rows)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

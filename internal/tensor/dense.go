@@ -1,0 +1,288 @@
+// Package tensor provides dense row-major float32 matrices and the
+// parallel matrix kernels (GEMM and friends) used throughout the GNN-RDM
+// reproduction. All kernels are deterministic: parallel partitioning is
+// by disjoint row blocks, so floating-point summation order is fixed
+// regardless of GOMAXPROCS.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a dense matrix stored in row-major order. The zero value is an
+// empty 0x0 matrix.
+type Dense struct {
+	Rows, Cols int
+	// Data holds Rows*Cols elements; element (i,j) is Data[i*Cols+j].
+	Data []float32
+}
+
+// NewDense allocates a zeroed r x c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// FromRowMajor wraps existing row-major data (not copied) as a Dense.
+func FromRowMajor(r, c int, data []float32) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to zero.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Bytes reports the memory footprint of the element data in bytes.
+func (m *Dense) Bytes() int64 { return int64(len(m.Data)) * 4 }
+
+// Randomize fills m with uniform values in [-scale, scale) drawn from rng.
+func (m *Dense) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = float32((rng.Float64()*2 - 1) * scale)
+	}
+}
+
+// GlorotInit fills m with the Glorot/Xavier uniform initialization for a
+// weight matrix of shape (fanIn, fanOut) = (Rows, Cols).
+func (m *Dense) GlorotInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	m.Randomize(rng, limit)
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	// Blocked transpose for cache friendliness.
+	const b = 32
+	for ii := 0; ii < m.Rows; ii += b {
+		for jj := 0; jj < m.Cols; jj += b {
+			iMax := min(ii+b, m.Rows)
+			jMax := min(jj+b, m.Cols)
+			for i := ii; i < iMax; i++ {
+				row := m.Data[i*m.Cols:]
+				for j := jj; j < jMax; j++ {
+					out.Data[j*m.Rows+i] = row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RowSlice returns a copy of rows [r0, r1).
+func (m *Dense) RowSlice(r0, r1 int) *Dense {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) out of range for %d rows", r0, r1, m.Rows))
+	}
+	out := NewDense(r1-r0, m.Cols)
+	copy(out.Data, m.Data[r0*m.Cols:r1*m.Cols])
+	return out
+}
+
+// ColSlice returns a copy of columns [c0, c1).
+func (m *Dense) ColSlice(c0, c1 int) *Dense {
+	if c0 < 0 || c1 > m.Cols || c0 > c1 {
+		panic(fmt.Sprintf("tensor: ColSlice [%d,%d) out of range for %d cols", c0, c1, m.Cols))
+	}
+	out := NewDense(m.Rows, c1-c0)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Cols:(i+1)*out.Cols], m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return out
+}
+
+// SetRowSlice copies src into rows [r0, r0+src.Rows) of m.
+func (m *Dense) SetRowSlice(r0 int, src *Dense) {
+	if src.Cols != m.Cols || r0 < 0 || r0+src.Rows > m.Rows {
+		panic("tensor: SetRowSlice shape mismatch")
+	}
+	copy(m.Data[r0*m.Cols:], src.Data)
+}
+
+// SetColSlice copies src into columns [c0, c0+src.Cols) of m.
+func (m *Dense) SetColSlice(c0 int, src *Dense) {
+	if src.Rows != m.Rows || c0 < 0 || c0+src.Cols > m.Cols {
+		panic("tensor: SetColSlice shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Cols+c0:i*m.Cols+c0+src.Cols], src.Data[i*src.Cols:(i+1)*src.Cols])
+	}
+}
+
+// ConcatRows stacks the given matrices vertically. All must share Cols.
+func ConcatRows(parts ...*Dense) *Dense {
+	if len(parts) == 0 {
+		return NewDense(0, 0)
+	}
+	cols := parts[0].Cols
+	rows := 0
+	for _, p := range parts {
+		if p.Cols != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		rows += p.Rows
+	}
+	out := NewDense(rows, cols)
+	at := 0
+	for _, p := range parts {
+		copy(out.Data[at*cols:], p.Data)
+		at += p.Rows
+	}
+	return out
+}
+
+// ConcatCols stacks the given matrices horizontally. All must share Rows.
+func ConcatCols(parts ...*Dense) *Dense {
+	if len(parts) == 0 {
+		return NewDense(0, 0)
+	}
+	rows := parts[0].Rows
+	cols := 0
+	for _, p := range parts {
+		if p.Rows != rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		cols += p.Cols
+	}
+	out := NewDense(rows, cols)
+	at := 0
+	for _, p := range parts {
+		out.SetColSlice(at, p)
+		at += p.Cols
+	}
+	return out
+}
+
+// Add computes m += other element-wise.
+func (m *Dense) Add(other *Dense) {
+	checkSameShape("Add", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes m -= other element-wise.
+func (m *Dense) Sub(other *Dense) {
+	checkSameShape("Sub", m, other)
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Dense) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Hadamard computes m *= other element-wise.
+func (m *Dense) Hadamard(other *Dense) {
+	checkSameShape("Hadamard", m, other)
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// ReLU applies max(0, x) in place and returns m.
+func (m *Dense) ReLU() *Dense {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+// ReLUGrad returns the derivative mask of ReLU evaluated at pre-activation
+// z: 1 where z > 0, else 0.
+func ReLUGrad(z *Dense) *Dense {
+	out := NewDense(z.Rows, z.Cols)
+	for i, v := range z.Data {
+		if v > 0 {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference.
+func MaxAbsDiff(a, b *Dense) float64 {
+	checkSameShape("MaxAbsDiff", a, b)
+	maxd := 0.0
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// AlmostEqual reports whether all elements differ by at most tol.
+func AlmostEqual(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+func (m *Dense) String() string {
+	return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+}
+
+func checkSameShape(op string, a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,381 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %v len=%d", m, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("not zeroed")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v", m.At(1, 2))
+	}
+	r := m.Row(1)
+	if r[2] != 7 {
+		t.Fatalf("Row view wrong: %v", r)
+	}
+	r[0] = 5 // view aliases storage
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must alias underlying data")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewDense(37, 53)
+	m.Randomize(rng, 1)
+	tr := m.Transpose()
+	if tr.Rows != 53 || tr.Cols != 37 {
+		t.Fatalf("bad transpose shape %v", tr)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	tt := tr.Transpose()
+	if !AlmostEqual(m, tt, 0) {
+		t.Fatal("double transpose differs")
+	}
+}
+
+func TestRowColSlice(t *testing.T) {
+	m := NewDense(6, 4)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	rs := m.RowSlice(2, 5)
+	if rs.Rows != 3 || rs.At(0, 0) != m.At(2, 0) {
+		t.Fatalf("RowSlice wrong: %v", rs.Data)
+	}
+	cs := m.ColSlice(1, 3)
+	if cs.Cols != 2 || cs.At(4, 1) != m.At(4, 2) {
+		t.Fatalf("ColSlice wrong: %v", cs.Data)
+	}
+}
+
+func TestConcatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewDense(10, 7)
+	m.Randomize(rng, 1)
+	a, b := m.RowSlice(0, 4), m.RowSlice(4, 10)
+	if !AlmostEqual(ConcatRows(a, b), m, 0) {
+		t.Fatal("ConcatRows round trip failed")
+	}
+	c, d := m.ColSlice(0, 3), m.ColSlice(3, 7)
+	if !AlmostEqual(ConcatCols(c, d), m, 0) {
+		t.Fatal("ConcatCols round trip failed")
+	}
+}
+
+func TestSetRowColSlice(t *testing.T) {
+	m := NewDense(5, 5)
+	part := NewDense(2, 5)
+	part.Fill(3)
+	m.SetRowSlice(2, part)
+	if m.At(2, 0) != 3 || m.At(3, 4) != 3 || m.At(1, 0) != 0 || m.At(4, 0) != 0 {
+		t.Fatal("SetRowSlice wrong region")
+	}
+	cp := NewDense(5, 2)
+	cp.Fill(4)
+	m.SetColSlice(1, cp)
+	if m.At(0, 1) != 4 || m.At(4, 2) != 4 || m.At(0, 0) != 0 || m.At(0, 3) != 0 {
+		t.Fatal("SetColSlice wrong region")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRowMajor(1, 4, []float32{1, -2, 3, -4})
+	b := FromRowMajor(1, 4, []float32{2, 2, 2, 2})
+	c := a.Clone()
+	c.Add(b)
+	if c.Data[0] != 3 || c.Data[1] != 0 {
+		t.Fatalf("Add wrong: %v", c.Data)
+	}
+	c.Sub(b)
+	if !AlmostEqual(c, a, 0) {
+		t.Fatal("Sub did not undo Add")
+	}
+	h := a.Clone()
+	h.Hadamard(b)
+	if h.Data[3] != -8 {
+		t.Fatalf("Hadamard wrong: %v", h.Data)
+	}
+	s := a.Clone()
+	s.Scale(-1)
+	if s.Data[0] != -1 || s.Data[1] != 2 {
+		t.Fatalf("Scale wrong: %v", s.Data)
+	}
+}
+
+func TestReLUAndGrad(t *testing.T) {
+	z := FromRowMajor(1, 4, []float32{-1, 0, 2, -3})
+	g := ReLUGrad(z)
+	want := []float32{0, 0, 1, 0}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("ReLUGrad[%d]=%v want %v", i, g.Data[i], want[i])
+		}
+	}
+	z.ReLU()
+	if z.Data[0] != 0 || z.Data[2] != 2 {
+		t.Fatalf("ReLU wrong: %v", z.Data)
+	}
+}
+
+func TestGlorotInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewDense(100, 50)
+	w.GlorotInit(rng)
+	limit := math.Sqrt(6.0 / 150.0)
+	for _, v := range w.Data {
+		if math.Abs(float64(v)) > limit {
+			t.Fatalf("value %v exceeds glorot limit %v", v, limit)
+		}
+	}
+	if w.FrobeniusNorm() == 0 {
+		t.Fatal("glorot produced all zeros")
+	}
+}
+
+func refMatMul(a, b *Dense) *Dense {
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			c.Set(i, j, float32(s))
+		}
+	}
+	return c
+}
+
+func TestMatMulAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 32, 48}, {17, 1, 9}, {5, 128, 3}} {
+		a := NewDense(dims[0], dims[1])
+		b := NewDense(dims[1], dims[2])
+		a.Randomize(rng, 1)
+		b.Randomize(rng, 1)
+		got := MatMul(a, b)
+		want := refMatMul(a, b)
+		if MaxAbsDiff(got, want) > 1e-4 {
+			t.Fatalf("dims %v: diff %v", dims, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewDense(8, 6)
+	b := NewDense(6, 10)
+	c := NewDense(8, 10)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	c.Randomize(rng, 1)
+	c0 := c.Clone()
+	Gemm(2, a, b, 0.5, c)
+	want := refMatMul(a, b)
+	for i := range want.Data {
+		exp := 2*want.Data[i] + 0.5*c0.Data[i]
+		if math.Abs(float64(exp-c.Data[i])) > 1e-4 {
+			t.Fatalf("alpha/beta mismatch at %d: %v vs %v", i, c.Data[i], exp)
+		}
+	}
+}
+
+func TestMatMulTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewDense(40, 13)
+	b := NewDense(40, 21)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	got := MatMulTA(a, b)
+	want := refMatMul(a.Transpose(), b)
+	if MaxAbsDiff(got, want) > 1e-4 {
+		t.Fatalf("MatMulTA diff %v", MaxAbsDiff(got, want))
+	}
+}
+
+func TestMatMulTB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewDense(12, 9)
+	b := NewDense(15, 9)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	got := MatMulTB(a, b)
+	want := refMatMul(a, b.Transpose())
+	if MaxAbsDiff(got, want) > 1e-4 {
+		t.Fatalf("MatMulTB diff %v", MaxAbsDiff(got, want))
+	}
+}
+
+// Property: (AB)C == A(BC) within fp tolerance (associativity, the algebraic
+// fact RDM's operation-reordering relies on).
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n, p := 2+rng.Intn(12), 2+rng.Intn(12), 2+rng.Intn(12), 2+rng.Intn(12)
+		a, b, c := NewDense(m, k), NewDense(k, n), NewDense(n, p)
+		a.Randomize(rng, 1)
+		b.Randomize(rng, 1)
+		c.Randomize(rng, 1)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return MaxAbsDiff(left, right) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: row/col slicing then concatenation is the identity.
+func TestSliceConcatProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := NewDense(r, c)
+		m.Randomize(rng, 1)
+		cut := rng.Intn(r + 1)
+		if !AlmostEqual(ConcatRows(m.RowSlice(0, cut), m.RowSlice(cut, r)), m, 0) {
+			return false
+		}
+		ccut := rng.Intn(c + 1)
+		return AlmostEqual(ConcatCols(m.ColSlice(0, ccut), m.ColSlice(ccut, c)), m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	a := NewDense(2, 3)
+	b := NewDense(4, 5)
+	expectPanic("MatMul", func() { MatMul(a, b) })
+	expectPanic("Add", func() { a.Add(b) })
+	expectPanic("RowSlice", func() { a.RowSlice(0, 3) })
+	expectPanic("ColSlice", func() { a.ColSlice(2, 1) })
+	expectPanic("FromRowMajor", func() { FromRowMajor(2, 2, make([]float32, 3)) })
+}
+
+func TestMaxAbsDiffAndNorm(t *testing.T) {
+	a := FromRowMajor(1, 3, []float32{3, 0, 4})
+	b := FromRowMajor(1, 3, []float32{3, 1, 4})
+	if MaxAbsDiff(a, b) != 1 {
+		t.Fatalf("MaxAbsDiff=%v", MaxAbsDiff(a, b))
+	}
+	if math.Abs(a.FrobeniusNorm()-5) > 1e-9 {
+		t.Fatalf("norm=%v", a.FrobeniusNorm())
+	}
+	if AlmostEqual(a, NewDense(2, 2), 1) {
+		t.Fatal("AlmostEqual must reject shape mismatch")
+	}
+}
+
+func TestZeroFillCopyBytesString(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Fill(5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+	src := NewDense(2, 3)
+	src.Fill(7)
+	m.CopyFrom(src)
+	if m.At(0, 0) != 7 {
+		t.Fatal("CopyFrom failed")
+	}
+	if m.Bytes() != 24 {
+		t.Fatalf("Bytes=%d", m.Bytes())
+	}
+	if m.String() != "Dense(2x3)" {
+		t.Fatalf("String=%q", m.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom shape mismatch must panic")
+		}
+	}()
+	m.CopyFrom(NewDense(3, 2))
+}
+
+func TestGemmFLOPs(t *testing.T) {
+	if GemmFLOPs(3, 4, 5) != 60 {
+		t.Fatal("GemmFLOPs")
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dims must panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestParallelRowsSmall(t *testing.T) {
+	// rows < workers path and zero-rows path.
+	got := 0
+	parallelRows(1, func(a, b int) { got += b - a })
+	if got != 1 {
+		t.Fatal("single row not covered")
+	}
+	parallelRows(0, func(a, b int) { t.Fatal("must not call fn for zero rows") })
+}
+
+func TestSetSlicePanics(t *testing.T) {
+	m := NewDense(4, 4)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("SetRowSlice overflow", func() { m.SetRowSlice(3, NewDense(2, 4)) })
+	expectPanic("SetColSlice overflow", func() { m.SetColSlice(3, NewDense(4, 2)) })
+}

@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks, one per
+// worker. Chunks are disjoint so results are deterministic.
+func parallelRows(rows int, fn func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		if rows > 0 {
+			fn(0, rows)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := min(r0+chunk, rows)
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMul returns C = A * B.
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	Gemm(1, a, b, 0, c)
+	return c
+}
+
+// Gemm computes C = alpha*A*B + beta*C in place.
+//
+// The kernel iterates i-k-j with the inner j loop over contiguous rows of B
+// and C, which vectorizes well and keeps a deterministic summation order.
+func Gemm(alpha float32, a, b *Dense, beta float32, c *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Gemm shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := b.Cols
+	parallelRows(a.Rows, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			if beta == 0 {
+				for j := range ci {
+					ci[j] = 0
+				}
+			} else if beta != 1 {
+				for j := range ci {
+					ci[j] *= beta
+				}
+			}
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				bk := b.Data[k*n : (k+1)*n]
+				for j, bv := range bk {
+					ci[j] += s * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTA returns C = Aᵀ * B without materializing Aᵀ.
+//
+// A is m x k, B is m x n, C is k x n. The parallel split is over rows of C
+// (columns of A); each worker scans A and B once, accumulating only its own
+// output rows, so the result is deterministic.
+func MatMulTA(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTA outer mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Cols, b.Cols)
+	n := b.Cols
+	parallelRows(a.Cols, func(k0, k1 int) {
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			bi := b.Data[i*n : (i+1)*n]
+			for k := k0; k < k1; k++ {
+				av := ai[k]
+				if av == 0 {
+					continue
+				}
+				ck := c.Data[k*n : (k+1)*n]
+				for j, bv := range bi {
+					ck[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTB returns C = A * Bᵀ without materializing Bᵀ.
+//
+// A is m x k, B is n x k, C is m x n.
+func MatMulTB(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTB inner mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Rows)
+	k := a.Cols
+	parallelRows(a.Rows, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float32
+				for t, av := range ai {
+					s += av * bj[t]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// GemmFLOPs returns the fused multiply-add count of an (m x k)*(k x n) GEMM.
+func GemmFLOPs(m, k, n int) int64 { return int64(m) * int64(k) * int64(n) }
