@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,26 +21,36 @@ import (
 )
 
 func main() {
-	dimsFlag := flag.String("dims", "128,128,40", "layer widths f_0,...,f_L")
-	p := flag.Int("p", 8, "device count")
-	ra := flag.Int("ra", 0, "adjacency replication factor (0 = P, full replication)")
-	n := flag.Int64("n", 1_000_000, "vertex count (scales communication)")
-	nnz := flag.Int64("nnz", 20_000_000, "adjacency nonzeros (scales sparse ops)")
-	noMemo := flag.Bool("nomemo", false, "disable forward-intermediate memoization (Table III N.M.)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against explicit streams and returns the exit
+// code, so tests can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paretoexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dimsFlag := fs.String("dims", "128,128,40", "layer widths f_0,...,f_L")
+	p := fs.Int("p", 8, "device count")
+	ra := fs.Int("ra", 0, "adjacency replication factor (0 = P, full replication)")
+	n := fs.Int64("n", 1_000_000, "vertex count (scales communication)")
+	nnz := fs.Int64("nnz", 20_000_000, "adjacency nonzeros (scales sparse ops)")
+	noMemo := fs.Bool("nomemo", false, "disable forward-intermediate memoization (Table III N.M.)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var dims []int
 	for _, s := range strings.Split(*dimsFlag, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || d < 1 {
-			fmt.Fprintf(os.Stderr, "paretoexplore: bad -dims entry %q\n", s)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "paretoexplore: bad -dims entry %q\n", s)
+			return 2
 		}
 		dims = append(dims, d)
 	}
 	if len(dims) < 2 {
-		fmt.Fprintln(os.Stderr, "paretoexplore: need at least 2 dims (one layer)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "paretoexplore: need at least 2 dims (one layer)")
+		return 2
 	}
 	if *ra == 0 {
 		*ra = *p
@@ -52,10 +63,10 @@ func main() {
 		pareto[id] = true
 	}
 
-	fmt.Printf("Design space: L=%d layers, dims=%v, P=%d, RA=%d, N=%d, nnz=%d\n",
+	fmt.Fprintf(stdout, "Design space: L=%d layers, dims=%v, P=%d, RA=%d, N=%d, nnz=%d\n",
 		layers, dims, *p, *ra, *n, *nnz)
-	fmt.Printf("Comm in units of (P-1)/P*N elements; sparse ops in units of nnz FMAs.\n\n")
-	fmt.Printf("%4s  %-24s %14s %14s %14s %14s  %s\n",
+	fmt.Fprintf(stdout, "Comm in units of (P-1)/P*N elements; sparse ops in units of nnz FMAs.\n\n")
+	fmt.Fprintf(stdout, "%4s  %-24s %14s %14s %14s %14s  %s\n",
 		"ID", "ordering", "comm(units)", "sparse(units)", "comm(MB)", "sparse(GFMA)", "pareto")
 	for id, c := range costs {
 		cfg := costmodel.ConfigFromID(id, layers)
@@ -63,9 +74,10 @@ func main() {
 		if pareto[id] {
 			mark = "  *"
 		}
-		fmt.Printf("%4d  %-24s %14.1f %14.1f %14.1f %14.2f%s\n",
+		fmt.Fprintf(stdout, "%4d  %-24s %14.1f %14.1f %14.1f %14.2f%s\n",
 			id, cfg.String(), c.CommUnits, c.SparseUnits,
 			float64(c.CommVolumeBytes())/(1<<20), c.SparseOps/1e9, mark)
 	}
-	fmt.Printf("\nPareto-optimal candidates: %v\n", costmodel.Pareto(costs))
+	fmt.Fprintf(stdout, "\nPareto-optimal candidates: %v\n", costmodel.Pareto(costs))
+	return 0
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDesignSpace(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dims", "8,8,4", "-p", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Design space: L=2 layers") {
+		t.Errorf("stdout missing header: %q", s)
+	}
+	if !strings.Contains(s, "Pareto-optimal candidates:") {
+		t.Errorf("stdout missing pareto list: %q", s)
+	}
+	// 2 layers → 2^(2·2) = 16 orderings.
+	if n := strings.Count(s, "fwd["); n != 16 {
+		t.Errorf("listed %d orderings, want 16", n)
+	}
+}
+
+func TestBadDims(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dims", "8,x,4"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad -dims") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestTooFewDims(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dims", "8"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -11,63 +11,95 @@
 // Example:
 //
 //	rdmbench -scale 128 -gpus 2,4,8 fig8
+//	rdmbench -scale 256 -gpus 2 -datasets OGB-Arxiv fig12 -trace fig12.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"gnnrdm/internal/bench"
+	"gnnrdm/internal/trace"
 )
 
 func main() {
-	scale := flag.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes; large values keep pure-Go runtimes sane)")
-	gpus := flag.String("gpus", "2,4,8", "comma-separated device counts")
-	epochs := flag.Int("epochs", 2, "epochs per measured run (first is warm-up)")
-	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
-	saintEpochs := flag.Int("saint-epochs", 15, "training epochs for fig13 curves")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rdmbench [flags] <experiment>\n\nexperiments:\n")
-		fmt.Fprintf(os.Stderr, "  fig8 fig9 fig10 fig11  training throughput (2/3 layers x 128/256 hidden)\n")
-		fmt.Fprintf(os.Stderr, "  fig12                  epoch time breakdown: compute vs communication\n")
-		fmt.Fprintf(os.Stderr, "  fig13                  accuracy vs time: GCN-RDM / SAINT-RDM / SAINT-DDP\n")
-		fmt.Fprintf(os.Stderr, "  table6                 pareto-optimal configuration candidates\n")
-		fmt.Fprintf(os.Stderr, "  table7                 geomean speedups over CAGNET and DGCL\n")
-		fmt.Fprintf(os.Stderr, "  table8                 measured pareto vs non-pareto epoch times\n")
-		fmt.Fprintf(os.Stderr, "  table9                 CAGNET/RDM epoch and comm time ratios\n")
-		fmt.Fprintf(os.Stderr, "  table10                per-GPU space model (paper-scale)\n")
-		fmt.Fprintf(os.Stderr, "  memo ra volume         ablations (memoization, R_A sweep, volume scaling)\n")
-		fmt.Fprintf(os.Stderr, "  hwablate predict spmm  interconnect sensitivity; model validation; SpMM kernels\n")
-		fmt.Fprintf(os.Stderr, "  all                    everything above\n\nflags:\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against explicit streams and returns the exit
+// code, so tests can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes; large values keep pure-Go runtimes sane)")
+	gpus := fs.String("gpus", "2,4,8", "comma-separated device counts")
+	epochs := fs.Int("epochs", 2, "epochs per measured run (first is warm-up)")
+	datasets := fs.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	saintEpochs := fs.Int("saint-epochs", 15, "training epochs for fig13 curves")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (open in Perfetto or chrome://tracing)")
+	traceSummary := fs.Bool("trace-summary", false, "with -trace, also print per-op counters and sim-time totals")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rdmbench [flags] <experiment>\n\nexperiments:\n")
+		fmt.Fprintf(stderr, "  fig8 fig9 fig10 fig11  training throughput (2/3 layers x 128/256 hidden)\n")
+		fmt.Fprintf(stderr, "  fig12                  epoch time breakdown: compute vs communication\n")
+		fmt.Fprintf(stderr, "  fig13                  accuracy vs time: GCN-RDM / SAINT-RDM / SAINT-DDP\n")
+		fmt.Fprintf(stderr, "  table6                 pareto-optimal configuration candidates\n")
+		fmt.Fprintf(stderr, "  table7                 geomean speedups over CAGNET and DGCL\n")
+		fmt.Fprintf(stderr, "  table8                 measured pareto vs non-pareto epoch times\n")
+		fmt.Fprintf(stderr, "  table9                 CAGNET/RDM epoch and comm time ratios\n")
+		fmt.Fprintf(stderr, "  table10                per-GPU space model (paper-scale)\n")
+		fmt.Fprintf(stderr, "  memo ra volume         ablations (memoization, R_A sweep, volume scaling)\n")
+		fmt.Fprintf(stderr, "  hwablate predict spmm  interconnect sensitivity; model validation; SpMM kernels\n")
+		fmt.Fprintf(stderr, "  all                    everything above\n\nflags:\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Accept flags after the experiment name too (flag parsing stops at
+	// the first positional): pull one positional, re-parse the rest.
+	experiment := ""
+	for fs.NArg() > 0 {
+		if experiment != "" {
+			fs.Usage()
+			return 2
+		}
+		experiment = fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return 2
+		}
+	}
+	if experiment == "" {
+		fs.Usage()
+		return 2
 	}
 
 	cfg := bench.Config{
 		Scale:  *scale,
 		Epochs: *epochs,
-		Out:    os.Stdout,
+		Out:    stdout,
 	}
 	for _, s := range strings.Split(*gpus, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || p < 1 {
-			fatal(fmt.Errorf("bad -gpus entry %q", s))
+			fmt.Fprintf(stderr, "rdmbench: bad -gpus entry %q\n", s)
+			return 1
 		}
 		cfg.GPUs = append(cfg.GPUs, p)
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
+	if *traceOut != "" {
+		cfg.Tracer = trace.NewTracer(0)
+	}
 
-	var run func(name string)
-	run = func(name string) {
+	var runExp func(name string) error
+	runExp = func(name string) error {
 		var err error
 		switch name {
 		case "fig8":
@@ -108,21 +140,43 @@ func main() {
 			for _, e := range []string{"table6", "table10", "fig8", "fig9", "fig10", "fig11",
 				"fig12", "table7", "table8", "table9", "memo", "ra", "volume", "hwablate",
 				"predict", "spmm", "fig13"} {
-				fmt.Println("==== " + e + " ====")
-				run(e)
-				fmt.Println()
+				fmt.Fprintln(stdout, "==== "+e+" ====")
+				if err := runExp(e); err != nil {
+					return err
+				}
+				fmt.Fprintln(stdout)
 			}
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}
-		if err != nil {
-			fatal(err)
+		return err
+	}
+	if err := runExp(experiment); err != nil {
+		fmt.Fprintln(stderr, "rdmbench:", err)
+		return 1
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, cfg.Tracer); err != nil {
+			fmt.Fprintln(stderr, "rdmbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s (open in Perfetto / chrome://tracing)\n", *traceOut)
+		if *traceSummary {
+			trace.Summarize(cfg.Tracer).WriteText(stdout)
 		}
 	}
-	run(flag.Arg(0))
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rdmbench:", err)
-	os.Exit(1)
+func writeTrace(path string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

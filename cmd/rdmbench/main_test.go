@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage: rdmbench") {
+		t.Errorf("usage not printed: %q", errb.String())
+	}
+}
+
+func TestBadGPUs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-gpus", "two", "fig12"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "bad -gpus") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"fig99"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+// TestFig12Trace drives the acceptance path end to end: a tiny fig12 run
+// with flags after the experiment name, emitting a Chrome trace that
+// must be valid JSON and byte-identical across two runs.
+func TestFig12Trace(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) {
+		t.Helper()
+		var out, errb bytes.Buffer
+		args := []string{"-scale", "8192", "-gpus", "2", "-datasets", "OGB-Arxiv",
+			"fig12", "-trace", path, "-trace-summary"}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+		}
+		if !strings.Contains(out.String(), "trace written to") ||
+			!strings.Contains(out.String(), "=== trace session") {
+			t.Errorf("stdout missing trace report: %q", out.String())
+		}
+	}
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	runOnce(p1)
+	runOnce(p2)
+
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var complete, flows int
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "s":
+			flows++
+		}
+	}
+	if complete == 0 || flows == 0 {
+		t.Errorf("trace has %d complete events and %d flows", complete, flows)
+	}
+
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("two identical runs wrote different traces (%d vs %d bytes)", len(b1), len(b2))
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gnnrdm/internal/baselines"
@@ -15,33 +16,43 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes)")
-	cuts := flag.Bool("cuts", false, "also compute LDG partitioner edge cuts (builds each graph)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Printf("Dataset recipes (Table V), scale=1/%d\n", *scale)
-	fmt.Printf("%-14s %10s %12s %9s %7s %9s %7s\n",
+// run executes the CLI against explicit streams and returns the exit
+// code, so tests can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdminfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes)")
+	cuts := fs.Bool("cuts", false, "also compute LDG partitioner edge cuts (builds each graph)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "Dataset recipes (Table V), scale=1/%d\n", *scale)
+	fmt.Fprintf(stdout, "%-14s %10s %12s %9s %7s %9s %7s\n",
 		"dataset", "vertices", "edges", "feat", "labels", "kind", "splits")
 	for _, r := range graph.Recipes() {
 		s := r.Scaled(*scale)
-		fmt.Printf("%-14s %10d %12d %9d %7d %9s %7v\n",
+		fmt.Fprintf(stdout, "%-14s %10d %12d %9d %7d %9s %7v\n",
 			s.Name, s.Vertices, s.Edges, s.FeatureDim, s.Labels, s.Kind, s.HasSplits)
 	}
 
 	if !*cuts {
-		return
+		return 0
 	}
-	fmt.Printf("\nLDG partitioner edge cuts (fraction of stored entries crossing parts)\n")
-	fmt.Printf("%-14s %10s %10s %10s %10s\n", "dataset", "nnz", "P=2", "P=4", "P=8")
+	fmt.Fprintf(stdout, "\nLDG partitioner edge cuts (fraction of stored entries crossing parts)\n")
+	fmt.Fprintf(stdout, "%-14s %10s %10s %10s %10s\n", "dataset", "nnz", "P=2", "P=4", "P=8")
 	for _, r := range graph.Recipes() {
 		g := r.Scaled(*scale).Build()
 		nnz := g.NNZ()
-		fmt.Printf("%-14s %10d", r.Name, nnz)
+		fmt.Fprintf(stdout, "%-14s %10d", r.Name, nnz)
 		for _, p := range []int{2, 4, 8} {
 			cut := baselines.EdgeCut(g.Adj, baselines.Partition(g.Adj, p))
-			fmt.Printf(" %9.1f%%", 100*float64(cut)/float64(nnz))
+			fmt.Fprintf(stdout, " %9.1f%%", 100*float64(cut)/float64(nnz))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	_ = os.Stdout
+	return 0
 }

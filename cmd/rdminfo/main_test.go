@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecipeListing(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{"Dataset recipes", "OGB-Arxiv", "Reddit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+	if strings.Contains(out.String(), "edge cuts") {
+		t.Errorf("edge cuts printed without -cuts")
+	}
+}
+
+func TestCuts(t *testing.T) {
+	var out, errb bytes.Buffer
+	// Scale must stay moderate: Build panics when scaling pushes a
+	// recipe's vertex count below its label count.
+	if code := run([]string{"-scale", "512", "-cuts"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "edge cuts") {
+		t.Errorf("stdout missing edge-cut table: %q", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

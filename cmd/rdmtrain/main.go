@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -24,31 +25,48 @@ import (
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/saint"
 	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against explicit streams and returns the exit
+// code, so tests can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdmtrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		edges     = flag.String("edges", "", "edge-list file (u v per line)")
-		labelsF   = flag.String("labels", "", "label file (one integer per line, -1 = unlabeled)")
-		synthetic = flag.Bool("synthetic", false, "generate a planted-partition graph instead of loading")
-		n         = flag.Int("n", 4096, "vertex count")
-		classes   = flag.Int("classes", 8, "number of classes")
-		features  = flag.Int("features", 64, "input feature width (synthetic features are community-correlated)")
-		hidden    = flag.Int("hidden", 128, "hidden width")
-		layers    = flag.Int("layers", 2, "GCN layers (2 or 3)")
-		gpus      = flag.Int("gpus", 8, "simulated device count")
-		epochs    = flag.Int("epochs", 30, "training epochs")
-		lr        = flag.Float64("lr", 0.01, "Adam learning rate")
-		seed      = flag.Int64("seed", 7, "random seed")
-		sage      = flag.Bool("sage", false, "GraphSAGE two-weight layers")
-		rowNorm   = flag.Bool("rownorm", false, "random-walk normalization D^-1(A+I) instead of symmetric GCN")
-		configID  = flag.Int("config", -1, "Table IV ordering config ID (-1 = model-selected best)")
-		ra        = flag.Int("ra", 0, "adjacency replication factor (0 = full replication)")
-		fanout    = flag.Int("fanout", 0, "masked neighbor-sampling fanout (0 = full aggregation)")
-		save      = flag.String("save", "", "write a checkpoint here after training")
-		resume    = flag.String("resume", "", "resume from a checkpoint")
+		edges     = fs.String("edges", "", "edge-list file (u v per line)")
+		labelsF   = fs.String("labels", "", "label file (one integer per line, -1 = unlabeled)")
+		synthetic = fs.Bool("synthetic", false, "generate a planted-partition graph instead of loading")
+		n         = fs.Int("n", 4096, "vertex count")
+		classes   = fs.Int("classes", 8, "number of classes")
+		features  = fs.Int("features", 64, "input feature width (synthetic features are community-correlated)")
+		hidden    = fs.Int("hidden", 128, "hidden width")
+		layers    = fs.Int("layers", 2, "GCN layers (2 or 3)")
+		gpus      = fs.Int("gpus", 8, "simulated device count")
+		epochs    = fs.Int("epochs", 30, "training epochs")
+		lr        = fs.Float64("lr", 0.01, "Adam learning rate")
+		seed      = fs.Int64("seed", 7, "random seed")
+		sage      = fs.Bool("sage", false, "GraphSAGE two-weight layers")
+		rowNorm   = fs.Bool("rownorm", false, "random-walk normalization D^-1(A+I) instead of symmetric GCN")
+		configID  = fs.Int("config", -1, "Table IV ordering config ID (-1 = model-selected best)")
+		ra        = fs.Int("ra", 0, "adjacency replication factor (0 = full replication)")
+		fanout    = fs.Int("fanout", 0, "masked neighbor-sampling fanout (0 = full aggregation)")
+		save      = fs.String("save", "", "write a checkpoint here after training")
+		resume    = fs.String("resume", "", "resume from a checkpoint")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rdmtrain:", err)
+		return 1
+	}
 
 	// 1. Load or generate the graph.
 	var adj *sparse.CSR
@@ -59,25 +77,33 @@ func main() {
 		adj, labels = graph.PlantedPartition(rng, *n, int64(8**n), *classes, 0.8)
 	case *edges != "":
 		f, err := os.Open(*edges)
-		fatalIf(err)
+		if err != nil {
+			return fail(err)
+		}
 		adj, err = graph.ReadEdgeList(f, *n)
 		f.Close()
-		fatalIf(err)
+		if err != nil {
+			return fail(err)
+		}
 		if *labelsF != "" {
 			lf, err := os.Open(*labelsF)
-			fatalIf(err)
+			if err != nil {
+				return fail(err)
+			}
 			labels, err = graph.ReadLabels(lf, *n)
 			lf.Close()
-			fatalIf(err)
+			if err != nil {
+				return fail(err)
+			}
 		} else {
 			labels = make([]int32, *n)
 			for i := range labels {
 				labels[i] = int32(rng.Intn(*classes))
 			}
-			fmt.Println("note: no -labels given; using random labels (runtime evaluation only)")
+			fmt.Fprintln(stdout, "note: no -labels given; using random labels (runtime evaluation only)")
 		}
 	default:
-		fatalIf(fmt.Errorf("need -edges FILE or -synthetic"))
+		return fail(fmt.Errorf("need -edges FILE or -synthetic"))
 	}
 
 	// 2. Normalize and synthesize features if needed.
@@ -105,7 +131,7 @@ func main() {
 	if id < 0 {
 		candidates := costmodel.ParetoConfigs(net)
 		id = candidates[0]
-		fmt.Printf("model-selected ordering: candidates %v, using %d (%v)\n",
+		fmt.Fprintf(stdout, "model-selected ordering: candidates %v, using %d (%v)\n",
 			candidates, id, costmodel.ConfigFromID(id, *layers))
 	}
 
@@ -121,49 +147,63 @@ func main() {
 	if *fanout > 0 {
 		opts.MaskProvider = saint.NeighborMaskProvider(prob.A, *fanout, *seed)
 	}
+	if *traceOut != "" {
+		opts.Tracer = trace.NewTracer(0)
+	}
 
 	// 4. Train (with optional resume/save through the engine API).
 	var cp *core.Checkpoint
 	if *resume != "" {
 		f, err := os.Open(*resume)
-		fatalIf(err)
+		if err != nil {
+			return fail(err)
+		}
 		cp, err = core.ReadCheckpoint(f)
 		f.Close()
-		fatalIf(err)
-		fmt.Printf("resumed from %s (step %d)\n", *resume, cp.Step)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "resumed from %s (step %d)\n", *resume, cp.Step)
 	}
-	res, finalCP := trainWithCheckpoint(*gpus, prob, opts, *epochs, cp)
+	res, finalCP := core.TrainResumable(*gpus, hw.A6000(), prob, opts, *epochs, cp)
 
 	for i, ep := range res.Epochs {
 		if i%5 == 0 || i == len(res.Epochs)-1 {
-			fmt.Printf("epoch %3d  loss %.4f  sim %.3fms  comm %.3fms  %.2fMB\n",
+			fmt.Fprintf(stdout, "epoch %3d  loss %.4f  sim %.3fms  comm %.3fms  %.2fMB\n",
 				i, ep.Loss, ep.Time*1e3, ep.CommTime*1e3, float64(ep.CommBytes)/(1<<20))
 		}
 	}
-	fmt.Printf("train accuracy: %.4f   throughput: %.1f epochs/s (simulated %d GPUs)\n",
+	fmt.Fprintf(stdout, "train accuracy: %.4f   throughput: %.1f epochs/s (simulated %d GPUs)\n",
 		res.Accuracy(prob.Labels, nil), res.EpochsPerSecond(), *gpus)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.WriteChrome(f, opts.Tracer); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s (open in Perfetto / chrome://tracing)\n", *traceOut)
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)
-		fatalIf(err)
-		fatalIf(finalCP.Write(f))
-		fatalIf(f.Close())
-		fmt.Printf("checkpoint written to %s\n", *save)
+		if err != nil {
+			return fail(err)
+		}
+		if err := finalCP.Write(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "checkpoint written to %s\n", *save)
 	}
-}
-
-// trainWithCheckpoint mirrors core.Train but supports restore-at-start
-// and snapshot-at-end.
-func trainWithCheckpoint(p int, prob *core.Problem, opts core.Options, epochs int, cp *core.Checkpoint) (*core.Result, *core.Checkpoint) {
-	res := (*core.Result)(nil)
-	var out *core.Checkpoint
-	res, out = core.TrainResumable(p, hw.A6000(), prob, opts, epochs, cp)
-	return res, out
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdmtrain:", err)
-		os.Exit(1)
-	}
+	return 0
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNeedsInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "need -edges FILE or -synthetic") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestMissingEdgeFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-edges", filepath.Join(t.TempDir(), "nope.txt")}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestSyntheticTrainWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "train.json")
+	ckpt := filepath.Join(dir, "model.ckpt")
+	var out, errb bytes.Buffer
+	args := []string{"-synthetic", "-n", "128", "-classes", "4", "-features", "8",
+		"-hidden", "16", "-gpus", "2", "-epochs", "2",
+		"-trace", tracePath, "-save", ckpt}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{"model-selected ordering", "train accuracy", "trace written to", "checkpoint written to"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q: %q", want, out.String())
+		}
+	}
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Errorf("trace has no events")
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Errorf("checkpoint missing or empty: %v", err)
+	}
+}

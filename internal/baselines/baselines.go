@@ -29,6 +29,7 @@ import (
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/nn"
 	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/trace"
 )
 
 // Options configures a baseline trainer.
@@ -41,6 +42,11 @@ type Options struct {
 	// Replication is CAGNET's adjacency replication factor c (1 = 1D,
 	// 2 = 1.5D-style). Ignored by DGCL.
 	Replication int
+	// Tracer, when non-nil, records this run into one trace session, so
+	// baseline timelines are directly comparable with RDM traces.
+	Tracer *trace.Tracer
+	// TraceLabel names the trace session (default "cagnet"/"dgcl").
+	TraceLabel string
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +79,7 @@ type vertexTrainer struct {
 	agg     aggregator
 	weights []*tensor.Dense
 	adam    *nn.Adam
+	ep      int
 
 	lastLogits *tensor.Dense
 	lastLoss   float64
@@ -95,12 +102,20 @@ func (vt *vertexTrainer) epoch() float64 {
 	L := len(vt.opts.Dims) - 1
 	lo, hi := vt.agg.OwnRange()
 	dev := vt.dev
+	dev.TraceSetEpoch(vt.ep)
+	vt.ep++
+	dev.TraceBeginPhase("epoch")
+	defer dev.TraceEndPhase()
 
 	// Forward, memoizing the aggregated inputs T^l = (A·H^{l-1})|own.
+	dev.TraceSetDir("fwd")
+	dev.TraceBeginPhase("forward")
 	hs := make([]*tensor.Dense, L+1)
 	ts := make([]*tensor.Dense, L+1)
 	hs[0] = vt.prob.X.RowSlice(lo, hi)
 	for l := 1; l <= L; l++ {
+		dev.TraceSetLayer(l)
+		dev.TraceBeginPhase("layer")
 		t := vt.agg.Aggregate(hs[l-1])
 		ts[l] = t
 		z := tensor.MatMul(t, vt.weights[l-1])
@@ -110,7 +125,11 @@ func (vt *vertexTrainer) epoch() float64 {
 			dev.ChargeMem(z.Bytes())
 		}
 		hs[l] = z
+		dev.TraceEndPhase()
 	}
+	dev.TraceSetLayer(0)
+	dev.TraceEndPhase()
+	dev.TraceSetDir("")
 
 	// Loss over owned rows, globally normalized.
 	var mask []bool
@@ -127,9 +146,13 @@ func (vt *vertexTrainer) epoch() float64 {
 	vt.lastLogits = hs[L]
 
 	// Backward.
+	dev.TraceSetDir("bwd")
+	dev.TraceBeginPhase("backward")
 	grads := make([]*tensor.Dense, L)
 	g := grad
 	for l := L; l >= 1; l-- {
+		dev.TraceSetLayer(l)
+		dev.TraceBeginPhase("layer")
 		tb := vt.agg.Aggregate(g)
 		partial := tensor.MatMulTA(hs[l-1], tb)
 		dev.ChargeGemm(hs[l-1].Cols, hs[l-1].Rows, tb.Cols)
@@ -145,7 +168,11 @@ func (vt *vertexTrainer) epoch() float64 {
 			}
 			dev.ChargeMem(g.Bytes())
 		}
+		dev.TraceEndPhase()
 	}
+	dev.TraceSetLayer(0)
+	dev.TraceEndPhase()
+	dev.TraceSetDir("")
 	vt.adam.Step(vt.weights, grads)
 	var wBytes int64
 	for _, w := range vt.weights {
@@ -159,9 +186,11 @@ func (vt *vertexTrainer) epoch() float64 {
 // collection as core.Train, for any per-device trainer factory. ranges
 // gives each device's owned global vertex range for logit assembly.
 func runHarness(p int, model *hw.Model, epochs int, n, fL int,
+	tracer *trace.Tracer, traceLabel string,
 	mk func(dev *comm.Device) *vertexTrainer) *core.Result {
 
 	fabric := comm.NewFabric(p, model)
+	fabric.SetTracer(tracer, traceLabel)
 	trainers := make([]*vertexTrainer, p)
 	stats := make([][]core.EpochStats, p)
 	volumes := make([]int64, epochs)

@@ -139,7 +139,12 @@ func TrainCAGNET(p int, model *hw.Model, prob *core.Problem, opts Options, epoch
 	if opts.Replication < 1 || p%opts.Replication != 0 {
 		panic(fmt.Sprintf("baselines: replication %d must divide P=%d", opts.Replication, p))
 	}
+	label := opts.TraceLabel
+	if label == "" {
+		label = fmt.Sprintf("cagnet-c%d", opts.Replication)
+	}
 	return runHarness(p, model, epochs, prob.N(), opts.Dims[len(opts.Dims)-1],
+		opts.Tracer, label,
 		func(dev *comm.Device) *vertexTrainer {
 			return newVertexTrainer(dev, prob, opts, newCAGNETAgg(dev, prob.A, opts.Replication))
 		})

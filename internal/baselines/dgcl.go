@@ -274,7 +274,12 @@ func TrainDGCL(p int, model *hw.Model, prob *core.Problem, opts Options, epochs 
 	}
 	assign := Partition(prob.A, p)
 	permProb, bounds, perm := PermuteProblem(prob, assign, p)
+	label := opts.TraceLabel
+	if label == "" {
+		label = "dgcl"
+	}
 	res := runHarness(p, model, epochs, prob.N(), opts.Dims[len(opts.Dims)-1],
+		opts.Tracer, label,
 		func(dev *comm.Device) *vertexTrainer {
 			return newVertexTrainer(dev, permProb, opts, newDGCLAgg(dev, permProb.A, bounds))
 		})

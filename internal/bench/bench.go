@@ -24,6 +24,7 @@ import (
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/trace"
 )
 
 // Config controls an experiment run.
@@ -42,6 +43,10 @@ type Config struct {
 	Out io.Writer
 	// Datasets restricts the recipe set (paper order when empty).
 	Datasets []string
+	// Tracer, when non-nil, records every trainer run launched by the
+	// experiment into labelled trace sessions ("<dataset>/p<P>/<system>")
+	// for export via trace.WriteChrome.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +158,8 @@ func RunRDMBest(cfg Config, w *Workload, layers, hidden, p int) (*core.Result, i
 			ComputeInputGrad: false,
 			LR:               0.01,
 			Seed:             11,
+			Tracer:           cfg.Tracer,
+			TraceLabel:       fmt.Sprintf("%s/p%d/rdm-cfg%d", w.Recipe.Name, p, id),
 		}, cfg.Epochs)
 		if best == nil || res.MeanEpochTime() < best.MeanEpochTime() {
 			best, bestID = res, id
@@ -171,6 +178,8 @@ func RunRDMConfig(cfg Config, w *Workload, layers, hidden, p, id int) *core.Resu
 		ComputeInputGrad: false,
 		LR:               0.01,
 		Seed:             11,
+		Tracer:           cfg.Tracer,
+		TraceLabel:       fmt.Sprintf("%s/p%d/rdm-cfg%d", w.Recipe.Name, p, id),
 	}, cfg.Epochs)
 }
 
@@ -184,6 +193,8 @@ func RunCAGNET(cfg Config, w *Workload, layers, hidden, p int) *core.Result {
 	}
 	return baselines.TrainCAGNET(p, cfg.HW, w.Prob, baselines.Options{
 		Dims: w.Dims(layers, hidden), LR: 0.01, Seed: 11, Replication: c,
+		Tracer:     cfg.Tracer,
+		TraceLabel: fmt.Sprintf("%s/p%d/cagnet", w.Recipe.Name, p),
 	}, cfg.Epochs)
 }
 
@@ -192,6 +203,8 @@ func RunDGCL(cfg Config, w *Workload, layers, hidden, p int) *core.Result {
 	cfg = cfg.withDefaults()
 	return baselines.TrainDGCL(p, cfg.HW, w.Prob, baselines.Options{
 		Dims: w.Dims(layers, hidden), LR: 0.01, Seed: 11,
+		Tracer:     cfg.Tracer,
+		TraceLabel: fmt.Sprintf("%s/p%d/dgcl", w.Recipe.Name, p),
 	}, cfg.Epochs)
 }
 

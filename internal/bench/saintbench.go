@@ -49,11 +49,15 @@ func RunFig13(cfg Config, epochs int) ([]Fig13Result, error) {
 			WalkLength: 3,
 			NormTrials: 20,
 			ConfigID:   0,
+			Tracer:     cfg.Tracer,
 		}
 		testMask := w.Graph.TestMask
 		res := Fig13Result{Dataset: name}
+		opts.TraceLabel = name + "/gcn-rdm"
 		res.FullBatch = saint.TrainFullBatchCurve(p, cfg.HW, w.RawProb, testMask, opts, epochs)
+		opts.TraceLabel = name + "/saint-rdm"
 		res.RDMSampled = saint.TrainSAINTRDM(p, cfg.HW, w.RawProb, testMask, opts, epochs)
+		opts.TraceLabel = name + "/saint-ddp"
 		res.DDP = saint.TrainSAINTDDP(p, cfg.HW, w.RawProb, testMask, opts, epochs)
 		out = append(out, res)
 

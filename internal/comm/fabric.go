@@ -10,6 +10,18 @@
 // time (including skew wait) is charged to each participant's
 // communication time. Compute kernels charge their modelled duration to
 // compute time.
+//
+// Stat lifecycle: Fabric.ResetVolumes zeroes the volume/call counters
+// only; Fabric.ResetStats additionally zeroes every device's
+// clock/commTime/computeTime, so warm-up work can be excluded from both
+// volume and time accounting. All stat readers (MaxClock, Volume,
+// Device.Clock/CommTime/ComputeTime) and both resets are only safe when
+// no Run is in flight.
+//
+// Tracing: attach an internal/trace Tracer with Fabric.SetTracer before
+// Run and every kernel charge and collective is recorded as a trace
+// event (collectives carry their exact metered volume). A nil tracer
+// keeps the hot paths allocation-free.
 package comm
 
 import (
@@ -20,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/trace"
 )
 
 // Fabric is a set of P simulated devices sharing a communication fabric.
@@ -34,6 +47,11 @@ type Fabric struct {
 
 	volumes [6]atomic.Int64 // bytes moved, indexed by hw.CollectiveKind
 	calls   [6]atomic.Int64
+
+	// tracer, when non-nil, records every kernel charge and collective
+	// as a trace event. Set before Run via SetTracer; nil keeps tracing
+	// disabled at zero cost.
+	tracer *trace.Tracer
 }
 
 // NewFabric creates a fabric with p devices using the given hardware model.
@@ -100,7 +118,38 @@ func (f *Fabric) ResetVolumes() {
 	}
 }
 
-// MaxClock returns the maximum simulated clock across devices.
+// ResetStats zeroes every fabric-level counter (volumes and calls, like
+// ResetVolumes) AND every device's clock/commTime/computeTime
+// accumulator, so warm-up epochs can be excluded from both volume and
+// time accounting. It must only be called when no Run is in flight: the
+// per-device stats are written without synchronization by the device
+// goroutines, so resetting mid-run is a data race (the same restriction
+// applies to reading MaxClock, Device.Clock, Device.CommTime, and
+// Device.ComputeTime).
+func (f *Fabric) ResetStats() {
+	f.ResetVolumes()
+	for _, d := range f.devices {
+		d.clock, d.commTime, d.computeTime = 0, 0, 0
+	}
+}
+
+// SetTracer attaches an event tracer and opens one trace session for
+// this fabric, labelled label. Call before Run; passing a nil tracer is
+// a no-op. Each fabric should get exactly one session, so attach a fresh
+// fabric for every traced run.
+func (f *Fabric) SetTracer(t *trace.Tracer, label string) {
+	if t == nil {
+		return
+	}
+	t.StartSession(label, f.P)
+	f.tracer = t
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (f *Fabric) Tracer() *trace.Tracer { return f.tracer }
+
+// MaxClock returns the maximum simulated clock across devices. Like all
+// stat readers it is only safe when no Run is in flight.
 func (f *Fabric) MaxClock() float64 {
 	m := 0.0
 	for _, d := range f.devices {
@@ -127,7 +176,8 @@ type groupComm struct {
 	slots    []any
 	clocks   []float64
 	newClock float64
-	aux      any // round-scoped value passed from finalize to extract
+	vol      int64 // round's metered volume, shared with every member
+	aux      any   // round-scoped value passed from finalize to extract
 }
 
 func (f *Fabric) groupFor(ranks []int) (*groupComm, string) {
@@ -156,13 +206,15 @@ func groupKey(ranks []int) string {
 
 // exchange runs one rendezvous round: every group member deposits a
 // contribution; the last arriver runs finalize (which computes the new
-// synchronized clock and does volume accounting); every member then runs
-// extract over the complete slot array before the slots are recycled.
-// Both callbacks run under the group lock and must not call back into the
-// fabric.
+// synchronized clock, does volume accounting, and reports the round's
+// metered volume); every member then runs extract over the complete slot
+// array before the slots are recycled. Both callbacks run under the
+// group lock and must not call back into the fabric. The return values
+// are the synchronized clock, the round's metered volume, and the
+// round's sequence number within this group (for trace attribution).
 func (g *groupComm) exchange(idx int, clock float64, in any,
-	finalize func(slots []any, clocks []float64) (float64, any),
-	extract func(slots []any, aux any)) float64 {
+	finalize func(slots []any, clocks []float64) (float64, any, int64),
+	extract func(slots []any, aux any)) (float64, int64, uint64) {
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -173,7 +225,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 	g.clocks[idx] = clock
 	g.arrived++
 	if g.arrived == g.n {
-		g.newClock, g.aux = finalize(g.slots, g.clocks)
+		g.newClock, g.aux, g.vol = finalize(g.slots, g.clocks)
 		g.arrived = 0
 		g.readers = g.n
 		g.gen++
@@ -202,7 +254,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 			g.cond.Wait()
 		}
 	}
-	return g.newClock
+	return g.newClock, g.vol, g.gen
 }
 
 // Device is one simulated GPU: a rank, private simulated clock, and
@@ -241,24 +293,85 @@ func (d *Device) World() []int {
 // ChargeGemm advances the clock by the modelled time of an m x k x n GEMM.
 func (d *Device) ChargeGemm(m, k, n int) {
 	t := d.F.HW.GemmTime(m, k, n)
-	d.clock += t
-	d.computeTime += t
+	d.chargeKernel("gemm", t, 0, int64(m)*int64(k)*int64(n))
 }
 
 // ChargeSpMM advances the clock by the modelled time of an SpMM with the
 // given stored-entry count and dense width.
 func (d *Device) ChargeSpMM(nnz int64, f int) {
 	t := d.F.HW.SpMMTime(nnz, f)
-	d.clock += t
-	d.computeTime += t
+	d.chargeKernel("spmm", t, 0, nnz*int64(f))
 }
 
 // ChargeMem advances the clock by the modelled time of a memory-bound
 // kernel touching the given bytes.
 func (d *Device) ChargeMem(bytes int64) {
 	t := d.F.HW.MemTime(bytes)
+	d.chargeKernel("mem", t, bytes, 0)
+}
+
+// chargeKernel advances the clock and compute-time accumulator and, when
+// tracing is enabled, records the kernel interval.
+func (d *Device) chargeKernel(op string, t float64, bytes, flops int64) {
+	start := d.clock
 	d.clock += t
 	d.computeTime += t
+	if tr := d.F.tracer; tr != nil {
+		tr.Emit(d.Rank, trace.Event{
+			Class: trace.ClassKernel, Op: op,
+			Bytes: bytes, Flops: flops,
+			Start: start, End: d.clock,
+		})
+	}
+}
+
+// TraceSetEpoch tags subsequent trace events from this device with the
+// epoch number. No-op (and allocation-free) when tracing is disabled,
+// like every Trace* method below.
+func (d *Device) TraceSetEpoch(epoch int) {
+	if tr := d.F.tracer; tr != nil {
+		tr.SetEpoch(d.Rank, epoch)
+	}
+}
+
+// TraceSetLayer tags subsequent trace events with the layer number
+// (0 = outside any layer).
+func (d *Device) TraceSetLayer(layer int) {
+	if tr := d.F.tracer; tr != nil {
+		tr.SetLayer(d.Rank, layer)
+	}
+}
+
+// TraceSetDir tags subsequent trace events with the pass direction
+// ("fwd", "bwd", or "").
+func (d *Device) TraceSetDir(dir string) {
+	if tr := d.F.tracer; tr != nil {
+		tr.SetDir(d.Rank, dir)
+	}
+}
+
+// TraceSetConfig tags subsequent trace events with the run's ordering
+// configuration string.
+func (d *Device) TraceSetConfig(cfg string) {
+	if tr := d.F.tracer; tr != nil {
+		tr.SetConfig(d.Rank, cfg)
+	}
+}
+
+// TraceBeginPhase opens a named phase interval at the current simulated
+// clock. Phases nest; close with TraceEndPhase.
+func (d *Device) TraceBeginPhase(name string) {
+	if tr := d.F.tracer; tr != nil {
+		tr.BeginPhase(d.Rank, name, d.clock)
+	}
+}
+
+// TraceEndPhase closes the innermost open phase at the current simulated
+// clock.
+func (d *Device) TraceEndPhase() {
+	if tr := d.F.tracer; tr != nil {
+		tr.EndPhase(d.Rank, d.clock)
+	}
 }
 
 func (d *Device) groupIndex(ranks []int) int {
@@ -284,18 +397,29 @@ func validateGroup(ranks []int) {
 	}
 }
 
-// collective runs the common rendezvous pattern and charges comm time.
-func (d *Device) collective(group []int, in any,
-	finalize func(slots []any, clocks []float64) (float64, any),
+// collective runs the common rendezvous pattern, charges comm time, and
+// records a trace event carrying the round's metered volume. finalize
+// additionally returns that volume (it still performs its own addVolume
+// accounting, so zero-volume collectives like Barrier can opt out of the
+// call counters).
+func (d *Device) collective(op string, group []int, in any,
+	finalize func(slots []any, clocks []float64) (float64, any, int64),
 	extract func(slots []any, aux any)) {
 
 	validateGroup(group)
 	idx := d.groupIndex(group)
-	g, _ := d.F.groupFor(group)
+	g, key := d.F.groupFor(group)
 	before := d.clock
-	newClock := g.exchange(idx, d.clock, in, finalize, extract)
+	newClock, vol, seq := g.exchange(idx, d.clock, in, finalize, extract)
 	d.clock = newClock
 	d.commTime += newClock - before
+	if tr := d.F.tracer; tr != nil {
+		tr.Emit(d.Rank, trace.Event{
+			Class: trace.ClassCollective, Op: op,
+			Group: key, Seq: seq, GroupSize: len(group), Bytes: vol,
+			Start: before, End: newClock,
+		})
+	}
 }
 
 // Broadcast sends root's buffer to every member of group and returns each
@@ -312,12 +436,13 @@ func (d *Device) Broadcast(group []int, root int, data []float32) []float32 {
 	if d.Rank == root {
 		contribution = data
 	}
-	d.collective(group, contribution,
-		func(slots []any, clocks []float64) (float64, any) {
+	d.collective("broadcast", group, contribution,
+		func(slots []any, clocks []float64) (float64, any, int64) {
 			buf := slots[rootIdx].([]float32)
 			bytes := int64(len(buf)) * 4
-			f.addVolume(hw.OpBroadcast, bytes*int64(len(group)-1))
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpBroadcast, len(group), bytes), nil
+			vol := bytes * int64(len(group)-1)
+			f.addVolume(hw.OpBroadcast, vol)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpBroadcast, len(group), bytes), nil, vol
 		},
 		func(slots []any, _ any) {
 			if d.Rank == root {
@@ -339,14 +464,15 @@ func (d *Device) AllGather(group []int, local []float32) [][]float32 {
 	out := make([][]float32, len(group))
 	f := d.F
 	myIdx := d.groupIndex(group)
-	d.collective(group, local,
-		func(slots []any, clocks []float64) (float64, any) {
+	d.collective("allgather", group, local,
+		func(slots []any, clocks []float64) (float64, any, int64) {
 			var total int64
 			for _, s := range slots {
 				total += int64(len(s.([]float32))) * 4
 			}
-			f.addVolume(hw.OpAllGather, total*int64(len(group)-1))
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllGather, len(group), total), nil
+			vol := total * int64(len(group)-1)
+			f.addVolume(hw.OpAllGather, vol)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllGather, len(group), total), nil, vol
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -369,8 +495,8 @@ func (d *Device) AllReduceSum(group []int, local []float32) []float32 {
 	}
 	out := make([]float32, len(local))
 	f := d.F
-	d.collective(group, local,
-		func(slots []any, clocks []float64) (float64, any) {
+	d.collective("allreduce", group, local,
+		func(slots []any, clocks []float64) (float64, any, int64) {
 			first := slots[0].([]float32)
 			sum := make([]float32, len(first))
 			for _, s := range slots {
@@ -383,8 +509,9 @@ func (d *Device) AllReduceSum(group []int, local []float32) []float32 {
 				}
 			}
 			bytes := int64(len(sum)) * 4
-			f.addVolume(hw.OpAllReduce, 2*bytes*int64(len(group)-1))
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllReduce, len(group), bytes), sum
+			vol := 2 * bytes * int64(len(group)-1)
+			f.addVolume(hw.OpAllReduce, vol)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllReduce, len(group), bytes), sum, vol
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32))
@@ -406,8 +533,8 @@ func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
 	out := make([][]float32, len(group))
 	f := d.F
 	myIdx := d.groupIndex(group)
-	d.collective(group, parts,
-		func(slots []any, clocks []float64) (float64, any) {
+	d.collective("alltoall", group, parts,
+		func(slots []any, clocks []float64) (float64, any, int64) {
 			var maxInject, total int64
 			for i, s := range slots {
 				ps := s.([][]float32)
@@ -424,7 +551,7 @@ func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
 				}
 			}
 			f.addVolume(hw.OpAllToAll, total)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil, total
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -465,8 +592,8 @@ func (d *Device) ReduceScatterSum(group []int, local []float32, counts []int) []
 	}
 	out := make([]float32, counts[myIdx])
 	f := d.F
-	d.collective(group, local,
-		func(slots []any, clocks []float64) (float64, any) {
+	d.collective("reducescatter", group, local,
+		func(slots []any, clocks []float64) (float64, any, int64) {
 			sum := make([]float32, total)
 			for _, s := range slots {
 				buf := s.([]float32)
@@ -478,8 +605,9 @@ func (d *Device) ReduceScatterSum(group []int, local []float32, counts []int) []
 				}
 			}
 			bytes := int64(total) * 4
-			f.addVolume(hw.OpReduceScatter, bytes*int64(len(group)-1))
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum
+			vol := bytes * int64(len(group)-1)
+			f.addVolume(hw.OpReduceScatter, vol)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum, vol
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32)[offset:offset+counts[myIdx]])
@@ -493,9 +621,9 @@ func (d *Device) Barrier(group []int) {
 		return
 	}
 	f := d.F
-	d.collective(group, nil,
-		func(slots []any, clocks []float64) (float64, any) {
-			return maxClock(clocks) + f.HW.LinkLatency, nil
+	d.collective("barrier", group, nil,
+		func(slots []any, clocks []float64) (float64, any, int64) {
+			return maxClock(clocks) + f.HW.LinkLatency, nil, 0
 		}, nil)
 }
 

@@ -24,6 +24,7 @@ import (
 	"gnnrdm/internal/nn"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/trace"
 )
 
 // Problem is the training task: a normalized propagation matrix, input
@@ -95,6 +96,12 @@ type Options struct {
 	// vertex-sliced layout and redistributed when the layer's SpMM-side
 	// output is feature-sliced.
 	SAGE bool
+	// Tracer, when non-nil, records every kernel, collective, and phase
+	// of the run into one trace session (see internal/trace). Train
+	// attaches it to the fabric before the devices start.
+	Tracer *trace.Tracer
+	// TraceLabel names the trace session (default "rdm").
+	TraceLabel string
 }
 
 // Layers returns L.
@@ -191,6 +198,7 @@ func NewEngine(dev *comm.Device, prob *Problem, opts Options) *Engine {
 		}
 	}
 	e.adam = nn.NewAdam(opts.LR, e.weights)
+	dev.TraceSetConfig(opts.Config.String())
 	return e
 }
 
@@ -358,12 +366,20 @@ type pass struct {
 func (e *Engine) forward() (*pass, *lcache) {
 	p := e.dev.P()
 	L := e.opts.Layers()
+	e.dev.TraceSetDir("fwd")
+	e.dev.TraceBeginPhase("forward")
+	defer func() {
+		e.dev.TraceEndPhase()
+		e.dev.TraceSetDir("")
+	}()
 	st := &pass{h: make([]*lcache, L+1), memo: make([]*dist.Mat, L+1)}
 	// H^0 is free in both layouts: the initial distribution is a
 	// data-loading choice (§IV-A1).
 	st.h[0] = newCache(dist.Distribute(e.dev, dist.H, e.prob.X), dist.Distribute(e.dev, e.gridL, e.prob.X))
 
 	for l := 1; l <= L; l++ {
+		e.dev.TraceSetLayer(l)
+		e.dev.TraceBeginPhase("layer")
 		var z *dist.Mat
 		if e.opts.Config.Fwd[l-1] == costmodel.SparseFirst {
 			x := st.h[l-1].get(e.gridL, p)
@@ -394,10 +410,14 @@ func (e *Engine) forward() (*pass, *lcache) {
 			e.dev.ChargeMem(z.Local.Bytes())
 		}
 		st.h[l] = newCache(z)
+		e.dev.TraceEndPhase()
 	}
+	e.dev.TraceSetLayer(0)
 
 	// Loss: vertex-complete logits required, so a vertical final layer
 	// pays one last redistribution (§IV-A1).
+	e.dev.TraceBeginPhase("loss")
+	defer e.dev.TraceEndPhase()
 	logits := st.h[L].get(dist.H, p)
 	e.lastLogits = logits
 	rlo, rhi := dist.RowRange(dist.H, p, e.dev.Rank, e.prob.N())
@@ -428,6 +448,13 @@ func (e *Engine) forward() (*pass, *lcache) {
 func (e *Engine) backward(st *pass, gTop *lcache) []*tensor.Dense {
 	p := e.dev.P()
 	L := e.opts.Layers()
+	e.dev.TraceSetDir("bwd")
+	e.dev.TraceBeginPhase("backward")
+	defer func() {
+		e.dev.TraceSetLayer(0)
+		e.dev.TraceEndPhase()
+		e.dev.TraceSetDir("")
+	}()
 	grads := make([]*tensor.Dense, len(e.weights))
 	setGrads := func(l int, yn, ys *tensor.Dense) {
 		if e.opts.SAGE {
@@ -438,6 +465,8 @@ func (e *Engine) backward(st *pass, gTop *lcache) []*tensor.Dense {
 	}
 	g := gTop
 	for l := L; l >= 1; l-- {
+		e.dev.TraceSetLayer(l)
+		e.dev.TraceBeginPhase("layer")
 		var tb *dist.Mat // A·G^l horizontal, when backward is SpMM-first
 		needInputGrad := l > 1 || e.opts.ComputeInputGrad
 		if e.opts.Config.Bwd[l-1] == costmodel.SparseFirst {
@@ -480,6 +509,7 @@ func (e *Engine) backward(st *pass, gTop *lcache) []*tensor.Dense {
 				g = nil
 			}
 		}
+		e.dev.TraceEndPhase()
 	}
 	return grads
 }
@@ -582,15 +612,20 @@ func (e *Engine) Epoch() float64 {
 		rlo, rhi := dist.RowRange(e.gridL, e.dev.P(), e.dev.Rank, e.prob.N())
 		e.epochMask = e.opts.MaskProvider(e.epoch, rlo, rhi)
 	}
+	e.dev.TraceSetEpoch(e.epoch)
+	e.dev.TraceBeginPhase("epoch")
+	defer e.dev.TraceEndPhase()
 	e.epoch++
 	st, g := e.forward()
 	grads := e.backward(st, g)
+	e.dev.TraceBeginPhase("update")
 	e.adam.Step(e.weights, grads)
 	var wBytes int64
 	for _, w := range e.weights {
 		wBytes += w.Bytes()
 	}
 	e.dev.ChargeMem(4 * wBytes)
+	e.dev.TraceEndPhase()
 	return e.lastLoss
 }
 

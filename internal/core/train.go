@@ -86,6 +86,13 @@ func TrainResumable(p int, model *hw.Model, prob *Problem, opts Options, epochs 
 	opts = opts.withDefaults(p)
 	opts.validate(p, prob) // fail on the caller's goroutine, not a device's
 	fabric := comm.NewFabric(p, model)
+	if opts.Tracer != nil {
+		label := opts.TraceLabel
+		if label == "" {
+			label = "rdm"
+		}
+		fabric.SetTracer(opts.Tracer, label)
+	}
 	engines := make([]*Engine, p)
 	stats := make([][]EpochStats, p)
 	volumes := make([]int64, epochs)

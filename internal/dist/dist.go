@@ -296,6 +296,8 @@ func gridPJ(l Layout, p int) int {
 // unpack receives the original element count.
 func (m *Mat) regrid(srcPJ, dstPJ int, pack func([]float32) []float32, unpack func([]float32, int) []float32) *Mat {
 	dev := m.Dev
+	dev.TraceBeginPhase("redistribute")
+	defer dev.TraceEndPhase()
 	p := dev.P()
 	rows, cols := m.GlobalRows, m.GlobalCols
 	srcL := G(srcPJ).normalize(p)
@@ -374,6 +376,8 @@ func (m *Mat) regrid(srcPJ, dstPJ int, pack func([]float32) []float32, unpack fu
 // replicate gathers the full matrix onto every device.
 func (m *Mat) replicate() *Mat {
 	dev := m.Dev
+	dev.TraceBeginPhase("replicate")
+	defer dev.TraceEndPhase()
 	p := dev.P()
 	src := m.Layout.normalize(p)
 	bufs := dev.AllGather(dev.World(), m.Local.Data)

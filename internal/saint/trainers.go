@@ -11,6 +11,7 @@ import (
 	"gnnrdm/internal/nn"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/trace"
 )
 
 // Options configures a GraphSAINT training run.
@@ -34,6 +35,19 @@ type Options struct {
 	NormTrials int
 	// ConfigID selects the RDM ordering for SAINT-RDM (Table IV).
 	ConfigID int
+	// Tracer, when non-nil, records each trainer's run into one trace
+	// session ("saint-rdm", "saint-ddp", or the full-batch "gcn-rdm").
+	Tracer *trace.Tracer
+	// TraceLabel overrides the default session label.
+	TraceLabel string
+}
+
+// traceLabel returns the session label, defaulting to def.
+func (o Options) traceLabel(def string) string {
+	if o.TraceLabel != "" {
+		return o.TraceLabel
+	}
+	return def
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -137,6 +151,7 @@ func TrainSAINTRDM(p int, model *hw.Model, prob *core.Problem, testMask []bool, 
 
 	curve := &Curve{Name: fmt.Sprintf("SAINT-RDM(%s)", opts.Kind)}
 	fabric := comm.NewFabric(p, model)
+	fabric.SetTracer(opts.Tracer, opts.traceLabel("saint-rdm"))
 	engines := make([]*core.Engine, p)
 	fabric.Run(func(d *comm.Device) {
 		eng := core.NewEngine(d, subs[0], core.Options{
@@ -197,6 +212,7 @@ func TrainSAINTDDP(p int, model *hw.Model, prob *core.Problem, testMask []bool, 
 	L := len(opts.Dims) - 1
 	curve := &Curve{Name: fmt.Sprintf("SAINT-DDP(%s)", opts.Kind)}
 	fabric := comm.NewFabric(p, model)
+	fabric.SetTracer(opts.Tracer, opts.traceLabel("saint-ddp"))
 	fabric.Run(func(d *comm.Device) {
 		rngW := rand.New(rand.NewSource(opts.Seed))
 		var weights []*tensor.Dense
@@ -293,12 +309,14 @@ func TrainFullBatchCurve(p int, model *hw.Model, prob *core.Problem, testMask []
 	normA := sparse.GCNNormalize(prob.A)
 	fullProb := &core.Problem{A: normA, X: prob.X, Labels: prob.Labels, TrainMask: prob.TrainMask}
 	res := core.Train(p, model, fullProb, core.Options{
-		Dims:     opts.Dims,
-		Config:   configFor(opts.ConfigID, len(opts.Dims)-1),
-		Memoize:  true,
-		LR:       opts.LR,
-		Seed:     opts.Seed,
-		EvalMask: testMask,
+		Dims:       opts.Dims,
+		Config:     configFor(opts.ConfigID, len(opts.Dims)-1),
+		Memoize:    true,
+		LR:         opts.LR,
+		Seed:       opts.Seed,
+		EvalMask:   testMask,
+		Tracer:     opts.Tracer,
+		TraceLabel: opts.traceLabel("gcn-rdm"),
 	}, epochs)
 	curve := &Curve{Name: "GCN-RDM"}
 	cum := 0.0

