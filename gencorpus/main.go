@@ -1,0 +1,114 @@
+// Command gencorpus regenerates the checked-in seed corpora under each
+// package's testdata/fuzz directory. Run from the repo root after
+// changing a fuzzed binary format:
+//
+//	go run ./gencorpus
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/graph"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+func write(dir, name string, lines ...string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	content := "go test fuzz v1\n"
+	for _, l := range lines {
+		content += l + "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func bs(data []byte) string { return fmt.Sprintf("[]byte(%q)", data) }
+
+func bytesArgs(vals ...byte) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("byte(%q)", v)
+	}
+	return out
+}
+
+func main() {
+	// internal/graph: edge-list text parser.
+	el := "internal/graph/testdata/fuzz/FuzzReadEdgeList"
+	write(el, "seed-path", `string("0 1\n1 2\n2 3\n3 4\n4 5\n")`, "int(8)")
+	write(el, "seed-weighted", `string("0 1 0.25\n1 2 4\n2 0 1e-3\n")`, "int(4)")
+	write(el, "seed-comments", `string("# planted\n% matrix\n3 3\n0 2\n\n2 1\n")`, "int(6)")
+	write(el, "seed-dense-pair", `string("7 0\n0 7\n7 0\n")`, "int(9)")
+
+	// internal/graph: binary CSR reader.
+	adj := sparse.FromCoords(6, 6, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 1, Col: 2, Val: 0.5}, {Row: 2, Col: 1, Val: 0.5},
+		{Row: 3, Col: 5, Val: 2}, {Row: 5, Col: 3, Val: 2},
+		{Row: 4, Col: 4, Val: 1},
+	})
+	var csrBuf bytes.Buffer
+	if err := graph.WriteCSR(&csrBuf, adj); err != nil {
+		log.Fatal(err)
+	}
+	rc := "internal/graph/testdata/fuzz/FuzzReadCSR"
+	write(rc, "seed-valid", bs(csrBuf.Bytes()))
+	write(rc, "seed-truncated", bs(csrBuf.Bytes()[:csrBuf.Len()/2]))
+	write(rc, "seed-header-only", bs(csrBuf.Bytes()[:minInt(16, csrBuf.Len())]))
+
+	// internal/core: checkpoint reader. A structurally valid 2-layer
+	// checkpoint plus a truncation of it.
+	dims := []int{4, 3, 2}
+	mk := func(r, c int, base float32) *tensor.Dense {
+		m := tensor.NewDense(r, c)
+		for i := range m.Data {
+			m.Data[i] = base + float32(i)*0.125
+		}
+		return m
+	}
+	cp := &core.Checkpoint{
+		Dims: dims, Step: 3,
+		Weights: []*tensor.Dense{mk(4, 3, 0.5), mk(3, 2, -1)},
+		AdamM:   []*tensor.Dense{mk(4, 3, 0), mk(3, 2, 0)},
+		AdamV:   []*tensor.Dense{mk(4, 3, 0.01), mk(3, 2, 0.01)},
+	}
+	var cpBuf bytes.Buffer
+	if err := cp.Write(&cpBuf); err != nil {
+		log.Fatal(err)
+	}
+	ck := "internal/core/testdata/fuzz/FuzzReadCheckpoint"
+	write(ck, "seed-valid", bs(cpBuf.Bytes()))
+	write(ck, "seed-truncated", bs(cpBuf.Bytes()[:2*cpBuf.Len()/3]))
+
+	// internal/sparse: COO→CSR construction.
+	fc := "internal/sparse/testdata/fuzz/FuzzFromCoords"
+	write(fc, "seed-duplicates", bs([]byte{8, 8, 3, 5, 10, 3, 5, 246, 3, 5, 1, 0, 0, 128}))
+	write(fc, "seed-single-cell", bs([]byte{1, 1, 0, 0, 1, 0, 0, 2, 0, 0, 3}))
+	write(fc, "seed-empty-rows", bs([]byte{24, 24, 23, 23, 7}))
+	write(fc, "seed-cancellation", bs([]byte{4, 4, 2, 2, 5, 2, 2, 251}))
+
+	// internal/dist: divide/exchange/merge redistribution.
+	rg := "internal/dist/testdata/fuzz/FuzzRegrid"
+	write(rg, "seed-ragged-p3", bytesArgs(7, 5, 2, 0, 1)...)
+	write(rg, "seed-grid-p4", bytesArgs(12, 4, 3, 2, 0)...)
+	write(rg, "seed-single-device", bytesArgs(1, 1, 0, 0, 0)...)
+	write(rg, "seed-wide", bytesArgs(3, 9, 1, 1, 0)...)
+
+	fmt.Println("corpora written")
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+// Trace-conservation checks for the baseline trainers via the
+// internal/verify oracle. External test package — and verify must never
+// import baselines, so this direction stays acyclic.
+package baselines_test
+
+import (
+	"testing"
+
+	"gnnrdm/internal/baselines"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/trace"
+	"gnnrdm/internal/verify"
+)
+
+// TestBaselineTracesConserve runs each baseline traced and checks the
+// conservation ledger: monotone per-device timelines and every
+// collective round recorded by all participants with identical bytes.
+// The baselines do not expose their fabric, so the meter cross-check is
+// skipped (nil fabric).
+func TestBaselineTracesConserve(t *testing.T) {
+	prob := verify.DefaultProblem(19, 32, 8, 4)
+	dims := []int{8, 6, 4}
+	cases := []struct {
+		name string
+		run  func(tr *trace.Tracer)
+	}{
+		{"cagnet-1d", func(tr *trace.Tracer) {
+			baselines.TrainCAGNET(4, hw.A6000(), prob, baselines.Options{Dims: dims, LR: 0.01, Seed: 7, Tracer: tr}, 2)
+		}},
+		{"cagnet-15d", func(tr *trace.Tracer) {
+			baselines.TrainCAGNET(4, hw.A6000(), prob, baselines.Options{Dims: dims, LR: 0.01, Seed: 7, Replication: 2, Tracer: tr}, 2)
+		}},
+		{"dgcl", func(tr *trace.Tracer) {
+			baselines.TrainDGCL(4, hw.A6000(), prob, baselines.Options{Dims: dims, LR: 0.01, Seed: 7, Tracer: tr}, 2)
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.NewTracer(0)
+			tc.run(tr)
+			sessions := tr.Sessions()
+			if len(sessions) == 0 {
+				t.Fatal("baseline run recorded no trace session")
+			}
+			for _, s := range sessions {
+				verify.CheckFabricSession(t, nil, s)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes for collective failures. Wrap-match with errors.Is.
+var (
+	// ErrNilBuffer reports a nil data buffer passed to a collective.
+	// (Zero-length non-nil buffers are valid.)
+	ErrNilBuffer = errors.New("nil buffer")
+	// ErrLengthMismatch reports participants disagreeing on a buffer
+	// length that the collective requires to be uniform.
+	ErrLengthMismatch = errors.New("buffer length mismatch across ranks")
+	// ErrCountMismatch reports per-member part or count slices whose
+	// shape does not match the group.
+	ErrCountMismatch = errors.New("part/count mismatch")
+	// ErrBadGroup reports an empty, unsorted, or duplicate-bearing group,
+	// or a root/rank outside the group.
+	ErrBadGroup = errors.New("malformed group")
+)
+
+// CollectiveError describes a failed collective: the operation, the rank
+// reporting it, and the underlying cause (wrapping one of the sentinels
+// above).
+//
+// Failure delivery is cooperative: a rank that detects a data problem
+// with its own arguments still joins the rendezvous, depositing the
+// error instead of its buffer, and the finalizer reports the same cause
+// to every participant. SPMD callers therefore fail in lockstep with a
+// clear error instead of deadlocking the fabric (or panicking on one
+// rank while the rest wait forever).
+//
+// Structural misuse that is necessarily identical on every rank —
+// malformed groups, a caller outside the group, part/count slices of the
+// wrong shape — is rejected before the rendezvous, so it surfaces
+// immediately even from a single mis-behaving caller.
+type CollectiveError struct {
+	Op   string // collective name ("allreduce", "alltoall", ...)
+	Rank int    // device reporting the failure
+	Err  error  // underlying cause
+}
+
+func (e *CollectiveError) Error() string {
+	return fmt.Sprintf("comm: %s on rank %d: %v", e.Op, e.Rank, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *CollectiveError) Unwrap() error { return e.Err }
+
+// collErr is a rendezvous contribution marking a locally-detected error.
+// Depositing it (rather than bailing before the rendezvous) keeps every
+// participant moving, so per-rank data errors never become deadlocks.
+type collErr struct{ err error }
+
+// slotErr returns the first deposited error in group-position order
+// (deterministic across participants), or nil.
+func slotErr(slots []any) error {
+	for _, s := range slots {
+		if ce, ok := s.(collErr); ok {
+			return ce.err
+		}
+	}
+	return nil
+}

@@ -22,6 +22,12 @@
 // Run and every kernel charge and collective is recorded as a trace
 // event (collectives carry their exact metered volume). A nil tracer
 // keeps the hot paths allocation-free.
+//
+// Error handling: every collective has a Try* variant returning an
+// error; the short names are panicking wrappers for SPMD code where a
+// collective failure is unrecoverable. See CollectiveError in errors.go
+// for the cooperative delivery contract that keeps data errors (nil
+// buffers, cross-rank length disagreement) from deadlocking the group.
 package comm
 
 import (
@@ -47,6 +53,12 @@ type Fabric struct {
 
 	volumes [6]atomic.Int64 // bytes moved, indexed by hw.CollectiveKind
 	calls   [6]atomic.Int64
+	// sideVolumes meters collectives issued while a device's side-channel
+	// flag is set (Device.SetSideChannel): mechanical traffic such as
+	// byte-packed ReLU masks that the paper's §IV cost model deliberately
+	// omits. Keeping it out of `volumes` lets model-versus-meter
+	// comparisons stay byte-exact.
+	sideVolumes [6]atomic.Int64
 
 	// tracer, when non-nil, records every kernel charge and collective
 	// as a trace event. Set before Run via SetTracer; nil keeps tracing
@@ -93,15 +105,30 @@ func Run(p int, model *hw.Model, fn func(d *Device)) *Fabric {
 
 // Volume returns the total bytes moved across device boundaries by
 // collectives of the given kind since fabric creation (or the last
-// ResetVolumes).
+// ResetVolumes), excluding side-channel traffic (see SideVolume).
 func (f *Fabric) Volume(kind hw.CollectiveKind) int64 { return f.volumes[kind].Load() }
 
+// SideVolume returns the bytes moved by collectives of the given kind
+// while the issuing devices had their side-channel flag set
+// (Device.SetSideChannel) — e.g. the byte-packed ReLU masks of
+// dist.RedistributeMask.
+func (f *Fabric) SideVolume(kind hw.CollectiveKind) int64 { return f.sideVolumes[kind].Load() }
+
 // TotalVolume returns the total bytes moved across device boundaries by
-// all collectives.
+// all collectives, including side-channel traffic.
 func (f *Fabric) TotalVolume() int64 {
 	var s int64
 	for i := range f.volumes {
-		s += f.volumes[i].Load()
+		s += f.volumes[i].Load() + f.sideVolumes[i].Load()
+	}
+	return s
+}
+
+// TotalSideVolume returns the total side-channel bytes across all kinds.
+func (f *Fabric) TotalSideVolume() int64 {
+	var s int64
+	for i := range f.sideVolumes {
+		s += f.sideVolumes[i].Load()
 	}
 	return s
 }
@@ -114,6 +141,7 @@ func (f *Fabric) Calls(kind hw.CollectiveKind) int64 { return f.calls[kind].Load
 func (f *Fabric) ResetVolumes() {
 	for i := range f.volumes {
 		f.volumes[i].Store(0)
+		f.sideVolumes[i].Store(0)
 		f.calls[i].Store(0)
 	}
 }
@@ -160,8 +188,12 @@ func (f *Fabric) MaxClock() float64 {
 	return m
 }
 
-func (f *Fabric) addVolume(kind hw.CollectiveKind, bytes int64) {
-	f.volumes[kind].Add(bytes)
+func (f *Fabric) addVolume(kind hw.CollectiveKind, bytes int64, side bool) {
+	if side {
+		f.sideVolumes[kind].Add(bytes)
+	} else {
+		f.volumes[kind].Add(bytes)
+	}
 	f.calls[kind].Add(1)
 }
 
@@ -178,6 +210,7 @@ type groupComm struct {
 	newClock float64
 	vol      int64 // round's metered volume, shared with every member
 	aux      any   // round-scoped value passed from finalize to extract
+	err      error // round's failure, delivered to every member
 }
 
 func (f *Fabric) groupFor(ranks []int) (*groupComm, string) {
@@ -207,14 +240,16 @@ func groupKey(ranks []int) string {
 // exchange runs one rendezvous round: every group member deposits a
 // contribution; the last arriver runs finalize (which computes the new
 // synchronized clock, does volume accounting, and reports the round's
-// metered volume); every member then runs extract over the complete slot
-// array before the slots are recycled. Both callbacks run under the
-// group lock and must not call back into the fabric. The return values
-// are the synchronized clock, the round's metered volume, and the
-// round's sequence number within this group (for trace attribution).
+// metered volume, or fails the round with an error); every member then
+// runs extract over the complete slot array before the slots are
+// recycled. Both callbacks run under the group lock and must not call
+// back into the fabric. The return values are the synchronized clock,
+// the round's metered volume, the round's sequence number within this
+// group (for trace attribution), and the round's error, identical on
+// every member. extract is skipped on a failed round.
 func (g *groupComm) exchange(idx int, clock float64, in any,
-	finalize func(slots []any, clocks []float64) (float64, any, int64),
-	extract func(slots []any, aux any)) (float64, int64, uint64) {
+	finalize func(slots []any, clocks []float64) (float64, any, int64, error),
+	extract func(slots []any, aux any)) (float64, int64, uint64, error) {
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -225,7 +260,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 	g.clocks[idx] = clock
 	g.arrived++
 	if g.arrived == g.n {
-		g.newClock, g.aux, g.vol = finalize(g.slots, g.clocks)
+		g.newClock, g.aux, g.vol, g.err = finalize(g.slots, g.clocks)
 		g.arrived = 0
 		g.readers = g.n
 		g.gen++
@@ -236,7 +271,12 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 			g.cond.Wait()
 		}
 	}
-	if extract != nil {
+	// Capture the round's results before giving up our reader slot: the
+	// last reader resets aux/err for the next round, and once we start
+	// waiting for the drain a fast next round could overwrite
+	// newClock/vol/gen.
+	clockOut, volOut, genOut, errOut := g.newClock, g.vol, g.gen, g.err
+	if extract != nil && errOut == nil {
 		extract(g.slots, g.aux)
 	}
 	g.readers--
@@ -244,7 +284,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 		for i := range g.slots {
 			g.slots[i] = nil
 		}
-		g.aux = nil
+		g.aux, g.err = nil, nil
 		g.cond.Broadcast()
 	} else {
 		// Wait for the round to drain completely before returning, so no
@@ -254,7 +294,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 			g.cond.Wait()
 		}
 	}
-	return g.newClock, g.vol, g.gen
+	return clockOut, volOut, genOut, errOut
 }
 
 // Device is one simulated GPU: a rank, private simulated clock, and
@@ -266,7 +306,18 @@ type Device struct {
 	clock       float64
 	commTime    float64
 	computeTime float64
+	side        bool // route collective volume to the side-channel meters
 }
+
+// SetSideChannel routes this device's subsequent collective volume into
+// the fabric's side-channel meters (Fabric.SideVolume) instead of the
+// primary ones. Used for mechanical traffic — e.g. the byte-packed ReLU
+// masks of dist.RedistributeMask — that the paper's cost model does not
+// count, so the primary meters stay byte-comparable to costmodel
+// predictions. A round is metered by the device that happens to finalize
+// it, so SPMD callers must toggle the flag on every participant around
+// the same collectives.
+func (d *Device) SetSideChannel(on bool) { d.side = on }
 
 // Clock returns the device's simulated time in seconds.
 func (d *Device) Clock() float64 { return d.clock }
@@ -374,45 +425,67 @@ func (d *Device) TraceEndPhase() {
 	}
 }
 
-func (d *Device) groupIndex(ranks []int) int {
-	for i, r := range ranks {
-		if r == d.Rank {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("comm: rank %d not in group %v", d.Rank, ranks))
-}
-
-func validateGroup(ranks []int) {
+func validateGroup(ranks []int) error {
 	if len(ranks) == 0 {
-		panic("comm: empty group")
+		return fmt.Errorf("empty group: %w", ErrBadGroup)
 	}
 	if !sort.IntsAreSorted(ranks) {
-		panic(fmt.Sprintf("comm: group must be sorted: %v", ranks))
+		return fmt.Errorf("group must be sorted %v: %w", ranks, ErrBadGroup)
 	}
 	for i := 1; i < len(ranks); i++ {
 		if ranks[i] == ranks[i-1] {
-			panic(fmt.Sprintf("comm: duplicate rank in group: %v", ranks))
+			return fmt.Errorf("duplicate rank in group %v: %w", ranks, ErrBadGroup)
 		}
 	}
+	return nil
+}
+
+// groupPos validates group and locates this device in it. Failures are
+// structural misuse — necessarily identical on every correctly-written
+// SPMD rank — so they are rejected before any rendezvous and surface
+// immediately even from a single misbehaving caller.
+func (d *Device) groupPos(op string, group []int) (int, error) {
+	if err := validateGroup(group); err != nil {
+		return 0, &CollectiveError{Op: op, Rank: d.Rank, Err: err}
+	}
+	idx := indexOf(group, d.Rank)
+	if idx < 0 {
+		return 0, &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("rank %d not in group %v: %w", d.Rank, group, ErrBadGroup)}
+	}
+	return idx, nil
 }
 
 // collective runs the common rendezvous pattern, charges comm time, and
-// records a trace event carrying the round's metered volume. finalize
+// records a trace event carrying the round's metered volume. The caller
+// must already have validated its group membership (groupPos). finalize
 // additionally returns that volume (it still performs its own addVolume
 // accounting, so zero-volume collectives like Barrier can opt out of the
-// call counters).
+// call counters) or fails the round. Deposited collErr contributions are
+// scanned before finalize runs, so per-rank data errors reach every
+// participant. On a failed round every participant's clock still
+// advances to the synchronized value — the rendezvous happened — but no
+// trace event is emitted and the identical cause is returned to all
+// ranks, wrapped per-rank in a CollectiveError.
 func (d *Device) collective(op string, group []int, in any,
-	finalize func(slots []any, clocks []float64) (float64, any, int64),
-	extract func(slots []any, aux any)) {
+	finalize func(slots []any, clocks []float64) (float64, any, int64, error),
+	extract func(slots []any, aux any)) error {
 
-	validateGroup(group)
-	idx := d.groupIndex(group)
+	idx := indexOf(group, d.Rank)
 	g, key := d.F.groupFor(group)
 	before := d.clock
-	newClock, vol, seq := g.exchange(idx, d.clock, in, finalize, extract)
+	wrapped := func(slots []any, clocks []float64) (float64, any, int64, error) {
+		if err := slotErr(slots); err != nil {
+			return maxClock(clocks), nil, 0, err
+		}
+		return finalize(slots, clocks)
+	}
+	newClock, vol, seq, err := g.exchange(idx, d.clock, in, wrapped, extract)
 	d.clock = newClock
 	d.commTime += newClock - before
+	if err != nil {
+		return &CollectiveError{Op: op, Rank: d.Rank, Err: err}
+	}
 	if tr := d.F.tracer; tr != nil {
 		tr.Emit(d.Rank, trace.Event{
 			Class: trace.ClassCollective, Op: op,
@@ -420,29 +493,47 @@ func (d *Device) collective(op string, group []int, in any,
 			Start: before, End: newClock,
 		})
 	}
+	return nil
 }
 
-// Broadcast sends root's buffer to every member of group and returns each
-// member's private copy (root returns the original buffer). group must be
-// sorted; root is a rank, not an index.
-func (d *Device) Broadcast(group []int, root int, data []float32) []float32 {
+// TryBroadcast sends root's buffer to every member of group and returns
+// each member's private copy (root returns the original buffer). group
+// must be sorted; root is a rank, not an index. A nil root buffer is
+// reported cooperatively to every member as ErrNilBuffer.
+func (d *Device) TryBroadcast(group []int, root int, data []float32) ([]float32, error) {
+	const op = "broadcast"
+	if _, err := d.groupPos(op, group); err != nil {
+		return nil, err
+	}
+	rootIdx := indexOf(group, root)
+	if rootIdx < 0 {
+		return nil, &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("root %d not in group %v: %w", root, group, ErrBadGroup)}
+	}
 	if len(group) == 1 {
-		return data
+		if data == nil {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("root buffer: %w", ErrNilBuffer)}
+		}
+		return data, nil
 	}
 	var out []float32
 	f := d.F
-	rootIdx := indexOf(group, root)
 	var contribution any
 	if d.Rank == root {
-		contribution = data
+		if data == nil {
+			contribution = collErr{fmt.Errorf("root buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
+		} else {
+			contribution = data
+		}
 	}
-	d.collective("broadcast", group, contribution,
-		func(slots []any, clocks []float64) (float64, any, int64) {
+	err := d.collective(op, group, contribution,
+		func(slots []any, clocks []float64) (float64, any, int64, error) {
 			buf := slots[rootIdx].([]float32)
 			bytes := int64(len(buf)) * 4
 			vol := bytes * int64(len(group)-1)
-			f.addVolume(hw.OpBroadcast, vol)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpBroadcast, len(group), bytes), nil, vol
+			f.addVolume(hw.OpBroadcast, vol, d.side)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpBroadcast, len(group), bytes), nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			if d.Rank == root {
@@ -452,27 +543,54 @@ func (d *Device) Broadcast(group []int, root int, data []float32) []float32 {
 			src := slots[rootIdx].([]float32)
 			out = append(make([]float32, 0, len(src)), src...)
 		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Broadcast is TryBroadcast panicking on failure, for SPMD code where a
+// collective error is unrecoverable.
+func (d *Device) Broadcast(group []int, root int, data []float32) []float32 {
+	out, err := d.TryBroadcast(group, root, data)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// AllGather exchanges every member's buffer; the result is indexed by
-// group position. Entries for other ranks are private copies.
-func (d *Device) AllGather(group []int, local []float32) [][]float32 {
+// TryAllGather exchanges every member's buffer; the result is indexed by
+// group position. Entries for other ranks are private copies. A nil
+// local buffer (zero-length non-nil is valid) is reported cooperatively
+// to every member as ErrNilBuffer.
+func (d *Device) TryAllGather(group []int, local []float32) ([][]float32, error) {
+	const op = "allgather"
+	myIdx, err := d.groupPos(op, group)
+	if err != nil {
+		return nil, err
+	}
 	if len(group) == 1 {
-		return [][]float32{local}
+		if local == nil {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("local buffer: %w", ErrNilBuffer)}
+		}
+		return [][]float32{local}, nil
 	}
 	out := make([][]float32, len(group))
 	f := d.F
-	myIdx := d.groupIndex(group)
-	d.collective("allgather", group, local,
-		func(slots []any, clocks []float64) (float64, any, int64) {
+	var contribution any = local
+	if local == nil {
+		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
+	}
+	cerr := d.collective(op, group, contribution,
+		func(slots []any, clocks []float64) (float64, any, int64, error) {
 			var total int64
 			for _, s := range slots {
 				total += int64(len(s.([]float32))) * 4
 			}
 			vol := total * int64(len(group)-1)
-			f.addVolume(hw.OpAllGather, vol)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllGather, len(group), total), nil, vol
+			f.addVolume(hw.OpAllGather, vol, d.side)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllGather, len(group), total), nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -484,57 +602,113 @@ func (d *Device) AllGather(group []int, local []float32) [][]float32 {
 				out[i] = append(make([]float32, 0, len(src)), src...)
 			}
 		})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return out, nil
+}
+
+// AllGather is TryAllGather panicking on failure.
+func (d *Device) AllGather(group []int, local []float32) [][]float32 {
+	out, err := d.TryAllGather(group, local)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// AllReduceSum element-wise sums every member's buffer and returns a
-// private copy of the sum on each member. Buffers must share a length.
-func (d *Device) AllReduceSum(group []int, local []float32) []float32 {
+// TryAllReduceSum element-wise sums every member's buffer and returns a
+// private copy of the sum on each member. Buffers must share a length:
+// ranks disagreeing is reported to every member as ErrLengthMismatch
+// (naming both group positions), and a nil local buffer as ErrNilBuffer.
+func (d *Device) TryAllReduceSum(group []int, local []float32) ([]float32, error) {
+	const op = "allreduce"
+	if _, err := d.groupPos(op, group); err != nil {
+		return nil, err
+	}
 	if len(group) == 1 {
-		return append(make([]float32, 0, len(local)), local...)
+		if local == nil {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("local buffer: %w", ErrNilBuffer)}
+		}
+		return append(make([]float32, 0, len(local)), local...), nil
 	}
 	out := make([]float32, len(local))
 	f := d.F
-	d.collective("allreduce", group, local,
-		func(slots []any, clocks []float64) (float64, any, int64) {
+	var contribution any = local
+	if local == nil {
+		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
+	}
+	cerr := d.collective(op, group, contribution,
+		func(slots []any, clocks []float64) (float64, any, int64, error) {
 			first := slots[0].([]float32)
 			sum := make([]float32, len(first))
-			for _, s := range slots {
+			for i, s := range slots {
 				buf := s.([]float32)
 				if len(buf) != len(sum) {
-					panic("comm: AllReduceSum length mismatch across ranks")
+					return maxClock(clocks), nil, 0, fmt.Errorf(
+						"group position 0 has %d elements, position %d has %d: %w",
+						len(sum), i, len(buf), ErrLengthMismatch)
 				}
-				for i, v := range buf {
-					sum[i] += v
+				for j, v := range buf {
+					sum[j] += v
 				}
 			}
 			bytes := int64(len(sum)) * 4
 			vol := 2 * bytes * int64(len(group)-1)
-			f.addVolume(hw.OpAllReduce, vol)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllReduce, len(group), bytes), sum, vol
+			f.addVolume(hw.OpAllReduce, vol, d.side)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllReduce, len(group), bytes), sum, vol, nil
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32))
 		})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return out, nil
+}
+
+// AllReduceSum is TryAllReduceSum panicking on failure.
+func (d *Device) AllReduceSum(group []int, local []float32) []float32 {
+	out, err := d.TryAllReduceSum(group, local)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// AllToAll performs personalized exchange: parts[j] is sent to group[j];
-// the returned slice holds the buffer received from each group member
-// (own part is passed through without copy). This is the redistribution
-// primitive of Fig. 7.
-func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
-	if len(parts) != len(group) {
-		panic("comm: AllToAll needs one part per group member")
+// TryAllToAll performs personalized exchange: parts[j] is sent to
+// group[j]; the returned slice holds the buffer received from each group
+// member (own part is passed through without copy). This is the
+// redistribution primitive of Fig. 7. A parts slice of the wrong length
+// is ErrCountMismatch, rejected before the rendezvous; a nil parts
+// slice is ErrNilBuffer, delivered cooperatively to every member.
+// Individual nil parts are valid "send nothing" entries.
+func (d *Device) TryAllToAll(group []int, parts [][]float32) ([][]float32, error) {
+	const op = "alltoall"
+	myIdx, err := d.groupPos(op, group)
+	if err != nil {
+		return nil, err
+	}
+	if parts != nil && len(parts) != len(group) {
+		return nil, &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("%d parts for %d-member group: %w", len(parts), len(group), ErrCountMismatch)}
 	}
 	if len(group) == 1 {
-		return [][]float32{parts[0]}
+		if parts == nil {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("parts: %w", ErrNilBuffer)}
+		}
+		return [][]float32{parts[0]}, nil
 	}
 	out := make([][]float32, len(group))
 	f := d.F
-	myIdx := d.groupIndex(group)
-	d.collective("alltoall", group, parts,
-		func(slots []any, clocks []float64) (float64, any, int64) {
+	var contribution any = parts
+	if parts == nil {
+		contribution = collErr{fmt.Errorf("parts on rank %d: %w", d.Rank, ErrNilBuffer)}
+	}
+	cerr := d.collective(op, group, contribution,
+		func(slots []any, clocks []float64) (float64, any, int64, error) {
 			var maxInject, total int64
 			for i, s := range slots {
 				ps := s.([][]float32)
@@ -550,8 +724,8 @@ func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
 					maxInject = inject
 				}
 			}
-			f.addVolume(hw.OpAllToAll, total)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil, total
+			f.addVolume(hw.OpAllToAll, total, d.side)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil, total, nil
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -564,27 +738,60 @@ func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
 				out[i] = append(make([]float32, 0, len(src)), src...)
 			}
 		})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return out, nil
+}
+
+// AllToAll is TryAllToAll panicking on failure.
+func (d *Device) AllToAll(group []int, parts [][]float32) [][]float32 {
+	out, err := d.TryAllToAll(group, parts)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// ReduceScatterSum element-wise sums every member's buffer (all the same
-// length) and returns to each member its shard: counts[i] elements for
-// group position i, with sum(counts) == len(local). Used by the CAGNET
-// 1.5D baseline's partial-result reduction.
-func (d *Device) ReduceScatterSum(group []int, local []float32, counts []int) []float32 {
+// TryReduceScatterSum element-wise sums every member's buffer (all the
+// same length) and returns to each member its shard: counts[i] elements
+// for group position i, with sum(counts) == len(local). Used by the
+// CAGNET 1.5D baseline's partial-result reduction. Malformed counts are
+// ErrCountMismatch rejected before the rendezvous; a nil local buffer is
+// ErrNilBuffer and cross-rank length disagreement is ErrLengthMismatch,
+// both delivered cooperatively to every member.
+func (d *Device) TryReduceScatterSum(group []int, local []float32, counts []int) ([]float32, error) {
+	const op = "reducescatter"
+	myIdx, err := d.groupPos(op, group)
+	if err != nil {
+		return nil, err
+	}
+	if counts == nil {
+		return nil, &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("counts: %w", ErrNilBuffer)}
+	}
 	if len(counts) != len(group) {
-		panic("comm: ReduceScatterSum needs one count per member")
+		return nil, &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("%d counts for %d-member group: %w", len(counts), len(group), ErrCountMismatch)}
 	}
 	total := 0
-	for _, c := range counts {
+	for i, c := range counts {
+		if c < 0 {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("negative count %d at group position %d: %w", c, i, ErrCountMismatch)}
+		}
 		total += c
 	}
-	if total != len(local) {
-		panic("comm: ReduceScatterSum counts mismatch buffer length")
+	if local != nil && total != len(local) {
+		return nil, &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("counts sum %d != buffer length %d: %w", total, len(local), ErrCountMismatch)}
 	}
-	myIdx := d.groupIndex(group)
 	if len(group) == 1 {
-		return append(make([]float32, 0, len(local)), local...)
+		if local == nil {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("local buffer: %w", ErrNilBuffer)}
+		}
+		return append(make([]float32, 0, len(local)), local...), nil
 	}
 	offset := 0
 	for i := 0; i < myIdx; i++ {
@@ -592,39 +799,68 @@ func (d *Device) ReduceScatterSum(group []int, local []float32, counts []int) []
 	}
 	out := make([]float32, counts[myIdx])
 	f := d.F
-	d.collective("reducescatter", group, local,
-		func(slots []any, clocks []float64) (float64, any, int64) {
+	var contribution any = local
+	if local == nil {
+		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
+	}
+	cerr := d.collective(op, group, contribution,
+		func(slots []any, clocks []float64) (float64, any, int64, error) {
 			sum := make([]float32, total)
-			for _, s := range slots {
+			for i, s := range slots {
 				buf := s.([]float32)
 				if len(buf) != total {
-					panic("comm: ReduceScatterSum length mismatch across ranks")
+					return maxClock(clocks), nil, 0, fmt.Errorf(
+						"counts sum to %d but group position %d has %d elements: %w",
+						total, i, len(buf), ErrLengthMismatch)
 				}
-				for i, v := range buf {
-					sum[i] += v
+				for j, v := range buf {
+					sum[j] += v
 				}
 			}
 			bytes := int64(total) * 4
 			vol := bytes * int64(len(group)-1)
-			f.addVolume(hw.OpReduceScatter, vol)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum, vol
+			f.addVolume(hw.OpReduceScatter, vol, d.side)
+			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum, vol, nil
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32)[offset:offset+counts[myIdx]])
 		})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return out, nil
+}
+
+// ReduceScatterSum is TryReduceScatterSum panicking on failure.
+func (d *Device) ReduceScatterSum(group []int, local []float32, counts []int) []float32 {
+	out, err := d.TryReduceScatterSum(group, local, counts)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
-// Barrier synchronizes the group's clocks (latency-only cost).
-func (d *Device) Barrier(group []int) {
+// TryBarrier synchronizes the group's clocks (latency-only cost).
+func (d *Device) TryBarrier(group []int) error {
+	const op = "barrier"
+	if _, err := d.groupPos(op, group); err != nil {
+		return err
+	}
 	if len(group) == 1 {
-		return
+		return nil
 	}
 	f := d.F
-	d.collective("barrier", group, nil,
-		func(slots []any, clocks []float64) (float64, any, int64) {
-			return maxClock(clocks) + f.HW.LinkLatency, nil, 0
+	return d.collective(op, group, nil,
+		func(slots []any, clocks []float64) (float64, any, int64, error) {
+			return maxClock(clocks) + f.HW.LinkLatency, nil, 0, nil
 		}, nil)
+}
+
+// Barrier is TryBarrier panicking on failure.
+func (d *Device) Barrier(group []int) {
+	if err := d.TryBarrier(group); err != nil {
+		panic(err)
+	}
 }
 
 func indexOf(ranks []int, r int) int {
@@ -633,7 +869,7 @@ func indexOf(ranks []int, r int) int {
 			return i
 		}
 	}
-	panic(fmt.Sprintf("comm: rank %d not in group %v", r, ranks))
+	return -1
 }
 
 func maxClock(clocks []float64) float64 {

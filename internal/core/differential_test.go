@@ -1,0 +1,153 @@
+// Acceptance suite for the internal/verify oracle: differential
+// equivalence across every Table IV ordering and fabric size, byte-exact
+// cost-model agreement, trace conservation, and the metamorphic
+// invariants. External test package: verify imports core.
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/trace"
+	"gnnrdm/internal/verify"
+)
+
+// The differential problem: 64 vertices (divisible by every P under
+// test, keeping row blocks uniform and volume comparisons exact), 16
+// input features, 8 classes.
+const (
+	diffSeed    = 11
+	diffN       = 64
+	diffFin     = 16
+	diffClasses = 8
+)
+
+func diffDims() []int { return []int{diffFin, 12, diffClasses} }
+
+func diffProblem() *core.Problem {
+	return verify.DefaultProblem(diffSeed, diffN, diffFin, diffClasses)
+}
+
+// TestDifferentialAllConfigs is the headline differential sweep: all 16
+// two-layer orderings × P ∈ {1,2,4,8} against the single-device
+// reference.
+func TestDifferentialAllConfigs(t *testing.T) {
+	verify.RunDifferential(t, verify.DiffSpec{
+		Problem: diffProblem(),
+		Dims:    diffDims(),
+		Epochs:  3,
+	})
+}
+
+// TestDifferentialPartialReplication repeats the sweep with R_A < P
+// (row-panel adjacency replication, §III-E), which reroutes the
+// redistributions through grid layouts without changing the math.
+func TestDifferentialPartialReplication(t *testing.T) {
+	verify.RunDifferential(t, verify.DiffSpec{
+		Problem: diffProblem(),
+		Dims:    diffDims(),
+		Epochs:  3,
+		Ps:      []int{4, 8},
+		RAs: func(p int) []int {
+			if p == 8 {
+				return []int{2, 4}
+			}
+			return []int{2}
+		},
+	})
+}
+
+// TestVolumeMatchesModelAllConfigs asserts the metered RDM volume equals
+// the §IV cost-model prediction byte-for-byte for every ordering and
+// every (P, R_A) combination. Mask-redistribution traffic (deliberately
+// outside the model) rides the fabric side channel, which this test
+// additionally pins down: orderings with fused ReLU masks must move some
+// side bytes, pure orderings none.
+func TestVolumeMatchesModelAllConfigs(t *testing.T) {
+	prob := diffProblem()
+	combos := []struct{ p, ra int }{{1, 1}, {2, 2}, {4, 4}, {8, 8}, {4, 2}, {8, 2}, {8, 4}}
+	for cfg := 0; cfg < costmodel.NumConfigs(2); cfg++ {
+		for _, c := range combos {
+			cfg, c := cfg, c
+			t.Run(fmt.Sprintf("cfg%02d/P%d/RA%d", cfg, c.p, c.ra), func(t *testing.T) {
+				side := verify.CheckVolumeMatchesModel(t, prob, diffDims(), c.p, c.ra, cfg)
+				if c.p == 1 && side != 0 {
+					t.Fatalf("single device moved %d side-channel bytes", side)
+				}
+			})
+		}
+	}
+}
+
+// TestConservationTracedTraining runs traced multi-epoch training and
+// checks the full conservation ledger: monotone per-device timelines,
+// every collective round seen by all participants with equal bytes, and
+// traced bytes summing exactly to the fabric meters. Config 6 routes
+// ReLU masks through redistributions, exercising the side channel in the
+// ledger.
+func TestConservationTracedTraining(t *testing.T) {
+	prob := diffProblem()
+	for _, tc := range []struct{ p, cfg int }{{2, 0}, {4, 6}, {4, 10}, {8, 5}} {
+		tc := tc
+		t.Run(fmt.Sprintf("P%d/cfg%02d", tc.p, tc.cfg), func(t *testing.T) {
+			tr := trace.NewTracer(0)
+			o := core.Options{
+				Dims:             diffDims(),
+				Config:           costmodel.ConfigFromID(tc.cfg, 2),
+				Memoize:          true,
+				ComputeInputGrad: true,
+				LR:               0.01,
+				Seed:             7,
+				Tracer:           tr,
+			}
+			fab := verify.TrainFabric(tc.p, prob, o, 2)
+			verify.CheckFabricSession(t, fab, tr.Sessions()[0])
+		})
+	}
+}
+
+// TestVertexPermutationCommutes: relabelling vertices must not change
+// what is learned, only where rows live.
+func TestVertexPermutationCommutes(t *testing.T) {
+	prob := diffProblem()
+	for _, cfg := range []int{0, 10} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("cfg%02d", cfg), func(t *testing.T) {
+			verify.CheckVertexPermutation(t, prob, diffDims(), 2, 4, cfg, 29)
+		})
+	}
+}
+
+// TestFeatureScalingExactlyHomogeneous: doubling the inputs doubles the
+// first-epoch logits bitwise, for both a pure ordering and one with
+// redistribution on every boundary.
+func TestFeatureScalingExactlyHomogeneous(t *testing.T) {
+	prob := diffProblem()
+	for _, cfg := range []int{0, 5, 10} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("cfg%02d", cfg), func(t *testing.T) {
+			verify.CheckFeatureScaling(t, prob, diffDims(), 4, cfg)
+		})
+	}
+}
+
+// TestRedistRoundTripIdentity: layout round trips are the exact
+// identity on the ragged shapes training actually produces.
+func TestRedistRoundTripIdentity(t *testing.T) {
+	chains := [][]dist.Layout{
+		{dist.H, dist.V},
+		{dist.V, dist.H},
+		{dist.H, dist.G(2), dist.V},
+		{dist.H, dist.R},
+		{dist.G(2), dist.V, dist.H},
+	}
+	for _, chain := range chains {
+		chain := chain
+		t.Run(fmt.Sprintf("%v", chain), func(t *testing.T) {
+			verify.CheckRedistRoundTrip(t, 4, 13, 6, chain)
+		})
+	}
+}

@@ -242,6 +242,11 @@ func (m *Mat) RedistributeMask(target Layout) *Mat {
 	if src.Kind == Replicated || target.Kind == Replicated {
 		panic("dist: RedistributeMask supports grid-family layouts only")
 	}
+	// Mask bytes are mechanical traffic the paper's cost model does not
+	// count; meter them on the side channel so primary fabric volumes
+	// stay byte-comparable to costmodel predictions.
+	m.Dev.SetSideChannel(true)
+	defer m.Dev.SetSideChannel(false)
 	return m.regrid(gridPJ(src, p), gridPJ(target, p), packMask, unpackMask)
 }
 
@@ -393,6 +398,108 @@ func (m *Mat) replicate() *Mat {
 	}
 	dev.ChargeMem(out.Local.Bytes())
 	return out
+}
+
+// GatherRoot collects the full matrix onto the root device, which
+// returns it assembled; every other device returns nil. Unlike
+// Redistribute(R) only the tiles actually travel (each non-root device
+// injects exactly its tile, an all-to-all where root is the sole
+// receiver), so the volume is sum(non-root tile bytes) rather than the
+// allgather's (P-1)x blow-up. A Replicated source is free.
+func (m *Mat) GatherRoot(root int) *tensor.Dense {
+	dev := m.Dev
+	p := dev.P()
+	src := m.Layout.normalize(p)
+	if src.Kind == Replicated {
+		if dev.Rank == root {
+			return m.Local.Clone()
+		}
+		return nil
+	}
+	if p == 1 {
+		return m.Local.Clone()
+	}
+	dev.TraceBeginPhase("gather-root")
+	defer dev.TraceEndPhase()
+	parts := make([][]float32, p)
+	parts[root] = m.Local.Data
+	recv := dev.AllToAll(dev.World(), parts)
+	if dev.Rank != root {
+		return nil
+	}
+	out := tensor.NewDense(m.GlobalRows, m.GlobalCols)
+	for s := 0; s < p; s++ {
+		rlo, rhi := RowRange(src, p, s, m.GlobalRows)
+		clo, chi := ColRange(src, p, s, m.GlobalCols)
+		w := chi - clo
+		buf := recv[s]
+		if len(buf) != (rhi-rlo)*w {
+			panic(fmt.Sprintf("dist: GatherRoot got %d elements from %d, want %d", len(buf), s, (rhi-rlo)*w))
+		}
+		for i := rlo; i < rhi; i++ {
+			copy(out.Row(i)[clo:chi], buf[(i-rlo)*w:(i-rlo+1)*w])
+		}
+	}
+	dev.ChargeMem(out.Bytes())
+	return out
+}
+
+// ScatterRoot distributes a global matrix held only by root into the
+// target layout: root slices out each device's tile and sends it (an
+// all-to-all where root is the sole injector), so the volume is
+// sum(non-root tile bytes). Non-root devices pass global as nil. rows
+// and cols give the global shape (root's global must match).
+func ScatterRoot(dev *comm.Device, root int, l Layout, rows, cols int, global *tensor.Dense) *Mat {
+	p := dev.P()
+	l = l.normalize(p)
+	if dev.Rank == root {
+		if global == nil {
+			panic("dist: ScatterRoot needs the global matrix on root")
+		}
+		if global.Rows != rows || global.Cols != cols {
+			panic(fmt.Sprintf("dist: ScatterRoot global %dx%d != declared %dx%d",
+				global.Rows, global.Cols, rows, cols))
+		}
+	}
+	if p == 1 {
+		return Distribute(dev, l, global)
+	}
+	if l.Kind == Replicated {
+		// Every device needs the whole matrix: a broadcast, not a
+		// personalized exchange.
+		var data []float32
+		if dev.Rank == root {
+			data = global.Data
+		}
+		got := dev.Broadcast(dev.World(), root, data)
+		tile := tensor.NewDense(rows, cols)
+		copy(tile.Data, got)
+		return &Mat{Dev: dev, GlobalRows: rows, GlobalCols: cols, Layout: R, Local: tile}
+	}
+	dev.TraceBeginPhase("scatter-root")
+	defer dev.TraceEndPhase()
+	parts := make([][]float32, p)
+	if dev.Rank == root {
+		for s := 0; s < p; s++ {
+			rlo, rhi := RowRange(l, p, s, rows)
+			clo, chi := ColRange(l, p, s, cols)
+			sub := make([]float32, 0, (rhi-rlo)*(chi-clo))
+			for i := rlo; i < rhi; i++ {
+				sub = append(sub, global.Row(i)[clo:chi]...)
+			}
+			parts[s] = sub
+		}
+	}
+	recv := dev.AllToAll(dev.World(), parts)
+	wr, wc := TileShape(l, p, dev.Rank, rows, cols)
+	tile := tensor.NewDense(wr, wc)
+	buf := recv[root]
+	if len(buf) != wr*wc {
+		panic(fmt.Sprintf("dist: ScatterRoot got %d elements, want %d", len(buf), wr*wc))
+	}
+	copy(tile.Data, buf)
+	dev.ChargeMem(tile.Bytes())
+	return &Mat{Dev: dev, GlobalRows: rows, GlobalCols: cols, Layout: l, Local: tile}
 }
 
 // Assemble reconstructs the global matrix from all devices' Mats without

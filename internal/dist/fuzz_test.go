@@ -1,0 +1,55 @@
+package dist_test
+
+import (
+	"sync"
+	"testing"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/hw"
+)
+
+// FuzzRegrid drives the divide/exchange/merge redistribution path
+// (Fig. 7) with arbitrary shapes, fabric sizes, and layout pairs, and
+// checks that a round trip reconstructs the matrix exactly and that the
+// exchanged volume never exceeds two full copies of the matrix (each
+// regrid moves at most every element once).
+func FuzzRegrid(f *testing.F) {
+	f.Add(uint8(7), uint8(5), uint8(3), uint8(0), uint8(1))
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(12), uint8(4), uint8(3), uint8(2), uint8(0))
+	f.Add(uint8(3), uint8(9), uint8(1), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, rowsB, colsB, pSel, srcSel, dstSel uint8) {
+		rows := 1 + int(rowsB)%12
+		cols := 1 + int(colsB)%10
+		p := 1 + int(pSel)%4
+		layouts := []dist.Layout{dist.H, dist.V}
+		if p%2 == 0 {
+			layouts = append(layouts, dist.G(2))
+		}
+		src := layouts[int(srcSel)%len(layouts)]
+		dst := layouts[int(dstSel)%len(layouts)]
+
+		global := marked(rows, cols)
+		mats := make([]*dist.Mat, p)
+		var mu sync.Mutex
+		fab := comm.Run(p, hw.A6000(), func(d *comm.Device) {
+			m := dist.Distribute(d, src, global)
+			m = m.Redistribute(dst)
+			m = m.Redistribute(src)
+			mu.Lock()
+			mats[d.Rank] = m
+			mu.Unlock()
+		})
+		if err := sameDense(global, dist.Assemble(mats)); err != nil {
+			t.Fatalf("P=%d %v->%v->%v on %dx%d: %v", p, src, dst, src, rows, cols, err)
+		}
+		bound := int64(2 * rows * cols * 4)
+		if v := fab.Volume(hw.OpAllToAll); v > bound {
+			t.Fatalf("P=%d %v<->%v moved %d bytes, bound %d", p, src, dst, v, bound)
+		}
+		if p == 1 && fab.TotalVolume() != 0 {
+			t.Fatal("single device must not communicate")
+		}
+	})
+}

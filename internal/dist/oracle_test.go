@@ -1,0 +1,28 @@
+// Round-trip identity via the internal/verify oracle, under the
+// deadlock watchdog. The exhaustive ragged-shape chains live in
+// roundtrip_test.go; this wires dist into the shared harness.
+package dist_test
+
+import (
+	"testing"
+	"time"
+
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/verify"
+)
+
+func TestVerifyRoundTripOracle(t *testing.T) {
+	chains := [][]dist.Layout{
+		{dist.H, dist.V},
+		{dist.V, dist.G(2), dist.H},
+		{dist.H, dist.R, dist.V},
+	}
+	for _, p := range []int{2, 4} {
+		for _, chain := range chains {
+			p, chain := p, chain
+			verify.NoDeadlock(t, 30*time.Second, func() {
+				verify.CheckRedistRoundTrip(t, p, 11, 7, chain)
+			})
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// SAINT-RDM differential equivalence via the internal/verify oracle.
+// External test package: verify imports saint.
+package saint_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gnnrdm/internal/saint"
+	"gnnrdm/internal/verify"
+)
+
+// TestSAINTRDMDifferential: the accuracy-versus-updates curve must be
+// P-invariant for every sampler, since subgraphs are drawn host-side
+// from a shared seed and each update spans all devices (§V-C).
+func TestSAINTRDMDifferential(t *testing.T) {
+	prob := verify.RawProblem(13, 64, 16, 4)
+	for _, kind := range []saint.SamplerKind{saint.NodeSampler, saint.EdgeSampler, saint.RandomWalkSampler} {
+		kind := kind
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			opts := saint.Options{
+				Dims:       []int{16, 10, 4},
+				Seed:       5,
+				Kind:       kind,
+				Budget:     16,
+				WalkLength: 3,
+				NormTrials: 8,
+			}
+			verify.CheckSAINTDifferential(t, prob, nil, opts, 3, []int{2, 4})
+		})
+	}
+}
+
+// TestSAINTRDMDifferentialOrderings repeats the check under a
+// redistribution-heavy ordering: the Table IV config must not change
+// what SAINT learns either.
+func TestSAINTRDMDifferentialOrderings(t *testing.T) {
+	prob := verify.RawProblem(13, 64, 16, 4)
+	for _, cfg := range []int{5, 15} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("cfg%02d", cfg), func(t *testing.T) {
+			opts := saint.Options{
+				Dims:     []int{16, 10, 4},
+				Seed:     5,
+				Budget:   16,
+				ConfigID: cfg,
+			}
+			verify.CheckSAINTDifferential(t, prob, nil, opts, 2, []int{2})
+		})
+	}
+}

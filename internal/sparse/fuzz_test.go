@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// FuzzFromCoords drives COO→CSR construction with arbitrary coordinate
+// streams (duplicates, empty rows, unsorted input) and checks the CSR
+// invariants plus exact element semantics. Values are small integers so
+// duplicate summation is order-independent in float32 and comparisons
+// can be exact.
+func FuzzFromCoords(f *testing.F) {
+	f.Add([]byte{8, 8, 0, 0, 1, 3, 5, 2, 3, 5, 4}) // duplicate (3,5)
+	f.Add([]byte{1, 1, 0, 0, 7})
+	f.Add([]byte{16, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		r := 1 + int(data[0])%24
+		c := 1 + int(data[1])%24
+		body := data[2:]
+		coords := make([]Coord, 0, len(body)/3)
+		for i := 0; i+2 < len(body); i += 3 {
+			coords = append(coords, Coord{
+				Row: int32(int(body[i]) % r),
+				Col: int32(int(body[i+1]) % c),
+				Val: float32(int8(body[i+2])),
+			})
+		}
+		// Reference semantics: order-independent coordinate sum.
+		want := make(map[[2]int32]float32)
+		for _, e := range coords {
+			want[[2]int32{e.Row, e.Col}] += e.Val
+		}
+
+		m := FromCoords(r, c, coords)
+
+		if m.Rows != r || m.Cols != c {
+			t.Fatalf("shape %dx%d want %dx%d", m.Rows, m.Cols, r, c)
+		}
+		if m.RowPtr[0] != 0 || m.RowPtr[r] != int64(len(m.ColIdx)) || len(m.ColIdx) != len(m.Val) {
+			t.Fatalf("inconsistent CSR arrays: ptr0=%d ptrN=%d cols=%d vals=%d",
+				m.RowPtr[0], m.RowPtr[r], len(m.ColIdx), len(m.Val))
+		}
+		for i := 0; i < r; i++ {
+			if m.RowPtr[i] > m.RowPtr[i+1] {
+				t.Fatalf("row pointers not monotone at row %d", i)
+			}
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				if m.ColIdx[p] < 0 || int(m.ColIdx[p]) >= c {
+					t.Fatalf("column %d out of range at row %d", m.ColIdx[p], i)
+				}
+				if p > m.RowPtr[i] && m.ColIdx[p] <= m.ColIdx[p-1] {
+					t.Fatalf("columns not strictly increasing in row %d", i)
+				}
+				got := m.Val[p]
+				if w := want[[2]int32{int32(i), m.ColIdx[p]}]; got != w {
+					t.Fatalf("(%d,%d)=%v want %v", i, m.ColIdx[p], got, w)
+				}
+			}
+		}
+		// Duplicates must have been merged: stored entries == distinct coords
+		// (entries summing to zero are still stored; FromCoords does not
+		// drop explicit zeros).
+		if int(m.NNZ()) != len(want) {
+			t.Fatalf("nnz=%d want %d distinct coords", m.NNZ(), len(want))
+		}
+		// Transpose is an involution, exactly.
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+			t.Fatal("transpose involution changed shape")
+		}
+		for i := range m.ColIdx {
+			if tt.ColIdx[i] != m.ColIdx[i] || tt.Val[i] != m.Val[i] {
+				t.Fatalf("transpose involution changed entry %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/nn"
+	"gnnrdm/internal/tensor"
+)
+
+// DiffSpec is a table-driven differential-equivalence sweep: train every
+// (config, P, R_A) combination and assert the result agrees with the
+// single-device reference within the package tolerances.
+type DiffSpec struct {
+	Problem *core.Problem
+	Dims    []int // f_0..f_L
+	Epochs  int
+	Ps      []int // fabric sizes; defaults to {1, 2, 4, 8}
+	// Configs are Table IV ordering IDs; nil means all 2^{2L}.
+	Configs []int
+	// RAs returns the replication factors to sweep for a fabric size;
+	// nil means full replication only ({p}).
+	RAs func(p int) []int
+	// Seed and LR default to 7 and 0.01 (the repo's standard test
+	// hyperparameters).
+	Seed int64
+	LR   float64
+}
+
+func (s DiffSpec) opts(cfg int) core.Options {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 7
+	}
+	lr := s.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	return core.Options{
+		Dims:             s.Dims,
+		Config:           costmodel.ConfigFromID(cfg, len(s.Dims)-1),
+		Memoize:          true,
+		ComputeInputGrad: true,
+		LR:               lr,
+		Seed:             seed,
+	}
+}
+
+// RunDifferential executes the sweep, one subtest per combination. The
+// reference is trained once; each distributed run must match it on every
+// epoch's loss, the final logits, every final weight matrix, and the
+// all-vertex accuracy.
+func RunDifferential(t *testing.T, spec DiffSpec) {
+	t.Helper()
+	ps := spec.Ps
+	if ps == nil {
+		ps = []int{1, 2, 4, 8}
+	}
+	configs := spec.Configs
+	if configs == nil {
+		nc := costmodel.NumConfigs(len(spec.Dims) - 1)
+		configs = make([]int, nc)
+		for i := range configs {
+			configs[i] = i
+		}
+	}
+	ras := spec.RAs
+	if ras == nil {
+		ras = func(p int) []int { return []int{p} }
+	}
+	ref := core.ReferenceTrain(spec.Problem, spec.opts(0), spec.Epochs)
+	refAcc := nn.Accuracy(ref.Logits, spec.Problem.Labels, nil)
+
+	for _, cfg := range configs {
+		for _, p := range ps {
+			for _, ra := range ras(p) {
+				cfg, p, ra := cfg, p, ra
+				t.Run(fmt.Sprintf("cfg%02d/P%d/RA%d", cfg, p, ra), func(t *testing.T) {
+					o := spec.opts(cfg)
+					o.RA = ra
+					res := core.Train(p, hw.A6000(), spec.Problem, o, spec.Epochs)
+					for ep, want := range ref.Losses {
+						if d := math.Abs(res.Epochs[ep].Loss - want); d > LossTol {
+							t.Fatalf("epoch %d loss %v, reference %v (|Δ|=%.3g > %g)",
+								ep, res.Epochs[ep].Loss, want, d, LossTol)
+						}
+					}
+					if d := tensor.MaxAbsDiff(res.Logits, ref.Logits); d > LogitsTol {
+						t.Fatalf("final logits diverge from reference: max|Δ|=%.3g > %g", d, LogitsTol)
+					}
+					if len(res.Weights) != len(ref.Weights) {
+						t.Fatalf("weight group count %d, reference %d", len(res.Weights), len(ref.Weights))
+					}
+					for i := range res.Weights {
+						if d := tensor.MaxAbsDiff(res.Weights[i], ref.Weights[i]); d > WeightTol {
+							t.Fatalf("weight %d diverges from reference: max|Δ|=%.3g > %g", i, d, WeightTol)
+						}
+					}
+					acc := res.Accuracy(spec.Problem.Labels, nil)
+					if d := math.Abs(acc - refAcc); d > AccTol {
+						t.Fatalf("accuracy %v, reference %v (|Δ|=%.3g > %g)", acc, refAcc, d, AccTol)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TrainFabric runs epochs of engine training on a fresh fabric and
+// returns the fabric for meter/trace inspection (core.Train does not
+// expose its fabric). When tracing is requested via opts.Tracer the
+// session is labelled opts.TraceLabel.
+func TrainFabric(p int, prob *core.Problem, opts core.Options, epochs int) *comm.Fabric {
+	if opts.RA == 0 {
+		opts.RA = p
+	}
+	fab := comm.NewFabric(p, hw.A6000())
+	if opts.Tracer != nil {
+		label := opts.TraceLabel
+		if label == "" {
+			label = "verify"
+		}
+		fab.SetTracer(opts.Tracer, label)
+	}
+	fab.Run(func(d *comm.Device) {
+		eng := core.NewEngine(d, prob, opts)
+		for ep := 0; ep < epochs; ep++ {
+			eng.Epoch()
+		}
+	})
+	return fab
+}
+
+// CheckVolumeMatchesModel trains one epoch and asserts the metered RDM
+// volume — all-to-all redistributions plus column-group allgathers —
+// equals the §IV cost-model prediction byte-for-byte. Mask
+// redistribution traffic (which the model deliberately omits) rides the
+// fabric's side channel and is therefore excluded from the primary
+// meters automatically; it is returned for callers that want to
+// reconcile total traffic.
+func CheckVolumeMatchesModel(t testing.TB, prob *core.Problem, dims []int, p, ra, cfg int) (side int64) {
+	t.Helper()
+	o := DiffSpec{Dims: dims}.opts(cfg)
+	o.RA = ra
+	fab := TrainFabric(p, prob, o, 1)
+	got := fab.Volume(hw.OpAllToAll) + fab.Volume(hw.OpAllGather)
+	net := costmodel.Network{Dims: dims, N: int64(prob.N()), NNZ: prob.A.NNZ(), P: p, RA: ra}
+	want := costmodel.EvaluateEngine(net, costmodel.ConfigFromID(cfg, len(dims)-1)).CommVolumeBytes()
+	if got != want {
+		t.Fatalf("P=%d RA=%d cfg=%d: metered RDM volume %d bytes, model predicts %d (Δ=%d)",
+			p, ra, cfg, got, want, got-want)
+	}
+	return fab.TotalSideVolume()
+}

@@ -1,0 +1,50 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/saint"
+)
+
+// CheckSAINTDifferential asserts SAINT-RDM is P-invariant: every device
+// count must walk the same accuracy-versus-updates curve as the
+// single-device run, because subgraphs are drawn host-side from a shared
+// seed and every subgraph's update runs across all P devices (§V-C).
+//
+// prob must be the RAW (unnormalized) problem — TrainSAINTRDM applies
+// GCN normalization internally.
+func CheckSAINTDifferential(t *testing.T, prob *core.Problem, testMask []bool, opts saint.Options, epochs int, ps []int) {
+	t.Helper()
+	if ps == nil {
+		ps = []int{2, 4}
+	}
+	ref := saint.TrainSAINTRDM(1, hw.A6000(), prob, testMask, opts, epochs)
+	for _, p := range ps {
+		p := p
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			cur := saint.TrainSAINTRDM(p, hw.A6000(), prob, testMask, opts, epochs)
+			if len(cur.Points) != len(ref.Points) {
+				t.Fatalf("curve has %d points, single-device reference %d", len(cur.Points), len(ref.Points))
+			}
+			for i, want := range ref.Points {
+				got := cur.Points[i]
+				if got.Updates != want.Updates {
+					t.Fatalf("point %d: %d updates, reference %d — P must not change the update schedule",
+						i, got.Updates, want.Updates)
+				}
+				if d := math.Abs(got.TrainLoss - want.TrainLoss); d > LossTol {
+					t.Fatalf("point %d: train loss %v, reference %v (|Δ|=%.3g > %g)",
+						i, got.TrainLoss, want.TrainLoss, d, LossTol)
+				}
+				if d := math.Abs(got.TestAcc - want.TestAcc); d > AccTol {
+					t.Fatalf("point %d: test acc %v, reference %v (|Δ|=%.3g > %g)",
+						i, got.TestAcc, want.TestAcc, d, AccTol)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package verify
+
+// Self-tests: the oracle must itself be tested, and its failure
+// detection can only be exercised here — the suites in core, dist, saint
+// and baselines only ever see it pass.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/trace"
+)
+
+// emitRound records one consistent collective round on every rank.
+func emitRound(tr *trace.Tracer, ranks int, seq uint64, op string, bytes int64, start, end float64) {
+	for r := 0; r < ranks; r++ {
+		tr.Emit(r, trace.Event{
+			Class: trace.ClassCollective, Op: op, Group: "0,1", Seq: seq,
+			GroupSize: ranks, Bytes: bytes, Start: start, End: end,
+		})
+	}
+}
+
+func wantCheckErr(t *testing.T, s *trace.Session, substr string) {
+	t.Helper()
+	err := checkSession(nil, s)
+	if err == nil {
+		t.Fatalf("checkSession passed, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("checkSession error %q does not mention %q", err, substr)
+	}
+}
+
+func TestCheckSessionHandBuilt(t *testing.T) {
+	t.Run("consistent", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("good", 2)
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 0, End: 1})
+		emitRound(tr, 2, 1, "allgather", 8, 1, 2)
+		emitRound(tr, 2, 2, "alltoall", 16, 2, 3)
+		if err := checkSession(nil, s); err != nil {
+			t.Fatalf("consistent session rejected: %v", err)
+		}
+	})
+	t.Run("backwards event", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("bad", 1)
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 2, End: 1})
+		wantCheckErr(t, s, "runs backwards")
+	})
+	t.Run("overlapping events", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("bad", 1)
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 0, End: 2})
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "spmm", Start: 1, End: 3})
+		wantCheckErr(t, s, "before previous event ended")
+	})
+	t.Run("byte mismatch across ranks", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("bad", 2)
+		tr.Emit(0, trace.Event{Class: trace.ClassCollective, Op: "allgather", Group: "0,1", Seq: 1, GroupSize: 2, Bytes: 8, Start: 0, End: 1})
+		tr.Emit(1, trace.Event{Class: trace.ClassCollective, Op: "allgather", Group: "0,1", Seq: 1, GroupSize: 2, Bytes: 12, Start: 0, End: 1})
+		wantCheckErr(t, s, "sent != received")
+	})
+	t.Run("unsynchronized end", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("bad", 2)
+		tr.Emit(0, trace.Event{Class: trace.ClassCollective, Op: "allgather", Group: "0,1", Seq: 1, GroupSize: 2, Bytes: 8, Start: 0, End: 1})
+		tr.Emit(1, trace.Event{Class: trace.ClassCollective, Op: "allgather", Group: "0,1", Seq: 1, GroupSize: 2, Bytes: 8, Start: 0, End: 1.5})
+		wantCheckErr(t, s, "not synchronized")
+	})
+	t.Run("missing participant", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("bad", 2)
+		tr.Emit(0, trace.Event{Class: trace.ClassCollective, Op: "allgather", Group: "0,1", Seq: 1, GroupSize: 2, Bytes: 8, Start: 0, End: 1})
+		wantCheckErr(t, s, "recorded by 1 of 2")
+	})
+	t.Run("dropped events", func(t *testing.T) {
+		tr := trace.NewTracer(2)
+		s := tr.StartSession("bad", 1)
+		for i := 0; i < 3; i++ {
+			tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: float64(i), End: float64(i + 1)})
+		}
+		wantCheckErr(t, s, "dropped")
+	})
+	t.Run("phases exempt", func(t *testing.T) {
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("good", 1)
+		// A phase spanning two kernels overlaps both — allowed.
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 0, End: 1})
+		tr.Emit(0, trace.Event{Class: trace.ClassPhase, Op: "forward", Start: 0, End: 2})
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 1, End: 2})
+		if err := checkSession(nil, s); err != nil {
+			t.Fatalf("phase events must be exempt from monotonicity: %v", err)
+		}
+	})
+}
+
+func TestCheckSessionRealFabric(t *testing.T) {
+	tr := trace.NewTracer(0)
+	fab := comm.NewFabric(2, hw.A6000())
+	fab.SetTracer(tr, "self")
+	fab.Run(func(d *comm.Device) {
+		d.AllGather(d.World(), []float32{float32(d.Rank)})
+		d.AllReduceSum(d.World(), []float32{1, 2})
+		d.Barrier(d.World())
+		d.SetSideChannel(true)
+		d.AllToAll(d.World(), [][]float32{{9}, {10}})
+		d.SetSideChannel(false)
+	})
+	s := tr.Sessions()[0]
+	if err := checkSession(fab, s); err != nil {
+		t.Fatalf("real traced run rejected: %v", err)
+	}
+	// Meter cross-check must notice when meters and trace disagree.
+	fab.ResetVolumes()
+	err := checkSession(fab, s)
+	if err == nil || !strings.Contains(err.Error(), "fabric metered") {
+		t.Fatalf("reset meters should fail the trace cross-check, got %v", err)
+	}
+}
+
+func TestNoDeadlock(t *testing.T) {
+	if err := noDeadlock(time.Second, func() {}); err != nil {
+		t.Fatalf("returning function flagged: %v", err)
+	}
+	block := make(chan struct{})
+	defer close(block)
+	if err := noDeadlock(50*time.Millisecond, func() { <-block }); err == nil {
+		t.Fatal("blocked function not flagged as deadlock")
+	}
+	if err := noDeadlock(time.Second, func() { panic("boom") }); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("panicking function should surface as error, got %v", err)
+	}
+}
+
+func TestPermuteProblemMovesEntries(t *testing.T) {
+	prob := DefaultProblem(3, 16, 4, 2)
+	perm := RandomPerm(9, prob.N())
+	twin := PermuteProblem(prob, perm)
+	if twin.A.NNZ() != prob.A.NNZ() {
+		t.Fatalf("permutation changed NNZ: %d -> %d", prob.A.NNZ(), twin.A.NNZ())
+	}
+	// Every entry A[i,j] must appear bitwise at A'[perm[i],perm[j]].
+	for i := 0; i < prob.A.Rows; i++ {
+		for p := prob.A.RowPtr[i]; p < prob.A.RowPtr[i+1]; p++ {
+			j, v := int(prob.A.ColIdx[p]), prob.A.Val[p]
+			if got := twin.A.At(perm[i], perm[j]); got != v {
+				t.Fatalf("A[%d,%d]=%v landed at A'[%d,%d]=%v", i, j, v, perm[i], perm[j], got)
+			}
+		}
+	}
+	for i := 0; i < prob.X.Rows; i++ {
+		for c := 0; c < prob.X.Cols; c++ {
+			if twin.X.At(perm[i], c) != prob.X.At(i, c) {
+				t.Fatalf("X row %d not moved bitwise to row %d", i, perm[i])
+			}
+		}
+	}
+	for i, l := range prob.Labels {
+		if twin.Labels[perm[i]] != l {
+			t.Fatalf("label %d not moved to %d", i, perm[i])
+		}
+	}
+}
+
+func TestScaleFeaturesExact(t *testing.T) {
+	prob := DefaultProblem(3, 16, 4, 2)
+	scaled := ScaleFeatures(prob, 2)
+	for i, v := range prob.X.Data {
+		if scaled.X.Data[i] != 2*v {
+			t.Fatalf("element %d: %v, want exactly %v", i, scaled.X.Data[i], 2*v)
+		}
+	}
+	if &scaled.X.Data[0] == &prob.X.Data[0] {
+		t.Fatal("ScaleFeatures must not alias the original features")
+	}
+	if scaled.A != prob.A {
+		t.Fatal("ScaleFeatures must share the adjacency")
+	}
+}
