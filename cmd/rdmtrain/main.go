@@ -21,6 +21,7 @@ import (
 
 	"gnnrdm/internal/core"
 	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/fault"
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/saint"
@@ -58,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		save      = fs.String("save", "", "write a checkpoint here after training")
 		resume    = fs.String("resume", "", "resume from a checkpoint")
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
+		faults    = fs.String("faults", "", "fault schedule to inject, e.g. 'crash@rank2:epoch3,slow@rank0:1.5x' (enables elastic recovery; see RESILIENCE.md)")
+		faultSeed = fs.Int64("fault-seed", 1, "fault injector seed (same seed + schedule reproduces the identical run)")
+		ckEvery   = fs.Int("checkpoint-every", 1, "epochs between durable recovery checkpoints in an elastic run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -152,6 +156,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// 4. Train (with optional resume/save through the engine API).
+	if *faults != "" {
+		return runElastic(stdout, fail, prob, opts, faultFlags{
+			faults: *faults, seed: *faultSeed, every: *ckEvery,
+			gpus: *gpus, epochs: *epochs, ra: *ra,
+			resume: *resume, save: *save, traceOut: *traceOut,
+		})
+	}
 	var cp *core.Checkpoint
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -204,6 +215,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "checkpoint written to %s\n", *save)
+	}
+	return 0
+}
+
+// faultFlags carries the flag values the elastic training path needs.
+type faultFlags struct {
+	faults           string
+	seed             int64
+	every            int
+	gpus, epochs, ra int
+	resume, save     string
+	traceOut         string
+}
+
+// runElastic trains under an injected fault schedule with elastic
+// recovery, printing a per-recovery summary alongside the usual epoch
+// report. See RESILIENCE.md for the schedule grammar and fault model.
+func runElastic(stdout io.Writer, fail func(error) int, prob *core.Problem, opts core.Options, ff faultFlags) int {
+	if ff.resume != "" || ff.save != "" {
+		return fail(fmt.Errorf("-faults runs checkpoint internally for recovery; drop -resume/-save"))
+	}
+	if ff.ra > 1 {
+		return fail(fmt.Errorf("-faults needs -ra 0 or 1: a fixed replication factor cannot divide every shrunken world"))
+	}
+	sched, err := fault.ParseSchedule(ff.faults)
+	if err != nil {
+		return fail(err)
+	}
+	if err := sched.Validate(ff.gpus); err != nil {
+		return fail(err)
+	}
+
+	el := core.TrainElastic(ff.gpus, hw.A6000(), prob, opts, ff.epochs, core.ElasticOptions{
+		Schedule:        sched,
+		FaultSeed:       ff.seed,
+		CheckpointEvery: ff.every,
+	})
+
+	for i, ep := range el.Epochs {
+		if i%5 == 0 || i == len(el.Epochs)-1 {
+			fmt.Fprintf(stdout, "epoch %3d  loss %.4f  sim %.3fms  comm %.3fms  %.2fMB\n",
+				i, ep.Loss, ep.Time*1e3, ep.CommTime*1e3, float64(ep.CommBytes)/(1<<20))
+		}
+	}
+	for i, rec := range el.Recoveries {
+		fmt.Fprintf(stdout, "recovery %d: epoch %d fault (failed ranks %v) -> rollback to epoch %d, world %d->%d, reshard %.3fMB (model %.3fMB) at sim %.3fms\n",
+			i, rec.AbortEpoch, rec.Failed, rec.ResumeEpoch, rec.OldP, rec.NewP,
+			float64(rec.ReshardBytes)/(1<<20), float64(rec.PredictedReshardBytes)/(1<<20), rec.SimTime*1e3)
+	}
+	fmt.Fprintf(stdout, "finished on %d/%d devices (survivors %v)  train accuracy: %.4f\n",
+		el.FinalP, ff.gpus, el.FinalSurvivors, el.Accuracy(prob.Labels, nil))
+
+	if ff.traceOut != "" {
+		f, err := os.Create(ff.traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.WriteChrome(f, opts.Tracer); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s (open in Perfetto / chrome://tracing)\n", ff.traceOut)
 	}
 	return 0
 }

@@ -66,3 +66,50 @@ func TestSyntheticTrainWithTrace(t *testing.T) {
 		t.Errorf("checkpoint missing or empty: %v", err)
 	}
 }
+
+func TestElasticFaultRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-synthetic", "-n", "128", "-classes", "4", "-features", "8",
+		"-hidden", "16", "-gpus", "4", "-epochs", "5",
+		"-faults", "crash@rank2:epoch2,slow@rank1:1.5x", "-fault-seed", "7"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{
+		"recovery 0: epoch 2 fault (failed ranks [2])",
+		"world 4->3",
+		"finished on 3/4 devices (survivors [0 1 3])",
+		"train accuracy",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestElasticRejectsBadCombos(t *testing.T) {
+	base := []string{"-synthetic", "-n", "64", "-classes", "4", "-features", "8",
+		"-gpus", "4", "-epochs", "2"}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"save", append(base, "-faults", "crash@rank1:epoch1", "-save", "x.ckpt"), "drop -resume/-save"},
+		{"ra", append(base, "-faults", "crash@rank1:epoch1", "-ra", "2"), "-ra 0 or 1"},
+		{"grammar", append(base, "-faults", "boom@rank1:epoch1"), "rdmtrain:"},
+		{"all-dead", append(base, "-faults",
+			"crash@rank0:epoch1,crash@rank1:epoch1,crash@rank2:epoch1,crash@rank3:epoch1"), "at least one must survive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb); code != 1 {
+				t.Fatalf("exit = %d, want 1 (stderr %q)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), c.want) {
+				t.Errorf("stderr = %q, want substring %q", errb.String(), c.want)
+			}
+		})
+	}
+}

@@ -88,6 +88,28 @@ func main() {
 	ck := "internal/core/testdata/fuzz/FuzzReadCheckpoint"
 	write(ck, "seed-valid", bs(cpBuf.Bytes()))
 	write(ck, "seed-truncated", bs(cpBuf.Bytes()[:2*cpBuf.Len()/3]))
+	// Classified v2 failure modes: a cut CRC trailer, bit rot past the
+	// header (only the CRC catches it), and a foreign version word.
+	write(ck, "seed-cut-trailer", bs(cpBuf.Bytes()[:cpBuf.Len()-4]))
+	rot := append([]byte(nil), cpBuf.Bytes()...)
+	rot[len(rot)/2] ^= 0x10
+	write(ck, "seed-bitrot", bs(rot))
+	ver := append([]byte(nil), cpBuf.Bytes()...)
+	ver[8] = 99
+	write(ck, "seed-badversion", bs(ver))
+
+	// internal/fault: -faults schedule grammar parser.
+	fz := "internal/fault/testdata/fuzz/FuzzFaultSchedule"
+	write(fz, "seed-crash-epoch", `string("crash@rank2:epoch3")`)
+	write(fz, "seed-crash-time", `string("crash@rank5:t0.25")`)
+	write(fz, "seed-slow", `string("slow@rank0:1.5x")`)
+	write(fz, "seed-degrade", `string("degrade@rank1:alpha2:beta4")`)
+	write(fz, "seed-flip", `string("flip@rank3:epoch1")`)
+	write(fz, "seed-drop-n", `string("drop@rank0:epoch2:n2")`)
+	write(fz, "seed-multi", `string("crash@rank0:t1e-3,degrade@rank2:alpha1.5:beta3,drop@rank1:epoch0")`)
+	write(fz, "seed-simultaneous", `string("crash@rank1:epoch2,crash@rank3:epoch2,crash@rank5:epoch2,crash@rank7:epoch2")`)
+	write(fz, "seed-spaces", `string(" crash@rank2:epoch3 , flip@rank0:epoch0 ")`)
+	write(fz, "seed-bad-verb", `string("boom@rank0:epoch1")`)
 
 	// internal/sparse: COO→CSR construction.
 	fc := "internal/sparse/testdata/fuzz/FuzzFromCoords"

@@ -21,6 +21,74 @@ var (
 	ErrBadGroup = errors.New("malformed group")
 )
 
+// Fault sentinels. Unlike the data-error sentinels above these describe
+// runtime faults of the (simulated) machine, not caller mistakes, and
+// they surface wrapped in *FaultError rather than *CollectiveError.
+var (
+	// ErrPeerDead reports a collective abandoned because a group member
+	// crashed (or exited Run) before completing the rendezvous. Every
+	// surviving participant receives it after being charged the fabric's
+	// collective deadline.
+	ErrPeerDead = errors.New("peer dead")
+	// ErrTransient reports a transient collective failure injected by a
+	// fault hook. Transient rounds are retried under the fabric's
+	// RetryPolicy with backoff charged to the simulated clock.
+	ErrTransient = errors.New("transient fault")
+	// ErrCorrupt reports a payload checksum mismatch detected by the CRC
+	// side-channel (Fabric.EnableCRC). Corrupt rounds are retried like
+	// transient ones: the reference model is an on-the-wire flip, so the
+	// retransmission is expected to go through clean.
+	ErrCorrupt = errors.New("payload corrupt")
+)
+
+// FaultError describes a collective that failed because of a machine
+// fault: a dead peer, an exhausted retry budget on a transient fault, or
+// an uncorrectable corrupt payload. It is delivered to every surviving
+// participant of the round (wrapping the identical cause), so SPMD code
+// can cooperatively abort — the elastic driver in internal/core recovers
+// these and triggers checkpoint rollback + world shrink.
+type FaultError struct {
+	Op   string // collective name ("allreduce", "alltoall", ...)
+	Rank int    // device reporting the failure
+	Err  error  // cause, wrapping ErrPeerDead / ErrTransient / ErrCorrupt
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("comm: fault during %s on rank %d: %v", e.Op, e.Rank, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Killed is the panic value a fault injector uses to crash a device at a
+// scheduled point. Fabric.Run recovers it and marks the device dead —
+// waking every rendezvous the victim would have joined with ErrPeerDead —
+// without re-panicking, since a scheduled crash is the experiment, not a
+// bug. Any other panic value is re-raised by Run after all devices stop.
+type Killed struct {
+	Rank   int
+	Reason string
+}
+
+func (k Killed) String() string {
+	return fmt.Sprintf("rank %d killed: %s", k.Rank, k.Reason)
+}
+
+// IsFaultPanic reports whether a recovered panic value is fault-class:
+// either a Killed crash marker or an error whose chain contains a
+// *FaultError. Elastic drivers use it to separate scheduled failures
+// (recover and re-form the world) from genuine bugs (re-panic).
+func IsFaultPanic(r any) bool {
+	if _, ok := r.(Killed); ok {
+		return true
+	}
+	if err, ok := r.(error); ok {
+		var fe *FaultError
+		return errors.As(err, &fe)
+	}
+	return false
+}
+
 // CollectiveError describes a failed collective: the operation, the rank
 // reporting it, and the underlying cause (wrapping one of the sentinels
 // above).

@@ -31,7 +31,11 @@
 package comm
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -64,7 +68,68 @@ type Fabric struct {
 	// as a trace event. Set before Run via SetTracer; nil keeps tracing
 	// disabled at zero cost.
 	tracer *trace.Tracer
+
+	// Fault-injection state (see RESILIENCE.md). deadMu guards dead and
+	// is never held together with the fabric mu or a group mu, so
+	// dead-marking can wake rendezvous groups without ordering hazards.
+	deadMu sync.Mutex
+	dead   map[int]string // rank -> cause, for crashed or exited devices
+
+	hook     FaultHook
+	retry    RetryPolicy
+	crc      bool
+	deadline float64 // simulated seconds charged per abandoned collective
+	// linkAlpha/linkBeta hold per-rank link degradation multipliers
+	// (nil = clean fabric); a collective runs at the worst multipliers
+	// among its participants.
+	linkAlpha, linkBeta []float64
 }
+
+// FaultHook lets a fault injector (internal/fault) observe and perturb
+// fabric activity deterministically. Both methods are driven purely by
+// simulated state, never wall time.
+type FaultHook interface {
+	// BeforeCollective runs on every device entering a collective,
+	// before the rendezvous. It may panic with Killed to crash the
+	// device at a scheduled simulated time; Fabric.Run contains the
+	// crash and fails the victim's peers with ErrPeerDead.
+	BeforeCollective(d *Device, op string)
+	// OnRound runs once per rendezvous round, on whichever device
+	// finalizes it, under the group lock, after cooperative data errors
+	// are scanned and before the operation's own finalizer. slots holds
+	// every participant's deposited payload ([]float32 or [][]float32,
+	// indexed by group position); the hook may flip bits in them to
+	// model wire corruption, and may return an error wrapping
+	// ErrTransient to fail the round for every participant (retried
+	// under the fabric's RetryPolicy). It must not call back into the
+	// fabric, and it must tolerate concurrent calls from the finalizers
+	// of disjoint groups.
+	OnRound(d *Device, op string, group []int, seq uint64, slots []any) error
+}
+
+// RetryPolicy bounds the fabric's automatic retry of transient collective
+// failures (rounds failed with ErrTransient or ErrCorrupt). Backoff is
+// charged to the simulated clock, never wall time: retry k (1-based)
+// waits Backoff·Multiplier^(k-1) simulated seconds before re-entering
+// the rendezvous. The zero policy disables retries.
+type RetryPolicy struct {
+	Max        int     // retries after the first attempt; 0 disables
+	Backoff    float64 // simulated seconds before the first retry
+	Multiplier float64 // backoff growth per retry (values < 1 read as 1)
+}
+
+// DefaultRetryPolicy is the policy the elastic driver installs when none
+// is configured: three retries starting at 100 simulated microseconds,
+// doubling each time.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Max: 3, Backoff: 100e-6, Multiplier: 2}
+}
+
+// DefaultCollectiveDeadline is the simulated time a survivor waits
+// before abandoning a rendezvous with a dead peer when no explicit
+// deadline is configured (SetCollectiveDeadline): one simulated
+// millisecond, far beyond any clean collective in the modelled regime.
+const DefaultCollectiveDeadline = 1e-3
 
 // NewFabric creates a fabric with p devices using the given hardware model.
 func NewFabric(p int, model *hw.Model) *Fabric {
@@ -83,16 +148,177 @@ func NewFabric(p int, model *hw.Model) *Fabric {
 func (f *Fabric) Device(rank int) *Device { return f.devices[rank] }
 
 // Run executes fn concurrently on every device and waits for completion.
+//
+// Fault containment: a device goroutine that panics with Killed (a
+// scheduled crash from a fault injector) is marked dead, which fails any
+// rendezvous its peers are blocked in with ErrPeerDead instead of
+// hanging the fabric forever; the Killed value is then swallowed — the
+// crash is the experiment, not a bug. Any other panic likewise marks the
+// device dead so the survivors unblock and drain, but is re-raised
+// (lowest rank first) once every goroutine has stopped. A device whose
+// fn returns normally while peers are still communicating counts as
+// departed the same way, so no rendezvous ever waits on a rank that can
+// no longer arrive.
 func (f *Fabric) Run(fn func(d *Device)) {
+	f.deadMu.Lock()
+	f.dead = nil // fabric reuse across Runs starts with a clean world
+	f.deadMu.Unlock()
+	panics := make([]any, f.P)
 	var wg sync.WaitGroup
 	for r := 0; r < f.P; r++ {
 		wg.Add(1)
 		go func(d *Device) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[d.Rank] = rec
+					cause := "panic"
+					if k, ok := rec.(Killed); ok {
+						cause = "killed: " + k.Reason
+					}
+					f.markDead(d.Rank, cause)
+					return
+				}
+				f.markDead(d.Rank, "exited")
+			}()
 			fn(d)
 		}(f.devices[r])
 	}
 	wg.Wait()
+	for _, rec := range panics {
+		if rec == nil {
+			continue
+		}
+		if _, ok := rec.(Killed); ok {
+			continue
+		}
+		panic(rec)
+	}
+}
+
+// markDead records rank as unable to ever rejoin a rendezvous and wakes
+// every group so blocked participants observe the death.
+func (f *Fabric) markDead(rank int, cause string) {
+	f.deadMu.Lock()
+	if f.dead == nil {
+		f.dead = make(map[int]string)
+	}
+	f.dead[rank] = cause
+	f.deadMu.Unlock()
+	f.mu.Lock()
+	groups := make([]*groupComm, 0, len(f.groups))
+	for _, g := range f.groups {
+		groups = append(groups, g)
+	}
+	f.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// deadIn returns a peer-dead error naming the first dead member of
+// group, or nil when every member is live.
+func (f *Fabric) deadIn(group []int) error {
+	f.deadMu.Lock()
+	defer f.deadMu.Unlock()
+	if len(f.dead) == 0 {
+		return nil
+	}
+	for _, r := range group {
+		if cause, ok := f.dead[r]; ok {
+			return fmt.Errorf("rank %d (%s): %w", r, cause, ErrPeerDead)
+		}
+	}
+	return nil
+}
+
+// SetFaultHook attaches a fault injector's hook (nil detaches). Call
+// before Run.
+func (f *Fabric) SetFaultHook(h FaultHook) { f.hook = h }
+
+// SetRetryPolicy configures automatic retry of transient/corrupt
+// collective rounds. The zero policy (the default) disables retries, so
+// the first transient failure surfaces as a *FaultError.
+func (f *Fabric) SetRetryPolicy(rp RetryPolicy) { f.retry = rp }
+
+// EnableCRC arms the CRC32 side-channel: each collective round's
+// payloads are checksummed before the fault hook runs and verified
+// after it, so injected wire corruption surfaces as an ErrCorrupt round
+// (retried under the RetryPolicy) instead of silently poisoning
+// training. The checksums ride the existing rendezvous and move no
+// extra metered bytes; with no hook attached the channel costs nothing.
+// Disabled by default.
+func (f *Fabric) EnableCRC(on bool) { f.crc = on }
+
+// SetCollectiveDeadline sets the simulated-time deadline a survivor is
+// charged when abandoning a rendezvous with a dead peer; seconds <= 0
+// restores DefaultCollectiveDeadline.
+func (f *Fabric) SetCollectiveDeadline(seconds float64) { f.deadline = seconds }
+
+func (f *Fabric) collectiveDeadline() float64 {
+	if f.deadline > 0 {
+		return f.deadline
+	}
+	return DefaultCollectiveDeadline
+}
+
+// SetLinkFault degrades one device's link: subsequent collectives
+// involving rank pay alphaMul× the latency and 1/betaMul× the bandwidth
+// of the base model (a collective runs at the worst multipliers among
+// its participants). Multipliers <= 1 mark the link clean. Call before
+// Run.
+func (f *Fabric) SetLinkFault(rank int, alphaMul, betaMul float64) {
+	if f.linkAlpha == nil {
+		f.linkAlpha = make([]float64, f.P)
+		f.linkBeta = make([]float64, f.P)
+		for i := range f.linkAlpha {
+			f.linkAlpha[i], f.linkBeta[i] = 1, 1
+		}
+	}
+	if alphaMul < 1 {
+		alphaMul = 1
+	}
+	if betaMul < 1 {
+		betaMul = 1
+	}
+	f.linkAlpha[rank], f.linkBeta[rank] = alphaMul, betaMul
+}
+
+// linkModel returns the hw model a collective over group runs at: the
+// base model degraded by the worst per-rank link-fault multipliers among
+// the participants. Clean fabrics return the base model unchanged.
+func (f *Fabric) linkModel(group []int) *hw.Model {
+	if f.linkAlpha == nil {
+		return f.HW
+	}
+	alpha, beta := 1.0, 1.0
+	for _, r := range group {
+		if f.linkAlpha[r] > alpha {
+			alpha = f.linkAlpha[r]
+		}
+		if f.linkBeta[r] > beta {
+			beta = f.linkBeta[r]
+		}
+	}
+	if alpha == 1 && beta == 1 {
+		return f.HW
+	}
+	return f.HW.Degraded(alpha, beta)
+}
+
+// SeedClocks presets every device's simulated clock (one entry per
+// rank). The elastic driver uses it to carry survivors' clocks across
+// fabric re-formation so recovery time accrues on a continuous
+// timeline. Call before Run.
+func (f *Fabric) SeedClocks(clocks []float64) {
+	if len(clocks) != f.P {
+		panic("comm: SeedClocks needs exactly one clock per device")
+	}
+	for i, d := range f.devices {
+		d.clock = clocks[i]
+	}
 }
 
 // Run creates a fabric of p devices, executes fn on each, and returns the
@@ -247,14 +473,28 @@ func groupKey(ranks []int) string {
 // the round's metered volume, the round's sequence number within this
 // group (for trace attribution), and the round's error, identical on
 // every member. extract is skipped on a failed round.
+//
+// dead, when non-nil, is consulted at entry and on every wakeup while
+// waiting for peers: a non-nil result abandons the round (withdrawing
+// any deposit, so the group stays reusable) and is returned with the
+// caller's clock unchanged. Fabric.markDead broadcasts every group's
+// cond, so a member blocked on a crashed peer re-checks promptly. A
+// round that has already finalized is always drained normally — death
+// only aborts rendezvous that can no longer complete.
 func (g *groupComm) exchange(idx int, clock float64, in any,
 	finalize func(slots []any, clocks []float64) (float64, any, int64, error),
-	extract func(slots []any, aux any)) (float64, int64, uint64, error) {
+	extract func(slots []any, aux any),
+	dead func() error) (float64, int64, uint64, error) {
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for g.readers > 0 { // previous round still draining
 		g.cond.Wait()
+	}
+	if dead != nil {
+		if err := dead(); err != nil {
+			return clock, 0, g.gen, err
+		}
 	}
 	g.slots[idx] = in
 	g.clocks[idx] = clock
@@ -269,6 +509,13 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 		gen := g.gen
 		for g.gen == gen {
 			g.cond.Wait()
+			if g.gen == gen && dead != nil {
+				if err := dead(); err != nil {
+					g.slots[idx] = nil
+					g.arrived--
+					return clock, 0, g.gen, err
+				}
+			}
 		}
 	}
 	// Capture the round's results before giving up our reader slot: the
@@ -307,7 +554,30 @@ type Device struct {
 	commTime    float64
 	computeTime float64
 	side        bool // route collective volume to the side-channel meters
+
+	slow       float64 // straggler multiplier for kernel charges; <= 1 off
+	faultEpoch int     // driver-maintained global epoch tag (SetFaultEpoch)
 }
+
+// SetComputeSlowdown makes this device a straggler: subsequent kernel
+// charges take factor× their modelled time. factor <= 1 clears it. Fault
+// injectors set it before Run; mid-run only the owning device goroutine
+// may call it.
+func (d *Device) SetComputeSlowdown(factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	d.slow = factor
+}
+
+// SetFaultEpoch tags this device with the training driver's global epoch
+// number so epoch-addressed fault events (crashes, flips, drops) fire at
+// the right point even after checkpoint rollback re-runs earlier epochs
+// on a new fabric. Only the owning device goroutine may call it mid-run.
+func (d *Device) SetFaultEpoch(epoch int) { d.faultEpoch = epoch }
+
+// FaultEpoch returns the tag set by SetFaultEpoch.
+func (d *Device) FaultEpoch() int { return d.faultEpoch }
 
 // SetSideChannel routes this device's subsequent collective volume into
 // the fabric's side-channel meters (Fabric.SideVolume) instead of the
@@ -364,6 +634,9 @@ func (d *Device) ChargeMem(bytes int64) {
 // chargeKernel advances the clock and compute-time accumulator and, when
 // tracing is enabled, records the kernel interval.
 func (d *Device) chargeKernel(op string, t float64, bytes, flops int64) {
+	if d.slow > 1 {
+		t *= d.slow
+	}
 	start := d.clock
 	d.clock += t
 	d.computeTime += t
@@ -467,33 +740,195 @@ func (d *Device) groupPos(op string, group []int) (int, error) {
 // advances to the synchronized value — the rendezvous happened — but no
 // trace event is emitted and the identical cause is returned to all
 // ranks, wrapped per-rank in a CollectiveError.
+//
+// Fault handling (see RESILIENCE.md): a dead peer abandons the
+// rendezvous, charges the fabric's collective deadline, and returns a
+// *FaultError wrapping ErrPeerDead. A transient or corrupt round is
+// retried under the RetryPolicy with exponential backoff charged to the
+// simulated clock; exhausted budgets surface as a *FaultError too. Every
+// decision in this loop depends only on the deterministic round error,
+// identical on all participants, so survivors stay in SPMD lockstep —
+// all of them retry, or all of them abort.
 func (d *Device) collective(op string, group []int, in any,
 	finalize func(slots []any, clocks []float64) (float64, any, int64, error),
 	extract func(slots []any, aux any)) error {
 
+	f := d.F
+	if h := f.hook; h != nil {
+		h.BeforeCollective(d, op) // may panic Killed: a scheduled crash
+	}
 	idx := indexOf(group, d.Rank)
-	g, key := d.F.groupFor(group)
-	before := d.clock
+	g, key := f.groupFor(group)
+	deadCheck := func() error { return f.deadIn(group) }
 	wrapped := func(slots []any, clocks []float64) (float64, any, int64, error) {
 		if err := slotErr(slots); err != nil {
 			return maxClock(clocks), nil, 0, err
 		}
+		if h := f.hook; h != nil {
+			var sums []uint32
+			var saved []any
+			if f.crc {
+				sums = crcPayloads(slots)
+				saved = clonePayloads(slots)
+			}
+			if err := h.OnRound(d, op, group, g.gen, slots); err != nil {
+				return maxClock(clocks), nil, 0, err
+			}
+			if sums != nil {
+				if i := crcMismatch(slots, sums); i >= 0 {
+					// The flip happened on the wire, not in the senders'
+					// memories: restore the deposited buffers so a retry
+					// retransmits clean data.
+					restorePayloads(slots, saved)
+					return maxClock(clocks), nil, 0, fmt.Errorf(
+						"checksum mismatch on contribution from group position %d: %w",
+						i, ErrCorrupt)
+				}
+			}
+		}
 		return finalize(slots, clocks)
 	}
-	newClock, vol, seq, err := g.exchange(idx, d.clock, in, wrapped, extract)
-	d.clock = newClock
-	d.commTime += newClock - before
-	if err != nil {
-		return &CollectiveError{Op: op, Rank: d.Rank, Err: err}
+	attempt := 0
+	for {
+		before := d.clock
+		newClock, vol, seq, err := g.exchange(idx, d.clock, in, wrapped, extract, deadCheck)
+		switch {
+		case err == nil:
+			d.clock = newClock
+			d.commTime += newClock - before
+			if tr := f.tracer; tr != nil {
+				tr.Emit(d.Rank, trace.Event{
+					Class: trace.ClassCollective, Op: op,
+					Group: key, Seq: seq, GroupSize: len(group), Bytes: vol,
+					Start: before, End: newClock,
+				})
+			}
+			return nil
+		case errors.Is(err, ErrPeerDead):
+			// The survivor waits out the deadline before concluding the
+			// peer is gone; the charge lands on comm time like the skew
+			// wait of a live collective would.
+			end := before + f.collectiveDeadline()
+			d.clock = end
+			d.commTime += end - before
+			d.emitFault("timeout:"+op, key, len(group), before, end)
+			return &FaultError{Op: op, Rank: d.Rank, Err: err}
+		case errors.Is(err, ErrTransient) || errors.Is(err, ErrCorrupt):
+			d.clock = newClock
+			d.commTime += newClock - before
+			attempt++
+			rp := f.retry
+			if attempt > rp.Max {
+				d.emitFault("giveup:"+op, key, len(group), before, d.clock)
+				return &FaultError{Op: op, Rank: d.Rank, Err: err}
+			}
+			mult := rp.Multiplier
+			if mult < 1 {
+				mult = 1
+			}
+			backoff := rp.Backoff
+			for i := 1; i < attempt; i++ {
+				backoff *= mult
+			}
+			d.clock += backoff
+			d.commTime += backoff
+			d.emitFault("retry:"+op, key, len(group), before, d.clock)
+		default:
+			d.clock = newClock
+			d.commTime += newClock - before
+			return &CollectiveError{Op: op, Rank: d.Rank, Err: err}
+		}
 	}
+}
+
+// emitFault records a ClassFault interval (retry backoff, peer-dead
+// deadline) on this device's timeline.
+func (d *Device) emitFault(op, group string, size int, start, end float64) {
 	if tr := d.F.tracer; tr != nil {
 		tr.Emit(d.Rank, trace.Event{
-			Class: trace.ClassCollective, Op: op,
-			Group: key, Seq: seq, GroupSize: len(group), Bytes: vol,
-			Start: before, End: newClock,
+			Class: trace.ClassFault, Op: op,
+			Group: group, GroupSize: size,
+			Start: start, End: end,
 		})
 	}
-	return nil
+}
+
+// crcPayloads checksums each deposited payload; crcMismatch re-verifies
+// after the fault hook ran and returns the first corrupted group
+// position (or -1). Together they are the CRC side-channel of
+// Fabric.EnableCRC.
+func crcPayloads(slots []any) []uint32 {
+	sums := make([]uint32, len(slots))
+	for i, s := range slots {
+		sums[i] = crcOf(s)
+	}
+	return sums
+}
+
+func crcMismatch(slots []any, sums []uint32) int {
+	for i, s := range slots {
+		if crcOf(s) != sums[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// clonePayloads/restorePayloads snapshot the deposited buffers around
+// the fault hook so CRC-detected wire corruption can be rolled back
+// before the retry redeposits the same (sender-owned) buffers.
+func clonePayloads(slots []any) []any {
+	out := make([]any, len(slots))
+	for i, s := range slots {
+		switch v := s.(type) {
+		case []float32:
+			out[i] = append([]float32(nil), v...)
+		case [][]float32:
+			cp := make([][]float32, len(v))
+			for j, part := range v {
+				cp[j] = append([]float32(nil), part...)
+			}
+			out[i] = cp
+		}
+	}
+	return out
+}
+
+func restorePayloads(slots, saved []any) {
+	for i, s := range slots {
+		switch v := s.(type) {
+		case []float32:
+			if sv, ok := saved[i].([]float32); ok {
+				copy(v, sv)
+			}
+		case [][]float32:
+			if sv, ok := saved[i].([][]float32); ok {
+				for j := range v {
+					copy(v[j], sv[j])
+				}
+			}
+		}
+	}
+}
+
+func crcOf(s any) uint32 {
+	h := crc32.NewIEEE()
+	var word [4]byte
+	add := func(buf []float32) {
+		for _, v := range buf {
+			binary.LittleEndian.PutUint32(word[:], math.Float32bits(v))
+			h.Write(word[:])
+		}
+	}
+	switch v := s.(type) {
+	case []float32:
+		add(v)
+	case [][]float32:
+		for _, part := range v {
+			add(part)
+		}
+	}
+	return h.Sum32()
 }
 
 // TryBroadcast sends root's buffer to every member of group and returns
@@ -533,7 +968,7 @@ func (d *Device) TryBroadcast(group []int, root int, data []float32) ([]float32,
 			bytes := int64(len(buf)) * 4
 			vol := bytes * int64(len(group)-1)
 			f.addVolume(hw.OpBroadcast, vol, d.side)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpBroadcast, len(group), bytes), nil, vol, nil
+			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpBroadcast, len(group), bytes), nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			if d.Rank == root {
@@ -590,7 +1025,7 @@ func (d *Device) TryAllGather(group []int, local []float32) ([][]float32, error)
 			}
 			vol := total * int64(len(group)-1)
 			f.addVolume(hw.OpAllGather, vol, d.side)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllGather, len(group), total), nil, vol, nil
+			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpAllGather, len(group), total), nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -657,7 +1092,7 @@ func (d *Device) TryAllReduceSum(group []int, local []float32) ([]float32, error
 			bytes := int64(len(sum)) * 4
 			vol := 2 * bytes * int64(len(group)-1)
 			f.addVolume(hw.OpAllReduce, vol, d.side)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllReduce, len(group), bytes), sum, vol, nil
+			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpAllReduce, len(group), bytes), sum, vol, nil
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32))
@@ -725,7 +1160,7 @@ func (d *Device) TryAllToAll(group []int, parts [][]float32) ([][]float32, error
 				}
 			}
 			f.addVolume(hw.OpAllToAll, total, d.side)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil, total, nil
+			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil, total, nil
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -820,7 +1255,7 @@ func (d *Device) TryReduceScatterSum(group []int, local []float32, counts []int)
 			bytes := int64(total) * 4
 			vol := bytes * int64(len(group)-1)
 			f.addVolume(hw.OpReduceScatter, vol, d.side)
-			return maxClock(clocks) + f.HW.CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum, vol, nil
+			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum, vol, nil
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32)[offset:offset+counts[myIdx]])
@@ -852,7 +1287,7 @@ func (d *Device) TryBarrier(group []int) error {
 	f := d.F
 	return d.collective(op, group, nil,
 		func(slots []any, clocks []float64) (float64, any, int64, error) {
-			return maxClock(clocks) + f.HW.LinkLatency, nil, 0, nil
+			return maxClock(clocks) + f.linkModel(group).LinkLatency, nil, 0, nil
 		}, nil)
 }
 

@@ -1,0 +1,355 @@
+package comm_test
+
+// Tests for the fabric's fault layer: dead-rank containment (a crashed
+// or panicked device fails its peers' rendezvous with ErrPeerDead
+// instead of hanging the fabric), transient-fault retry with simulated
+// backoff, the CRC corruption side-channel, per-link degradation, and
+// straggler slowdown. Everything here is driven by simulated state, so
+// the tests assert exact clocks and byte counts.
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/hw"
+)
+
+// runBounded fails the test if fabric.Run(fn) does not complete within
+// the wall-clock budget — the fault layer's whole point is that faulty
+// runs terminate.
+func runBounded(t *testing.T, f *comm.Fabric, fn func(d *comm.Device)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(fn)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fabric.Run did not terminate: fault containment failed")
+	}
+}
+
+func TestKilledRankFailsPeersWithPeerDead(t *testing.T) {
+	f := comm.NewFabric(3, hw.A6000())
+	f.SetCollectiveDeadline(2e-3)
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	runBounded(t, f, func(d *comm.Device) {
+		if d.Rank == 2 {
+			panic(comm.Killed{Rank: d.Rank, Reason: "scheduled crash"})
+		}
+		_, err := d.TryAllReduceSum(d.World(), []float32{float32(d.Rank)})
+		mu.Lock()
+		errs[d.Rank] = err
+		mu.Unlock()
+	})
+	for _, r := range []int{0, 1} {
+		err := errs[r]
+		if err == nil {
+			t.Fatalf("rank %d: expected peer-dead error, got nil", r)
+		}
+		var fe *comm.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("rank %d: error %v is not a *FaultError", r, err)
+		}
+		if !errors.Is(err, comm.ErrPeerDead) {
+			t.Fatalf("rank %d: error %v does not wrap ErrPeerDead", r, err)
+		}
+		if got := f.Device(r).Clock(); got != 2e-3 {
+			t.Fatalf("rank %d: clock %g, want the 2e-3 deadline charge", r, got)
+		}
+	}
+	if vol := f.TotalVolume(); vol != 0 {
+		t.Fatalf("abandoned collective metered %d bytes, want 0", vol)
+	}
+}
+
+func TestDeadPeerDetectedMidWait(t *testing.T) {
+	// Rank 1 completes one private-group collective with rank 2, then
+	// rank 2 crashes while rank 0 and 1 are already blocked in a world
+	// barrier: the dead-check must fire on wakeup, not only at entry.
+	f := comm.NewFabric(3, hw.A6000())
+	pair := []int{1, 2}
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	runBounded(t, f, func(d *comm.Device) {
+		if d.Rank != 0 {
+			if err := d.TryBarrier(pair); err != nil {
+				t.Errorf("rank %d: pair barrier failed: %v", d.Rank, err)
+				return
+			}
+		}
+		if d.Rank == 2 {
+			panic(comm.Killed{Rank: d.Rank, Reason: "post-barrier crash"})
+		}
+		err := d.TryBarrier(d.World())
+		mu.Lock()
+		errs[d.Rank] = err
+		mu.Unlock()
+	})
+	for _, r := range []int{0, 1} {
+		if !errors.Is(errs[r], comm.ErrPeerDead) {
+			t.Fatalf("rank %d: got %v, want ErrPeerDead", r, errs[r])
+		}
+	}
+}
+
+func TestNonKilledPanicIsReRaised(t *testing.T) {
+	f := comm.NewFabric(2, hw.A6000())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run swallowed a genuine panic")
+		}
+		if r != "boom" {
+			t.Fatalf("re-raised panic %v, want boom", r)
+		}
+	}()
+	// Call Run directly (not via runBounded) so the re-raise lands on
+	// this goroutine where the deferred recover can assert on it.
+	f.Run(func(d *comm.Device) {
+		if d.Rank == 1 {
+			panic("boom")
+		}
+		// Rank 0's collective fails with ErrPeerDead instead of hanging;
+		// the panicking wrapper turns that into a *FaultError panic,
+		// which Run treats as fault-class collateral and does not
+		// re-raise in favour of the genuine bug on rank 1... except Run
+		// re-raises the lowest-rank panic that is not Killed, so guard
+		// rank 0 explicitly to keep the assertion on rank 1's value.
+		if _, err := d.TryAllGather(d.World(), []float32{1}); !errors.Is(err, comm.ErrPeerDead) {
+			t.Errorf("rank 0: got %v, want ErrPeerDead", err)
+		}
+	})
+}
+
+// flakyHook fails the first `fail` rounds of ops matching match with a
+// transient error, counting invocations.
+type flakyHook struct {
+	mu     sync.Mutex
+	match  string
+	fail   int
+	rounds int
+}
+
+func (h *flakyHook) BeforeCollective(d *comm.Device, op string) {}
+
+func (h *flakyHook) OnRound(d *comm.Device, op string, group []int, seq uint64, slots []any) error {
+	if op != h.match {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rounds++
+	if h.rounds <= h.fail {
+		return comm.ErrTransient
+	}
+	return nil
+}
+
+func TestTransientRoundIsRetriedWithSimulatedBackoff(t *testing.T) {
+	model := hw.A6000()
+	clean := comm.NewFabric(2, model)
+	var cleanClock float64
+	clean.Run(func(d *comm.Device) {
+		out := d.AllReduceSum(d.World(), []float32{1, 2})
+		if d.Rank == 0 {
+			cleanClock = d.Clock()
+			if out[0] != 2 || out[1] != 4 {
+				t.Errorf("clean allreduce wrong: %v", out)
+			}
+		}
+	})
+
+	f := comm.NewFabric(2, model)
+	f.SetFaultHook(&flakyHook{match: "allreduce", fail: 2})
+	f.SetRetryPolicy(comm.RetryPolicy{Max: 3, Backoff: 50e-6, Multiplier: 2})
+	runBounded(t, f, func(d *comm.Device) {
+		out, err := d.TryAllReduceSum(d.World(), []float32{1, 2})
+		if err != nil {
+			t.Errorf("rank %d: retried allreduce failed: %v", d.Rank, err)
+			return
+		}
+		if out[0] != 2 || out[1] != 4 {
+			t.Errorf("rank %d: allreduce after retries wrong: %v", d.Rank, out)
+		}
+	})
+	// Two failed rendezvous plus backoffs of 50us and 100us precede the
+	// clean attempt; each rendezvous itself only synchronizes equal
+	// clocks, so the faulty run costs exactly the backoff sum extra.
+	want := cleanClock + 150e-6
+	if got := f.Device(0).Clock(); !close64(got, want) {
+		t.Fatalf("faulty clock %g, want %g (clean %g + 150us backoff)", got, want, cleanClock)
+	}
+	// The volume must be metered exactly once despite three rounds.
+	if got, want := f.Volume(hw.OpAllReduce), clean.Volume(hw.OpAllReduce); got != want {
+		t.Fatalf("faulty run metered %d allreduce bytes, clean %d", got, want)
+	}
+}
+
+func TestTransientWithoutRetryBudgetIsFaultError(t *testing.T) {
+	f := comm.NewFabric(2, hw.A6000())
+	f.SetFaultHook(&flakyHook{match: "allgather", fail: 1 << 30})
+	f.SetRetryPolicy(comm.RetryPolicy{Max: 2, Backoff: 10e-6, Multiplier: 2})
+	runBounded(t, f, func(d *comm.Device) {
+		_, err := d.TryAllGather(d.World(), []float32{1})
+		var fe *comm.FaultError
+		if !errors.As(err, &fe) || !errors.Is(err, comm.ErrTransient) {
+			t.Errorf("rank %d: got %v, want FaultError wrapping ErrTransient", d.Rank, err)
+		}
+	})
+}
+
+// corruptingHook flips a mantissa bit of the first element of the first
+// []float32 payload it sees, once. With CRC enabled comm itself rolls
+// the flip back after detection (the corruption was on the wire, not in
+// the sender's memory), so the hook needs no undo bookkeeping.
+type corruptingHook struct {
+	mu    sync.Mutex
+	fired bool
+}
+
+func (h *corruptingHook) BeforeCollective(d *comm.Device, op string) {}
+
+func (h *corruptingHook) OnRound(d *comm.Device, op string, group []int, seq uint64, slots []any) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fired {
+		return nil
+	}
+	for _, s := range slots {
+		buf, ok := s.([]float32)
+		if !ok || len(buf) == 0 {
+			continue
+		}
+		buf[0] = flipBit(buf[0])
+		h.fired = true
+		return nil
+	}
+	return nil
+}
+
+func flipBit(v float32) float32 {
+	// A mid-mantissa bit: large enough that the corruption survives
+	// float32 rounding in a sum (the lowest bit of 3.0 would vanish by
+	// round-to-even in 3.0000002+3).
+	return math.Float32frombits(math.Float32bits(v) ^ (1 << 20))
+}
+
+func TestCRCCatchesBitFlipAndRetryDeliversCleanData(t *testing.T) {
+	f := comm.NewFabric(2, hw.A6000())
+	f.SetFaultHook(&corruptingHook{})
+	f.EnableCRC(true)
+	f.SetRetryPolicy(comm.RetryPolicy{Max: 1, Backoff: 10e-6, Multiplier: 1})
+	runBounded(t, f, func(d *comm.Device) {
+		out, err := d.TryAllReduceSum(d.World(), []float32{3, 5})
+		if err != nil {
+			t.Errorf("rank %d: CRC-retried allreduce failed: %v", d.Rank, err)
+			return
+		}
+		if out[0] != 6 || out[1] != 10 {
+			t.Errorf("rank %d: corrupted data survived retry: %v", d.Rank, out)
+		}
+	})
+}
+
+func TestBitFlipWithoutRetryIsCorruptFaultError(t *testing.T) {
+	f := comm.NewFabric(2, hw.A6000())
+	f.SetFaultHook(&corruptingHook{})
+	f.EnableCRC(true)
+	runBounded(t, f, func(d *comm.Device) {
+		_, err := d.TryAllReduceSum(d.World(), []float32{3, 5})
+		if !errors.Is(err, comm.ErrCorrupt) {
+			t.Errorf("rank %d: got %v, want ErrCorrupt", d.Rank, err)
+		}
+	})
+}
+
+func TestBitFlipWithoutCRCPropagatesSilently(t *testing.T) {
+	f := comm.NewFabric(2, hw.A6000())
+	f.SetFaultHook(&corruptingHook{})
+	runBounded(t, f, func(d *comm.Device) {
+		out, err := d.TryAllReduceSum(d.World(), []float32{3, 5})
+		if err != nil {
+			t.Errorf("rank %d: unexpected error: %v", d.Rank, err)
+			return
+		}
+		if out[0] == 6 {
+			t.Errorf("rank %d: expected corrupted sum without CRC, got clean %v", d.Rank, out)
+		}
+	})
+}
+
+func TestLinkFaultDegradesGroupCollectives(t *testing.T) {
+	model := hw.A6000()
+	clean := comm.NewFabric(2, model)
+	clean.Run(func(d *comm.Device) {
+		d.AllGather(d.World(), make([]float32, 1024))
+	})
+	slow := comm.NewFabric(2, model)
+	slow.SetLinkFault(1, 3, 2) // 3x latency, half bandwidth on rank 1's link
+	slow.Run(func(d *comm.Device) {
+		d.AllGather(d.World(), make([]float32, 1024))
+	})
+	want := model.Degraded(3, 2).CollectiveTime(hw.OpAllGather, 2, 2*1024*4)
+	if got := slow.MaxClock(); !close64(got, want) {
+		t.Fatalf("degraded allgather clock %g, want %g", got, want)
+	}
+	if slow.MaxClock() <= clean.MaxClock() {
+		t.Fatal("link fault did not slow the collective down")
+	}
+	// Degradation changes time, never bytes.
+	if got, want := slow.Volume(hw.OpAllGather), clean.Volume(hw.OpAllGather); got != want {
+		t.Fatalf("degraded run metered %d bytes, clean %d", got, want)
+	}
+}
+
+func TestComputeSlowdownStretchesKernels(t *testing.T) {
+	model := hw.A6000()
+	f := comm.NewFabric(1, model)
+	d := f.Device(0)
+	d.ChargeGemm(64, 64, 64)
+	base := d.Clock()
+	d.SetComputeSlowdown(2.5)
+	d.ChargeGemm(64, 64, 64)
+	if got, want := d.Clock()-base, 2.5*base; !close64(got, want) {
+		t.Fatalf("straggler gemm took %g, want %g", got, want)
+	}
+	d.SetComputeSlowdown(1) // clears
+	d.ChargeGemm(64, 64, 64)
+	if got := d.Clock() - base - 2.5*base; !close64(got, base) {
+		t.Fatalf("cleared straggler gemm took %g, want %g", got, base)
+	}
+}
+
+func TestSeedClocksCarriesTimeline(t *testing.T) {
+	f := comm.NewFabric(2, hw.A6000())
+	f.SeedClocks([]float64{1.5, 2.0})
+	f.Run(func(d *comm.Device) {
+		d.Barrier(d.World())
+	})
+	if c := f.Device(0).Clock(); c <= 2.0 {
+		t.Fatalf("seeded clocks not carried: rank 0 clock %g, want > 2.0", c)
+	}
+}
+
+func close64(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-12*scale
+}

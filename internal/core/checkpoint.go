@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"gnnrdm/internal/tensor"
@@ -56,18 +58,47 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		e.weights[i].CopyFrom(cp.Weights[i])
 	}
 	e.adam.Restore(cp.AdamM, cp.AdamV, cp.Step)
+	// Resume epoch numbering where the snapshot left off, so epoch-keyed
+	// state (sampled-neighbor masks, traces) matches an uninterrupted run.
+	e.epoch = cp.Step
 	return nil
 }
 
-const checkpointMagic = 0x52444d43 // "RDMC"
+const (
+	checkpointMagic = 0x52444d43 // "RDMC"
+	// checkpointVersion is the current wire format. v1 had no version
+	// word and no integrity trailer; v2 inserts a version word after the
+	// magic and appends a CRC32 (IEEE) of everything before the trailer,
+	// so rollback-on-recovery never restores from a silently corrupted
+	// snapshot.
+	checkpointVersion = 2
+)
+
+// Typed checkpoint read failures, distinguishable with errors.Is so the
+// elastic driver can tell "retry with an older snapshot" (corrupt,
+// truncated) from "wrong software" (version).
+var (
+	// ErrCheckpointVersion reports a checkpoint written by an
+	// incompatible format version.
+	ErrCheckpointVersion = errors.New("core: unsupported checkpoint version")
+	// ErrCheckpointCorrupt reports a structurally complete checkpoint
+	// whose bytes fail validation (bad magic, implausible header, CRC
+	// mismatch).
+	ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
+	// ErrCheckpointTruncated reports a stream that ended before the
+	// declared content (and its CRC trailer) was delivered.
+	ErrCheckpointTruncated = errors.New("core: truncated checkpoint")
+)
 
 // Write serializes the checkpoint in a compact little-endian binary
-// format.
+// format: magic, version, header, payload, CRC32 trailer.
 func (cp *Checkpoint) Write(w io.Writer) error {
 	le := binary.LittleEndian
+	crc := crc32.NewIEEE()
+	body := io.MultiWriter(w, crc)
 	wr := func(vs ...any) error {
 		for _, v := range vs {
-			if err := binary.Write(w, le, v); err != nil {
+			if err := binary.Write(body, le, v); err != nil {
 				return err
 			}
 		}
@@ -77,8 +108,8 @@ func (cp *Checkpoint) Write(w io.Writer) error {
 	if cp.SAGE {
 		sage = 1
 	}
-	if err := wr(uint64(checkpointMagic), uint64(len(cp.Dims)), sage, uint64(cp.Step),
-		uint64(len(cp.Weights))); err != nil {
+	if err := wr(uint64(checkpointMagic), uint64(checkpointVersion), uint64(len(cp.Dims)),
+		sage, uint64(cp.Step), uint64(len(cp.Weights))); err != nil {
 		return err
 	}
 	for _, d := range cp.Dims {
@@ -99,40 +130,57 @@ func (cp *Checkpoint) Write(w io.Writer) error {
 			}
 		}
 	}
-	return nil
+	// Trailer goes to w alone: the CRC covers everything before itself.
+	return binary.Write(w, le, uint64(crc.Sum32()))
 }
 
-// ReadCheckpoint deserializes a checkpoint written by Write.
+// ReadCheckpoint deserializes a checkpoint written by Write, verifying
+// the CRC32 trailer. Failures are classified: ErrCheckpointVersion for a
+// foreign format version, ErrCheckpointTruncated for a short stream,
+// ErrCheckpointCorrupt for bad magic, implausible structure, or a CRC
+// mismatch — all matchable with errors.Is.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	le := binary.LittleEndian
-	var hdr [5]uint64
+	crc := crc32.NewIEEE()
+	body := io.TeeReader(r, crc)
+	rd := func(v any) error {
+		err := binary.Read(body, le, v)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return ErrCheckpointTruncated
+		}
+		return err
+	}
+	var hdr [6]uint64
 	for i := range hdr {
-		if err := binary.Read(r, le, &hdr[i]); err != nil {
+		if err := rd(&hdr[i]); err != nil {
 			return nil, fmt.Errorf("core: reading checkpoint header: %w", err)
 		}
 	}
 	if hdr[0] != checkpointMagic {
-		return nil, fmt.Errorf("core: bad checkpoint magic %#x", hdr[0])
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCheckpointCorrupt, hdr[0])
 	}
-	nDims, sage, step, nW := hdr[1], hdr[2], hdr[3], hdr[4]
+	if hdr[1] != checkpointVersion {
+		return nil, fmt.Errorf("%w: got v%d, want v%d", ErrCheckpointVersion, hdr[1], checkpointVersion)
+	}
+	nDims, sage, step, nW := hdr[2], hdr[3], hdr[4], hdr[5]
 	if nDims > 64 || nW > 128 {
-		return nil, fmt.Errorf("core: implausible checkpoint header %v", hdr)
+		return nil, fmt.Errorf("%w: implausible header %v", ErrCheckpointCorrupt, hdr)
 	}
 	cp := &Checkpoint{SAGE: sage != 0, Step: int(step)}
 	for i := uint64(0); i < nDims; i++ {
 		var d uint64
-		if err := binary.Read(r, le, &d); err != nil {
+		if err := rd(&d); err != nil {
 			return nil, err
 		}
 		cp.Dims = append(cp.Dims, int(d))
 	}
 	readMat := func() (*tensor.Dense, error) {
 		var rc [2]uint64
-		if err := binary.Read(r, le, &rc); err != nil {
+		if err := rd(&rc); err != nil {
 			return nil, err
 		}
 		if rc[0] > 1<<24 || rc[1] > 1<<24 || rc[0]*rc[1] > 1<<28 {
-			return nil, fmt.Errorf("core: implausible matrix %dx%d", rc[0], rc[1])
+			return nil, fmt.Errorf("%w: implausible matrix %dx%d", ErrCheckpointCorrupt, rc[0], rc[1])
 		}
 		// Chunked reads: a hostile header cannot force a large
 		// allocation before the stream delivers the bytes.
@@ -142,7 +190,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		for uint64(len(data)) < total {
 			c := minU64ck(total-uint64(len(data)), chunk)
 			buf := make([]float32, c)
-			if err := binary.Read(r, le, &buf); err != nil {
+			if err := rd(&buf); err != nil {
 				return nil, err
 			}
 			data = append(data, buf...)
@@ -164,6 +212,19 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 				cp.AdamV = append(cp.AdamV, m)
 			}
 		}
+	}
+	// The trailer is read from r directly so it isn't folded into the
+	// running sum it is checked against.
+	sum := crc.Sum32()
+	var trailer uint64
+	if err := binary.Read(r, le, &trailer); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("core: reading checkpoint trailer: %w", ErrCheckpointTruncated)
+		}
+		return nil, err
+	}
+	if trailer != uint64(sum) {
+		return nil, fmt.Errorf("%w: CRC32 %#x, trailer says %#x", ErrCheckpointCorrupt, sum, trailer)
 	}
 	return cp, nil
 }

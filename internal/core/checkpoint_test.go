@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -82,19 +83,52 @@ func TestCheckpointValidation(t *testing.T) {
 		t.Fatal("SAGE mismatch accepted")
 	}
 
-	// Corrupted stream.
+	// Corrupted stream: every failure mode maps to its typed sentinel.
 	var buf bytes.Buffer
 	if err := cp.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
 	raw[0] ^= 0xFF
-	if _, err := ReadCheckpoint(bytes.NewReader(raw)); err == nil {
-		t.Fatal("bad magic accepted")
+	if _, err := ReadCheckpoint(bytes.NewReader(raw)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCheckpointCorrupt", err)
 	}
 	raw[0] ^= 0xFF
-	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)/3])); err == nil {
-		t.Fatal("truncated checkpoint accepted")
+	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)/3])); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Fatalf("truncated checkpoint: got %v, want ErrCheckpointTruncated", err)
+	}
+	// Stream cut inside the CRC trailer itself.
+	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)-4])); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Fatalf("cut trailer: got %v, want ErrCheckpointTruncated", err)
+	}
+	// Foreign version word.
+	vbuf := append([]byte(nil), raw...)
+	vbuf[8] = 99
+	if _, err := ReadCheckpoint(bytes.NewReader(vbuf)); !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("foreign version: got %v, want ErrCheckpointVersion", err)
+	}
+}
+
+func TestCheckpointCRCDetectsBitRot(t *testing.T) {
+	prob := testProblem(t, 32, 8, 4)
+	fab := comm.NewFabric(1, hw.A6000())
+	eng := NewEngine(fab.Device(0), prob, testOpts([]int{8, 6, 4}, 0))
+	eng.Epoch()
+	var buf bytes.Buffer
+	if err := eng.Snapshot().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one payload bit well past the header; only the CRC trailer
+	// can catch it.
+	mid := len(raw) / 2
+	raw[mid] ^= 0x10
+	if _, err := ReadCheckpoint(bytes.NewReader(raw)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("bit rot: got %v, want ErrCheckpointCorrupt", err)
+	}
+	raw[mid] ^= 0x10
+	if _, err := ReadCheckpoint(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
 	}
 }
 

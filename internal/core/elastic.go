@@ -1,0 +1,378 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/fault"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+// ElasticOptions configures fault injection and recovery for
+// TrainElastic. The zero value trains with no schedule, CRC armed, the
+// default retry policy, and a checkpoint after every epoch.
+type ElasticOptions struct {
+	// Schedule is the fault schedule to inject (nil = none). Ranks
+	// address the ORIGINAL P-rank world.
+	Schedule *fault.Schedule
+	// FaultSeed seeds the injector's RNG (bit-flip positions). The same
+	// seed and schedule reproduce the identical run, trace included.
+	FaultSeed int64
+	// CheckpointEvery is the number of epochs between durable
+	// checkpoints (default 1). Checkpoints pass through the v2 wire
+	// format, so recovery exercises the CRC-verified read path.
+	CheckpointEvery int
+	// Retry overrides the fabric retry policy (nil = DefaultRetryPolicy).
+	Retry *comm.RetryPolicy
+	// DisableCRC turns off the collective CRC side-channel, letting
+	// injected bit flips propagate silently (the ablation).
+	DisableCRC bool
+	// CollectiveDeadline overrides the simulated-time charge for
+	// abandoning a rendezvous with a dead peer (0 = fabric default).
+	CollectiveDeadline float64
+	// MaxRecoveries bounds world re-formations before the driver gives
+	// up (default: scheduled crashes + 2).
+	MaxRecoveries int
+}
+
+// Recovery records one world re-formation: which ranks were lost, where
+// training rolled back to, and what the re-shard of the surviving state
+// cost — both as metered by the fabric and as predicted by the cost
+// model (the two must agree exactly).
+type Recovery struct {
+	// AbortEpoch is the epoch being attempted when the fault surfaced.
+	AbortEpoch int
+	// ResumeEpoch is the checkpointed epoch training rolled back to.
+	ResumeEpoch int
+	// OldP and NewP are the world sizes either side of the shrink
+	// (equal when the world re-ran after a non-fatal fault).
+	OldP, NewP int
+	// Failed lists the crashed ranks, in ORIGINAL rank numbering.
+	Failed []int
+	// Survivors lists the surviving ranks, in ORIGINAL rank numbering;
+	// index = new fabric rank.
+	Survivors []int
+	// ReshardBytes is the fabric volume metered while redistributing
+	// the surviving A-panels and feature tiles onto the new world.
+	ReshardBytes int64
+	// PredictedReshardBytes is the cost model's prediction for the same
+	// redistribution (costmodel.ShrinkTrafficDense + ShrinkTrafficCSR).
+	PredictedReshardBytes int64
+	// SimTime is the simulated clock at which the new world started
+	// (max surviving clock, deadline charges included).
+	SimTime float64
+}
+
+// ElasticResult is a Result plus the recovery history of an elastic run.
+type ElasticResult struct {
+	Result
+	// Recoveries lists every world re-formation, in order.
+	Recoveries []Recovery
+	// FinalP is the device count of the world that finished training.
+	FinalP int
+	// FinalSurvivors maps the final world's fabric ranks to ORIGINAL
+	// ranks.
+	FinalSurvivors []int
+}
+
+// deviceEpoch is one device's contribution to an epoch's makespan.
+type deviceEpoch struct {
+	time, comm, comp float64
+}
+
+// TrainElastic runs distributed RDM training under an injected fault
+// schedule with elastic recovery: when a rank crashes, the survivors
+// observe typed fault errors (never a deadlock), cooperatively abandon
+// the epoch, roll back to the last durable checkpoint, re-form the
+// world as P' < P devices, redistribute the surviving A row panels and
+// feature tiles over the fabric (metered and traced, rows of dead ranks
+// re-read from storage), and continue training. Non-fatal faults
+// (transient drops, CRC-caught bit flips) are absorbed by the fabric's
+// retry path without re-formation.
+//
+// Determinism: with a fixed schedule, seed, and options, two runs
+// produce identical losses, metered bytes, and traces. opts.RA must be
+// 0 (full replication, re-derived per world) or 1, since a fixed
+// replication factor cannot divide every shrunken world size.
+func TrainElastic(p int, model *hw.Model, prob *Problem, opts Options, epochs int, eo ElasticOptions) *ElasticResult {
+	if epochs < 1 {
+		panic("core: TrainElastic needs at least one epoch")
+	}
+	if opts.RA > 1 {
+		panic(fmt.Sprintf("core: TrainElastic requires RA 0 or 1, got %d", opts.RA))
+	}
+	opts.withDefaults(p).validate(p, prob)
+	sched := eo.Schedule
+	if sched == nil {
+		sched = &fault.Schedule{}
+	}
+	if err := sched.Validate(p); err != nil {
+		panic(err)
+	}
+	inj := fault.NewInjector(sched, eo.FaultSeed, p)
+	ckEvery := eo.CheckpointEvery
+	if ckEvery < 1 {
+		ckEvery = 1
+	}
+	retry := comm.DefaultRetryPolicy()
+	if eo.Retry != nil {
+		retry = *eo.Retry
+	}
+	maxRec := eo.MaxRecoveries
+	if maxRec < 1 {
+		maxRec = len(sched.Crashes()) + 2
+	}
+	label := opts.TraceLabel
+	if label == "" {
+		label = "rdm-elastic"
+	}
+
+	n, f0 := prob.N(), prob.X.Cols
+	rowNNZ := make([]int, n)
+	for r := 0; r < n; r++ {
+		rowNNZ[r] = int(prob.A.RowPtr[r+1] - prob.A.RowPtr[r])
+	}
+
+	orig := make([]int, p) // orig[fabricRank] = original rank
+	for i := range orig {
+		orig[i] = i
+	}
+	clocks := make([]float64, p)
+	var ckBytes []byte // last durable checkpoint, wire format
+	ckEpoch := 0       // epochs it captures (0 = fresh init)
+
+	res := &ElasticResult{}
+	epochStats := make([]EpochStats, epochs)
+	var pendingShrink *dist.ShrinkSpec // set when this world was formed by a shrink
+
+	for world := 0; ; world++ {
+		curP := len(orig)
+		fabric := comm.NewFabric(curP, model)
+		if opts.Tracer != nil {
+			fabric.SetTracer(opts.Tracer, fmt.Sprintf("%s/w%d", label, world))
+		}
+		fabric.SeedClocks(clocks)
+		fabric.SetRetryPolicy(retry)
+		fabric.EnableCRC(!eo.DisableCRC)
+		if eo.CollectiveDeadline > 0 {
+			fabric.SetCollectiveDeadline(eo.CollectiveDeadline)
+		}
+		inj.Remap(orig)
+		inj.Arm(fabric)
+
+		var resume *Checkpoint
+		if ckBytes != nil {
+			cp, err := ReadCheckpoint(bytes.NewReader(ckBytes))
+			if err != nil {
+				// The durable snapshot itself is damaged; nothing sound
+				// to roll back to.
+				panic(fmt.Errorf("core: restoring checkpoint for world %d: %w", world, err))
+			}
+			resume = cp
+		}
+		startEpoch := ckEpoch
+
+		var rec *Recovery
+		if world > 0 {
+			rec = &res.Recoveries[len(res.Recoveries)-1]
+		}
+
+		engines := make([]*Engine, curP)
+		crashed := make([]bool, curP)
+		aborted := make([]error, curP)
+		perEpoch := make([][]deviceEpoch, curP)
+		ckCandidate := make(map[int][]byte) // completed-epoch count -> snapshot bytes
+
+		fabric.Run(func(d *comm.Device) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, ok := r.(comm.Killed); ok {
+					crashed[d.Rank] = true
+					panic(r) // fabric suppresses Killed and marks the rank dead
+				}
+				if err, ok := r.(error); ok {
+					var fe *comm.FaultError
+					if errors.As(err, &fe) {
+						aborted[d.Rank] = err // cooperative abort; exiting wakes blocked peers
+						return
+					}
+				}
+				panic(r) // genuine bug: let the fabric re-raise it
+			}()
+
+			eng := NewEngine(d, prob, opts)
+			engines[d.Rank] = eng
+			if resume != nil {
+				if err := eng.Restore(resume); err != nil {
+					panic(err)
+				}
+			}
+
+			var reshardVol int64
+			if pendingShrink != nil {
+				// Recovery traffic: move the surviving H row panels of A
+				// and tiles of X onto the new partition. Injected round
+				// faults are suppressed — this is the recovery path itself.
+				d.SetFaultEpoch(-1)
+				d.TraceBeginPhase("recovery")
+				sp := *pendingShrink
+				oldLo, oldHi := dist.PartRange(n, sp.OldP, sp.Survivors[d.Rank])
+				oldX := tensor.NewDense(oldHi-oldLo, f0)
+				copy(oldX.Data, prob.X.Data[oldLo*f0:oldHi*f0])
+				dist.ShrinkReshard(d, sp, n, f0, oldX, func(lo, hi int) *tensor.Dense {
+					blk := tensor.NewDense(hi-lo, f0)
+					copy(blk.Data, prob.X.Data[lo*f0:hi*f0])
+					return blk
+				})
+				dist.ShrinkReshardCSR(d, sp, n, prob.A.RowPanel(oldLo, oldHi),
+					func(lo, hi int) *sparse.CSR { return prob.A.RowPanel(lo, hi) })
+				d.TraceEndPhase()
+				d.Barrier(d.World())
+				if d.Rank == 0 {
+					// Peers are parked at the barrier; snapshot is race-free.
+					reshardVol = fabric.TotalVolume()
+					rec.ReshardBytes = reshardVol
+				}
+			}
+
+			prevClock, prevComm, prevComp := d.Clock(), d.CommTime(), d.ComputeTime()
+			prevVol := reshardVol
+			for ep := startEpoch; ep < epochs; ep++ {
+				d.SetFaultEpoch(ep)
+				inj.AtEpochStart(d, ep) // may panic Killed
+				loss := eng.Epoch()
+				acc := 0.0
+				if opts.EvalMask != nil {
+					acc = eng.EvalAccuracy(opts.EvalMask)
+				}
+				d.Barrier(d.World())
+				if d.Rank == 0 {
+					vol := fabric.TotalVolume()
+					epochStats[ep] = EpochStats{Loss: loss, EvalAcc: acc, CommBytes: vol - prevVol}
+					prevVol = vol
+				}
+				perEpoch[d.Rank] = append(perEpoch[d.Rank], deviceEpoch{
+					time: d.Clock() - prevClock,
+					comm: d.CommTime() - prevComm,
+					comp: d.ComputeTime() - prevComp,
+				})
+				prevClock, prevComm, prevComp = d.Clock(), d.CommTime(), d.ComputeTime()
+				if d.Rank == 0 && (ep+1-startEpoch)%ckEvery == 0 {
+					var buf bytes.Buffer
+					if err := eng.Snapshot().Write(&buf); err != nil {
+						panic(err)
+					}
+					ckCandidate[ep+1] = buf.Bytes()
+				}
+				d.Barrier(d.World())
+			}
+		})
+
+		// An epoch's numbers are trustworthy once every device completed
+		// it; fold per-device maxima into the shared stats (replayed
+		// epochs overwrite, so the final timeline wins).
+		completed := epochs - startEpoch
+		for _, pe := range perEpoch {
+			completed = min(completed, len(pe))
+		}
+		for k := 0; k < completed; k++ {
+			ep := startEpoch + k
+			var t, cm, cp float64
+			for r := 0; r < curP; r++ {
+				t = math.Max(t, perEpoch[r][k].time)
+				cm = math.Max(cm, perEpoch[r][k].comm)
+				cp = math.Max(cp, perEpoch[r][k].comp)
+			}
+			epochStats[ep].Time, epochStats[ep].CommTime, epochStats[ep].ComputeTime = t, cm, cp
+		}
+
+		// Durable checkpoints: every checkpoint rank 0 cut at a completed
+		// epoch boundary made it to storage, crash or not.
+		for e, b := range ckCandidate {
+			if e <= startEpoch+completed && e > ckEpoch {
+				ckEpoch, ckBytes = e, b
+			}
+		}
+
+		var failed []int
+		for fr, dead := range crashed {
+			if dead {
+				failed = append(failed, orig[fr])
+			}
+		}
+		anyAbort := false
+		for _, err := range aborted {
+			if err != nil {
+				anyAbort = true
+			}
+		}
+
+		if len(failed) == 0 && !anyAbort {
+			// Clean finish: assemble the final result from this world.
+			res.Epochs = epochStats
+			res.Weights = engines[0].Weights()
+			tiles := make([]*dist.Mat, curP)
+			for r := 0; r < curP; r++ {
+				tiles[r] = engines[r].LastLogits()
+			}
+			res.Logits = dist.Assemble(tiles)
+			res.FinalP = curP
+			res.FinalSurvivors = orig
+			return res
+		}
+
+		if len(res.Recoveries) >= maxRec {
+			panic(fmt.Sprintf("core: %d recoveries exhausted (failed ranks %v)", maxRec, failed))
+		}
+
+		// Re-form the world from the survivors and roll back.
+		var survFab []int
+		for fr := 0; fr < curP; fr++ {
+			if !crashed[fr] {
+				survFab = append(survFab, fr)
+			}
+		}
+		if len(survFab) == 0 {
+			panic("core: no survivors to re-form the world from")
+		}
+		maxClock := 0.0
+		newOrig := make([]int, len(survFab))
+		for i, fr := range survFab {
+			newOrig[i] = orig[fr]
+			maxClock = math.Max(maxClock, fabric.Device(fr).Clock())
+		}
+		recNew := Recovery{
+			AbortEpoch:  startEpoch + completed,
+			ResumeEpoch: ckEpoch,
+			OldP:        curP,
+			NewP:        len(survFab),
+			Failed:      failed,
+			Survivors:   newOrig,
+			SimTime:     maxClock,
+		}
+		if len(failed) > 0 {
+			recNew.PredictedReshardBytes = costmodel.ShrinkTrafficDense(n, f0, curP, survFab) +
+				costmodel.ShrinkTrafficCSR(n, curP, survFab, rowNNZ)
+			pendingShrink = &dist.ShrinkSpec{OldP: curP, Survivors: survFab}
+		} else {
+			pendingShrink = nil // same world re-runs; nothing to move
+		}
+		res.Recoveries = append(res.Recoveries, recNew)
+
+		orig = newOrig
+		clocks = make([]float64, len(survFab))
+		for i := range clocks {
+			clocks[i] = maxClock // re-formation synchronizes the survivors
+		}
+	}
+}

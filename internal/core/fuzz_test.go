@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -22,9 +23,23 @@ func FuzzReadCheckpoint(f *testing.F) {
 	_ = eng.Snapshot().Write(&seed)
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
+	// Classified failure modes as seeds: truncation, bit rot past the
+	// header (CRC-only catch), and a foreign version word.
+	raw := seed.Bytes()
+	f.Add(raw[:len(raw)-4])
+	rot := append([]byte(nil), raw...)
+	rot[len(rot)/2] ^= 0x10
+	f.Add(rot)
+	ver := append([]byte(nil), raw...)
+	ver[8] = 99
+	f.Add(ver)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cp, err := ReadCheckpoint(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointTruncated) &&
+				!errors.Is(err, ErrCheckpointVersion) {
+				t.Fatalf("unclassified checkpoint error: %v", err)
+			}
 			return
 		}
 		if len(cp.Weights) != len(cp.AdamM) || len(cp.Weights) != len(cp.AdamV) {

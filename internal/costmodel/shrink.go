@@ -1,0 +1,54 @@
+package costmodel
+
+import "gnnrdm/internal/dist"
+
+// Elastic shrink traffic model: when a P-device world loses ranks and
+// re-forms as P' survivors, dist.ShrinkReshard intersects every
+// surviving old H(OldP) row panel with the new H(P') panels and moves
+// the non-self intersections over the fabric in one all-to-all. Rows
+// owned by crashed ranks are reloaded from storage, never the fabric,
+// so they cost nothing here. These predictions are exact — the fabric
+// meters the same non-self inject bytes — and internal/verify asserts
+// a recovery's metered volume equals them byte for byte.
+
+// ShrinkTrafficDense returns the fabric bytes of re-sharding one
+// rows x cols dense H-matrix from the surviving panels of an OldP-way
+// partition onto the new len(survivors)-way partition. survivors holds
+// the old ranks carried forward, ascending (dist.ShrinkSpec.Survivors).
+func ShrinkTrafficDense(rows, cols, oldP int, survivors []int) int64 {
+	var bytes int64
+	for newRank, oldRank := range survivors {
+		oldLo, oldHi := dist.PartRange(rows, oldP, oldRank)
+		for j := range survivors {
+			if j == newRank {
+				continue
+			}
+			tlo, thi := dist.PartRange(rows, len(survivors), j)
+			if lo, hi := max(tlo, oldLo), min(thi, oldHi); lo < hi {
+				bytes += int64(hi-lo) * int64(cols) * 4
+			}
+		}
+	}
+	return bytes
+}
+
+// ShrinkTrafficCSR returns the fabric bytes of re-sharding an n x n CSR
+// adjacency held as one row panel per device. rowNNZ[r] is the global
+// non-zero count of row r; each moved row costs (1 + 2*nnz(r)) float32
+// words in dist.ShrinkReshardCSR's stream encoding.
+func ShrinkTrafficCSR(n, oldP int, survivors []int, rowNNZ []int) int64 {
+	var words int64
+	for newRank, oldRank := range survivors {
+		oldLo, oldHi := dist.PartRange(n, oldP, oldRank)
+		for j := range survivors {
+			if j == newRank {
+				continue
+			}
+			tlo, thi := dist.PartRange(n, len(survivors), j)
+			for r := max(tlo, oldLo); r < min(thi, oldHi); r++ {
+				words += 1 + 2*int64(rowNNZ[r])
+			}
+		}
+	}
+	return words * 4
+}

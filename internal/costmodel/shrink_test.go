@@ -1,0 +1,93 @@
+package costmodel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+// The shrink traffic model must agree byte for byte with what the
+// fabric actually meters during dist.ShrinkReshard / ShrinkReshardCSR.
+func TestShrinkTrafficMatchesMeteredReshard(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		oldP       int
+		survivors  []int
+	}{
+		{"8to7", 41, 6, 8, []int{0, 1, 2, 3, 4, 5, 7}},
+		{"8to4", 41, 6, 8, []int{1, 3, 4, 6}},
+		{"5to2", 17, 3, 5, []int{0, 4}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			global := tensor.NewDense(c.rows, c.cols)
+			for i := range global.Data {
+				global.Data[i] = rng.Float32()
+			}
+			sp := dist.ShrinkSpec{OldP: c.oldP, Survivors: c.survivors}
+			f := comm.NewFabric(len(c.survivors), hw.A6000())
+			f.Run(func(d *comm.Device) {
+				lo, hi := dist.PartRange(c.rows, c.oldP, c.survivors[d.Rank])
+				tile := tensor.NewDense(hi-lo, c.cols)
+				copy(tile.Data, global.Data[lo*c.cols:hi*c.cols])
+				dist.ShrinkReshard(d, sp, c.rows, c.cols, tile, func(lo, hi int) *tensor.Dense {
+					blk := tensor.NewDense(hi-lo, c.cols)
+					copy(blk.Data, global.Data[lo*c.cols:hi*c.cols])
+					return blk
+				})
+			})
+			want := costmodel.ShrinkTrafficDense(c.rows, c.cols, c.oldP, c.survivors)
+			if got := f.TotalVolume(); got != want {
+				t.Fatalf("metered %d bytes, model predicts %d", got, want)
+			}
+		})
+	}
+}
+
+func TestShrinkTrafficCSRMatchesMeteredReshard(t *testing.T) {
+	const n, oldP = 29, 4
+	survivors := []int{0, 1, 3}
+	rng := rand.New(rand.NewSource(5))
+	var coords []sparse.Coord
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if rng.Float64() < 0.15 {
+				coords = append(coords, sparse.Coord{Row: int32(r), Col: int32(c), Val: rng.Float32()})
+			}
+		}
+	}
+	adj := sparse.FromCoords(n, n, coords)
+	rowNNZ := make([]int, n)
+	for r := 0; r < n; r++ {
+		rowNNZ[r] = int(adj.RowPtr[r+1] - adj.RowPtr[r])
+	}
+
+	sp := dist.ShrinkSpec{OldP: oldP, Survivors: survivors}
+	f := comm.NewFabric(len(survivors), hw.A6000())
+	f.Run(func(d *comm.Device) {
+		lo, hi := dist.PartRange(n, oldP, survivors[d.Rank])
+		dist.ShrinkReshardCSR(d, sp, n, adj.RowPanel(lo, hi), func(lo, hi int) *sparse.CSR {
+			return adj.RowPanel(lo, hi)
+		})
+	})
+	want := costmodel.ShrinkTrafficCSR(n, oldP, survivors, rowNNZ)
+	if got := f.TotalVolume(); got != want {
+		t.Fatalf("metered %d bytes, model predicts %d", got, want)
+	}
+}
+
+func TestShrinkTrafficNoMoveWhenPartitionUnchanged(t *testing.T) {
+	// Shrinking 4 -> 4 with identity survivors moves nothing off-device
+	// only when old and new partitions coincide rank by rank.
+	if got := costmodel.ShrinkTrafficDense(16, 8, 4, []int{0, 1, 2, 3}); got != 0 {
+		t.Fatalf("identity shrink predicted %d bytes, want 0", got)
+	}
+}

@@ -1,0 +1,297 @@
+package dist
+
+// Elastic shrink re-sharding: after rank crashes reduce a P-device world
+// to the P' survivors, the H-partitioned (vertex-sliced) operands must
+// be re-balanced onto the new fabric. This is just another layout change
+// in RDM's framework — the old H(P) partition and the new H(P')
+// partition are intersected, surviving intersections move over the
+// fabric as one all-to-all (metered exactly like regrid, self-parts
+// free), and rows whose old owner died are re-read from storage through
+// a reload callback, charged as device memory traffic rather than fabric
+// bytes. costmodel.ShrinkTrafficDense/CSR predict the fabric bytes of
+// this exchange exactly; internal/verify asserts meter == prediction.
+
+import (
+	"fmt"
+	"math"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+// ShrinkSpec maps a re-formed fabric back onto the world it replaces:
+// Survivors[newRank] is the OLD fabric rank that device newRank carries
+// forward. Survivors must be strictly ascending old ranks within
+// [0, OldP); the missing old ranks are the crashed devices.
+type ShrinkSpec struct {
+	OldP      int
+	Survivors []int
+}
+
+// Validate checks the spec against the new fabric size.
+func (sp ShrinkSpec) Validate(newP int) error {
+	if len(sp.Survivors) != newP {
+		return fmt.Errorf("dist: shrink spec lists %d survivors for a %d-device fabric",
+			len(sp.Survivors), newP)
+	}
+	if sp.OldP < newP {
+		return fmt.Errorf("dist: shrink from %d to %d devices is a grow, not a shrink",
+			sp.OldP, newP)
+	}
+	prev := -1
+	for _, o := range sp.Survivors {
+		if o <= prev || o >= sp.OldP {
+			return fmt.Errorf("dist: survivors %v must be strictly ascending old ranks in [0,%d)",
+				sp.Survivors, sp.OldP)
+		}
+		prev = o
+	}
+	return nil
+}
+
+// ShrinkReshard moves an H(OldP)-partitioned rows x cols dense matrix
+// onto the current (shrunken) fabric's H(P') partition. oldLocal is this
+// device's tile under the OLD partition (its old rank is
+// sp.Survivors[dev.Rank]); the result is its tile under the new one.
+// Rows whose old owner crashed are supplied by reload(lo, hi) — global
+// row range, modelling a storage re-read — and charged as memory
+// traffic, not fabric volume. Every device of the new fabric must call
+// this collectively.
+func ShrinkReshard(dev *comm.Device, sp ShrinkSpec, rows, cols int,
+	oldLocal *tensor.Dense, reload func(lo, hi int) *tensor.Dense) *Mat {
+
+	p := dev.P()
+	if err := sp.Validate(p); err != nil {
+		panic(err.Error())
+	}
+	dev.TraceBeginPhase("shrink-reshard")
+	defer dev.TraceEndPhase()
+
+	oldLo, oldHi := PartRange(rows, sp.OldP, sp.Survivors[dev.Rank])
+	if oldLocal.Rows != oldHi-oldLo || oldLocal.Cols != cols {
+		panic(fmt.Sprintf("dist: shrink reshard old tile is %dx%d, want %dx%d",
+			oldLocal.Rows, oldLocal.Cols, oldHi-oldLo, cols))
+	}
+
+	// Divide: full-width row ranges are contiguous in the row-major
+	// tile, so parts alias oldLocal without packing copies.
+	parts := make([][]float32, p)
+	var divideBytes int64
+	for j := 0; j < p; j++ {
+		tlo, thi := PartRange(rows, p, j)
+		rlo, rhi := max(tlo, oldLo), min(thi, oldHi)
+		if rlo >= rhi {
+			continue
+		}
+		parts[j] = oldLocal.Data[(rlo-oldLo)*cols : (rhi-oldLo)*cols]
+		if j != dev.Rank {
+			divideBytes += int64(rhi-rlo) * int64(cols) * 4
+		}
+	}
+	dev.ChargeMem(divideBytes)
+
+	recv := dev.AllToAll(dev.World(), parts)
+
+	// Merge received survivor rows into the new tile and track coverage.
+	out := NewMat(dev, H, rows, cols)
+	newLo, newHi := PartRange(rows, p, dev.Rank)
+	covered := make([]bool, newHi-newLo)
+	var mergeBytes int64
+	for j := 0; j < p; j++ {
+		if len(recv[j]) == 0 {
+			continue
+		}
+		slo, shi := PartRange(rows, sp.OldP, sp.Survivors[j])
+		rlo, rhi := max(newLo, slo), min(newHi, shi)
+		if n := (rhi - rlo) * cols; n != len(recv[j]) {
+			panic(fmt.Sprintf("dist: shrink reshard merge size mismatch from %d: %d vs %d",
+				j, n, len(recv[j])))
+		}
+		copy(out.Local.Data[(rlo-newLo)*cols:(rhi-newLo)*cols], recv[j])
+		for r := rlo; r < rhi; r++ {
+			covered[r-newLo] = true
+		}
+		if j != dev.Rank {
+			mergeBytes += int64(len(recv[j])) * 4
+		}
+	}
+	dev.ChargeMem(mergeBytes)
+
+	// Reload the gaps — rows whose old owner died — from storage.
+	var reloadBytes int64
+	for lo := 0; lo < len(covered); {
+		if covered[lo] {
+			lo++
+			continue
+		}
+		hi := lo
+		for hi < len(covered) && !covered[hi] {
+			hi++
+		}
+		if reload == nil {
+			panic(fmt.Sprintf("dist: shrink reshard rows [%d,%d) lost with no reload source",
+				newLo+lo, newLo+hi))
+		}
+		blk := reload(newLo+lo, newLo+hi)
+		if blk.Rows != hi-lo || blk.Cols != cols {
+			panic(fmt.Sprintf("dist: reload returned %dx%d for rows [%d,%d)",
+				blk.Rows, blk.Cols, newLo+lo, newLo+hi))
+		}
+		copy(out.Local.Data[lo*cols:hi*cols], blk.Data)
+		reloadBytes += blk.Bytes()
+		lo = hi
+	}
+	dev.ChargeMem(reloadBytes)
+	return out
+}
+
+// ShrinkReshardCSR moves an H(OldP)-partitioned n x n sparse adjacency
+// (one row panel per device, the R_A=1 degenerate case) onto the
+// shrunken fabric's H(P') row panels. Surviving rows travel as
+// bit-packed float32 streams — per row one count word then (column,
+// value) pairs, (rows + 2·nnz)·4 bytes per non-self part, exactly what
+// costmodel.ShrinkTrafficCSR predicts — and rows of crashed owners are
+// re-read via reload(lo, hi), charged as memory traffic. With R_A = P
+// (the paper's default) panels are replicated and no re-shard is needed;
+// callers re-slice locally instead.
+func ShrinkReshardCSR(dev *comm.Device, sp ShrinkSpec, n int,
+	oldPanel *sparse.CSR, reload func(lo, hi int) *sparse.CSR) *sparse.CSR {
+
+	p := dev.P()
+	if err := sp.Validate(p); err != nil {
+		panic(err.Error())
+	}
+	dev.TraceBeginPhase("shrink-reshard-csr")
+	defer dev.TraceEndPhase()
+
+	oldLo, oldHi := PartRange(n, sp.OldP, sp.Survivors[dev.Rank])
+	if oldPanel.Rows != oldHi-oldLo || oldPanel.Cols != n {
+		panic(fmt.Sprintf("dist: shrink reshard old panel is %dx%d, want %dx%d",
+			oldPanel.Rows, oldPanel.Cols, oldHi-oldLo, n))
+	}
+
+	parts := make([][]float32, p)
+	var divideBytes int64
+	for j := 0; j < p; j++ {
+		tlo, thi := PartRange(n, p, j)
+		rlo, rhi := max(tlo, oldLo), min(thi, oldHi)
+		if rlo >= rhi {
+			continue
+		}
+		parts[j] = encodeCSRRows(oldPanel, rlo-oldLo, rhi-oldLo)
+		if j != dev.Rank {
+			divideBytes += int64(len(parts[j])) * 4
+		}
+	}
+	dev.ChargeMem(divideBytes)
+
+	recv := dev.AllToAll(dev.World(), parts)
+
+	newLo, newHi := PartRange(n, p, dev.Rank)
+	rowCols := make([][]int32, newHi-newLo)
+	rowVals := make([][]float32, newHi-newLo)
+	covered := make([]bool, newHi-newLo)
+	var mergeBytes int64
+	for j := 0; j < p; j++ {
+		if len(recv[j]) == 0 {
+			continue
+		}
+		slo, shi := PartRange(n, sp.OldP, sp.Survivors[j])
+		rlo, rhi := max(newLo, slo), min(newHi, shi)
+		decodeCSRRows(recv[j], rowCols[rlo-newLo:rhi-newLo], rowVals[rlo-newLo:rhi-newLo], j)
+		for r := rlo; r < rhi; r++ {
+			covered[r-newLo] = true
+		}
+		if j != dev.Rank {
+			mergeBytes += int64(len(recv[j])) * 4
+		}
+	}
+	dev.ChargeMem(mergeBytes)
+
+	var reloadBytes int64
+	for lo := 0; lo < len(covered); {
+		if covered[lo] {
+			lo++
+			continue
+		}
+		hi := lo
+		for hi < len(covered) && !covered[hi] {
+			hi++
+		}
+		if reload == nil {
+			panic(fmt.Sprintf("dist: shrink reshard rows [%d,%d) lost with no reload source",
+				newLo+lo, newLo+hi))
+		}
+		blk := reload(newLo+lo, newLo+hi)
+		if blk.Rows != hi-lo || blk.Cols != n {
+			panic(fmt.Sprintf("dist: reload returned %dx%d for rows [%d,%d)",
+				blk.Rows, blk.Cols, newLo+lo, newLo+hi))
+		}
+		for r := 0; r < blk.Rows; r++ {
+			s, e := blk.RowPtr[r], blk.RowPtr[r+1]
+			rowCols[lo+r] = blk.ColIdx[s:e]
+			rowVals[lo+r] = blk.Val[s:e]
+		}
+		reloadBytes += blk.Bytes()
+		lo = hi
+	}
+	dev.ChargeMem(reloadBytes)
+
+	out := sparse.NewEmpty(newHi-newLo, n)
+	var nnz int64
+	for r := range rowCols {
+		nnz += int64(len(rowCols[r]))
+		out.RowPtr[r+1] = nnz
+	}
+	out.ColIdx = make([]int32, 0, nnz)
+	out.Val = make([]float32, 0, nnz)
+	for r := range rowCols {
+		out.ColIdx = append(out.ColIdx, rowCols[r]...)
+		out.Val = append(out.Val, rowVals[r]...)
+	}
+	return out
+}
+
+// encodeCSRRows bit-packs local rows [r0, r1) of a panel: per row a
+// count word followed by (column, value) pairs, every word an exact
+// float32 reinterpretation so the stream survives the float32 fabric
+// losslessly.
+func encodeCSRRows(m *sparse.CSR, r0, r1 int) []float32 {
+	nnz := m.RowPtr[r1] - m.RowPtr[r0]
+	out := make([]float32, 0, int64(r1-r0)+2*nnz)
+	for r := r0; r < r1; r++ {
+		s, e := m.RowPtr[r], m.RowPtr[r+1]
+		out = append(out, math.Float32frombits(uint32(e-s)))
+		for k := s; k < e; k++ {
+			out = append(out, math.Float32frombits(uint32(m.ColIdx[k])), m.Val[k])
+		}
+	}
+	return out
+}
+
+// decodeCSRRows unpacks an encodeCSRRows stream into per-row slices.
+func decodeCSRRows(buf []float32, cols [][]int32, vals [][]float32, from int) {
+	k := 0
+	for r := range cols {
+		if k >= len(buf) {
+			panic(fmt.Sprintf("dist: truncated CSR stream from %d", from))
+		}
+		cnt := int(math.Float32bits(buf[k]))
+		k++
+		c := make([]int32, cnt)
+		v := make([]float32, cnt)
+		for i := 0; i < cnt; i++ {
+			if k+2 > len(buf) {
+				panic(fmt.Sprintf("dist: truncated CSR stream from %d", from))
+			}
+			c[i] = int32(math.Float32bits(buf[k]))
+			v[i] = buf[k+1]
+			k += 2
+		}
+		cols[r], vals[r] = c, v
+	}
+	if k != len(buf) {
+		panic(fmt.Sprintf("dist: CSR stream from %d has %d trailing words", from, len(buf)-k))
+	}
+}

@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
+)
+
+func randGlobal(rows, cols int, seed int64) *tensor.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()
+	}
+	return m
+}
+
+func randAdj(n int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var coords []sparse.Coord
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if rng.Float64() < 0.2 {
+				coords = append(coords, sparse.Coord{Row: int32(r), Col: int32(c), Val: rng.Float32()})
+			}
+		}
+	}
+	return sparse.FromCoords(n, n, coords)
+}
+
+func TestShrinkSpecValidate(t *testing.T) {
+	ok := ShrinkSpec{OldP: 8, Survivors: []int{0, 1, 2, 3, 4, 6, 7}}
+	if err := ok.Validate(7); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []struct {
+		sp   ShrinkSpec
+		newP int
+	}{
+		{ShrinkSpec{OldP: 8, Survivors: []int{0, 1}}, 3},     // wrong length
+		{ShrinkSpec{OldP: 2, Survivors: []int{0, 1, 2}}, 3},  // grow
+		{ShrinkSpec{OldP: 8, Survivors: []int{0, 0, 1}}, 3},  // duplicate
+		{ShrinkSpec{OldP: 8, Survivors: []int{2, 1, 0}}, 3},  // unsorted
+		{ShrinkSpec{OldP: 4, Survivors: []int{0, 1, 4}}, 3},  // out of range
+		{ShrinkSpec{OldP: 4, Survivors: []int{-1, 1, 2}}, 3}, // negative
+	}
+	for _, c := range bad {
+		if err := c.sp.Validate(c.newP); err == nil {
+			t.Errorf("spec %+v accepted for P'=%d", c.sp, c.newP)
+		}
+	}
+}
+
+// shrinkCase runs a dense shrink re-shard on a fresh P'-device fabric and
+// checks every new tile against the fault-free H(P') partition of the
+// same global matrix, plus the metered volume against the intersection
+// formula.
+func shrinkCase(t *testing.T, rows, cols, oldP int, survivors []int) {
+	t.Helper()
+	global := randGlobal(rows, cols, 42)
+	newP := len(survivors)
+	sp := ShrinkSpec{OldP: oldP, Survivors: survivors}
+	f := comm.NewFabric(newP, hw.A6000())
+
+	dead := make(map[int]bool)
+	for o := 0; o < oldP; o++ {
+		dead[o] = true
+	}
+	for _, o := range survivors {
+		delete(dead, o)
+	}
+
+	var mu sync.Mutex
+	reloaded := 0
+	f.Run(func(d *comm.Device) {
+		oldLo, oldHi := PartRange(rows, oldP, survivors[d.Rank])
+		oldTile := tensor.NewDense(oldHi-oldLo, cols)
+		copy(oldTile.Data, global.Data[oldLo*cols:oldHi*cols])
+		got := ShrinkReshard(d, sp, rows, cols, oldTile, func(lo, hi int) *tensor.Dense {
+			// Every reloaded row must belong to a dead old rank.
+			for r := lo; r < hi; r++ {
+				owner := -1
+				for o := 0; o < oldP; o++ {
+					if plo, phi := PartRange(rows, oldP, o); r >= plo && r < phi {
+						owner = o
+					}
+				}
+				if !dead[owner] {
+					t.Errorf("rank %d reloaded row %d owned by live old rank %d", d.Rank, r, owner)
+				}
+			}
+			mu.Lock()
+			reloaded += hi - lo
+			mu.Unlock()
+			blk := tensor.NewDense(hi-lo, cols)
+			copy(blk.Data, global.Data[lo*cols:hi*cols])
+			return blk
+		})
+		nlo, nhi := PartRange(rows, newP, d.Rank)
+		want := global.Data[nlo*cols : nhi*cols]
+		if !reflect.DeepEqual(got.Local.Data, want) {
+			t.Errorf("rank %d: resharded tile differs from reference partition", d.Rank)
+		}
+	})
+
+	// Metered volume is exactly the non-self old∩new intersections of
+	// surviving panels — the same formula costmodel.ShrinkTrafficDense
+	// uses (asserted equal in internal/costmodel's tests).
+	var want int64
+	for i, o := range survivors {
+		olo, ohi := PartRange(rows, oldP, o)
+		for j := 0; j < newP; j++ {
+			if j == i {
+				continue
+			}
+			tlo, thi := PartRange(rows, newP, j)
+			if lo, hi := max(tlo, olo), min(thi, ohi); lo < hi {
+				want += int64(hi-lo) * int64(cols) * 4
+			}
+		}
+	}
+	if got := f.TotalVolume(); got != want {
+		t.Errorf("metered %d bytes, want %d", got, want)
+	}
+	if len(dead) > 0 && reloaded == 0 {
+		t.Error("dead ranks owned rows but nothing was reloaded")
+	}
+}
+
+func TestShrinkReshardDense(t *testing.T) {
+	cases := []struct {
+		name             string
+		rows, cols, oldP int
+		survivors        []int
+	}{
+		{"8to7", 37, 5, 8, []int{0, 1, 2, 4, 5, 6, 7}},
+		{"8to4", 37, 5, 8, []int{0, 2, 5, 7}},
+		{"4to3-uneven", 10, 3, 4, []int{0, 1, 3}},
+		{"3to2-lastdies", 9, 4, 3, []int{0, 1}},
+		{"2to1", 7, 2, 2, []int{1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			shrinkCase(t, c.rows, c.cols, c.oldP, c.survivors)
+		})
+	}
+}
+
+func TestShrinkReshardCSR(t *testing.T) {
+	const n, oldP = 23, 4
+	survivors := []int{0, 2, 3}
+	newP := len(survivors)
+	adj := randAdj(n, 7)
+	sp := ShrinkSpec{OldP: oldP, Survivors: survivors}
+	f := comm.NewFabric(newP, hw.A6000())
+	f.Run(func(d *comm.Device) {
+		olo, ohi := PartRange(n, oldP, survivors[d.Rank])
+		got := ShrinkReshardCSR(d, sp, n, adj.RowPanel(olo, ohi), func(lo, hi int) *sparse.CSR {
+			return adj.RowPanel(lo, hi)
+		})
+		nlo, nhi := PartRange(n, newP, d.Rank)
+		want := adj.RowPanel(nlo, nhi)
+		if !reflect.DeepEqual(got.RowPtr, want.RowPtr) ||
+			!reflect.DeepEqual(got.ColIdx, want.ColIdx) ||
+			!reflect.DeepEqual(got.Val, want.Val) {
+			t.Errorf("rank %d: resharded CSR panel differs from reference", d.Rank)
+		}
+	})
+
+	// Non-self moved rows cost (1 + 2·nnz) words each.
+	var words int64
+	for i, o := range survivors {
+		olo, ohi := PartRange(n, oldP, o)
+		for j := 0; j < newP; j++ {
+			if j == i {
+				continue
+			}
+			tlo, thi := PartRange(n, newP, j)
+			for r := max(tlo, olo); r < min(thi, ohi); r++ {
+				words += 1 + 2*(adj.RowPtr[r+1]-adj.RowPtr[r])
+			}
+		}
+	}
+	if got := f.TotalVolume(); got != words*4 {
+		t.Errorf("metered %d bytes, want %d", got, words*4)
+	}
+}
+
+func TestShrinkReshardPanicsWithoutReloadSource(t *testing.T) {
+	const rows, cols, oldP = 12, 2, 3
+	survivors := []int{0, 1} // rank 2's rows are lost
+	sp := ShrinkSpec{OldP: oldP, Survivors: survivors}
+	f := comm.NewFabric(2, hw.A6000())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lost rows with nil reload must panic")
+		}
+	}()
+	f.Run(func(d *comm.Device) {
+		olo, ohi := PartRange(rows, oldP, survivors[d.Rank])
+		tile := randGlobal(ohi-olo, cols, int64(d.Rank))
+		ShrinkReshard(d, sp, rows, cols, tile, nil)
+	})
+}

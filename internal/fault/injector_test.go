@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/hw"
+)
+
+func mustParse(t *testing.T, s string) *Schedule {
+	t.Helper()
+	sched, err := ParseSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func runBounded(t *testing.T, f *comm.Fabric, fn func(d *comm.Device)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(fn)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fabric.Run did not terminate")
+	}
+}
+
+func TestEpochCrashKillsScheduledRankOnly(t *testing.T) {
+	const p, epochs = 4, 4
+	inj := NewInjector(mustParse(t, "crash@rank1:epoch2"), 1, p)
+	f := comm.NewFabric(p, hw.A6000())
+	inj.Arm(f)
+	var mu sync.Mutex
+	failedAt := make(map[int]int)
+	runBounded(t, f, func(d *comm.Device) {
+		for ep := 0; ep < epochs; ep++ {
+			d.SetFaultEpoch(ep)
+			inj.AtEpochStart(d, ep)
+			if err := d.TryBarrier(d.World()); err != nil {
+				if !errors.Is(err, comm.ErrPeerDead) {
+					t.Errorf("rank %d: got %v, want ErrPeerDead", d.Rank, err)
+				}
+				mu.Lock()
+				failedAt[d.Rank] = ep
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	for _, r := range []int{0, 2, 3} {
+		if ep, ok := failedAt[r]; !ok || ep != 2 {
+			t.Fatalf("rank %d failed at epoch %v, want exactly epoch 2", r, failedAt[r])
+		}
+	}
+}
+
+func TestTimeCrashFiresAtScheduledClock(t *testing.T) {
+	inj := NewInjector(mustParse(t, "crash@rank0:t0.5"), 1, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	var mu sync.Mutex
+	var survivorErr error
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(0)
+		// Advance simulated time past the trigger with compute, then hit
+		// a collective: rank 0 must die there, not during compute.
+		d.ChargeMem(int64(0.6 * 6.0e11)) // ~0.6 simulated seconds
+		err := d.TryBarrier(d.World())
+		if d.Rank == 1 {
+			mu.Lock()
+			survivorErr = err
+			mu.Unlock()
+		}
+	})
+	if !errors.Is(survivorErr, comm.ErrPeerDead) {
+		t.Fatalf("survivor got %v, want ErrPeerDead", survivorErr)
+	}
+}
+
+func TestDropIsRetriedToSuccess(t *testing.T) {
+	inj := NewInjector(mustParse(t, "drop@rank0:epoch0:n2"), 1, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	f.SetRetryPolicy(comm.RetryPolicy{Max: 3, Backoff: 10e-6, Multiplier: 2})
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(0)
+		out, err := d.TryAllReduceSum(d.World(), []float32{1})
+		if err != nil {
+			t.Errorf("rank %d: dropped round not retried to success: %v", d.Rank, err)
+			return
+		}
+		if out[0] != 2 {
+			t.Errorf("rank %d: wrong sum %v after retries", d.Rank, out)
+		}
+	})
+	// Two dropped rounds plus backoffs, then the clean round.
+	if f.Device(0).Clock() <= hw.A6000().CollectiveTime(hw.OpAllReduce, 2, 4) {
+		t.Fatal("retries charged no simulated time")
+	}
+}
+
+func TestDropWithoutRetryBudgetSurfacesFaultError(t *testing.T) {
+	inj := NewInjector(mustParse(t, "drop@rank0:epoch0"), 1, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		_, err := d.TryAllReduceSum(d.World(), []float32{1})
+		var fe *comm.FaultError
+		if !errors.As(err, &fe) || !errors.Is(err, comm.ErrTransient) {
+			t.Errorf("rank %d: got %v, want FaultError wrapping ErrTransient", d.Rank, err)
+		}
+	})
+}
+
+func TestFlipIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []float32 {
+		inj := NewInjector(mustParse(t, "flip@rank1:epoch0"), seed, 2)
+		f := comm.NewFabric(2, hw.A6000())
+		inj.Arm(f)
+		var out []float32
+		runBounded(t, f, func(d *comm.Device) {
+			d.SetFaultEpoch(0)
+			sum, err := d.TryAllReduceSum(d.World(), []float32{1, 2, 3, 4})
+			if err != nil {
+				t.Errorf("rank %d: %v", d.Rank, err)
+				return
+			}
+			if d.Rank == 0 {
+				out = sum
+			}
+		})
+		return out
+	}
+	clean := []float32{2, 4, 6, 8}
+	a1, a2 := run(7), run(7)
+	corrupted := false
+	for i := range clean {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed produced different corruption: %v vs %v", a1, a2)
+		}
+		if a1[i] != clean[i] {
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatalf("flip did not corrupt the payload: %v", a1)
+	}
+}
+
+func TestFlipCaughtByCRCFiresOnce(t *testing.T) {
+	inj := NewInjector(mustParse(t, "flip@rank0:epoch0"), 3, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	f.EnableCRC(true)
+	f.SetRetryPolicy(comm.DefaultRetryPolicy())
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(0)
+		out, err := d.TryAllReduceSum(d.World(), []float32{1, 2})
+		if err != nil {
+			t.Errorf("rank %d: CRC retry failed: %v", d.Rank, err)
+			return
+		}
+		if out[0] != 2 || out[1] != 4 {
+			t.Errorf("rank %d: corruption survived CRC retry: %v", d.Rank, out)
+		}
+	})
+}
+
+func TestNegativeFaultEpochSuppressesRoundEvents(t *testing.T) {
+	inj := NewInjector(mustParse(t, "drop@rank0:epoch0"), 1, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(-1) // recovery phase marker
+		if _, err := d.TryAllReduceSum(d.World(), []float32{1}); err != nil {
+			t.Errorf("rank %d: recovery-phase round was faulted: %v", d.Rank, err)
+		}
+	})
+}
+
+func TestRemapDeactivatesDeadRanks(t *testing.T) {
+	inj := NewInjector(mustParse(t, "crash@rank1:epoch0,slow@rank1:2x,drop@rank1:epoch0"), 1, 3)
+	inj.Remap([]int{0, 2}) // rank 1 died; fabric ranks now map to originals 0 and 2
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(0)
+		inj.AtEpochStart(d, 0) // must NOT panic: rank 1 is gone
+		if _, err := d.TryAllReduceSum(d.World(), []float32{1}); err != nil {
+			t.Errorf("rank %d: dead rank's drop still fired: %v", d.Rank, err)
+		}
+	})
+}
+
+func TestArmAppliesSlowAndDegrade(t *testing.T) {
+	inj := NewInjector(mustParse(t, "slow@rank0:2x,degrade@rank1:alpha2:beta2"), 1, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	base := hw.A6000()
+	runBounded(t, f, func(d *comm.Device) {
+		d.ChargeGemm(32, 32, 32)
+		d.Barrier(d.World())
+	})
+	slowT := f.Device(0).ComputeTime()
+	fastT := f.Device(1).ComputeTime()
+	if slowT <= fastT*1.9 {
+		t.Fatalf("straggler compute %g not ~2x of %g", slowT, fastT)
+	}
+	// The barrier pays the degraded latency of rank 1's link.
+	if got := f.Device(0).CommTime(); got < base.LinkLatency*2*0.999 {
+		t.Fatalf("degraded barrier comm time %g, want ~%g", got, base.LinkLatency*2)
+	}
+}

@@ -1,0 +1,287 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulated fabric: a parsed schedule of machine faults (rank crashes,
+// stragglers, link degradation, payload bit-flips, transient round
+// drops) and an Injector that executes it against an internal/comm
+// fabric through the FaultHook interface. Every decision is driven by
+// simulated state (epochs, simulated clocks) and a fixed seed — never
+// wall time — so the same schedule and seed reproduce the identical
+// fault sequence, metered bytes, and trace, byte for byte. See
+// RESILIENCE.md for the full fault model.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the fault event types of the schedule grammar.
+type Kind int
+
+const (
+	// Crash kills a rank at the start of an epoch (crash@rankR:epochE)
+	// or at the first collective once its simulated clock passes a time
+	// (crash@rankR:tSECONDS).
+	Crash Kind = iota
+	// Slow makes a rank a straggler: compute kernels take Factor× their
+	// modelled time (slow@rankR:FACTORx).
+	Slow
+	// Degrade multiplies a rank's link latency by Alpha and divides its
+	// bandwidth by Beta (degrade@rankR:alphaA:betaB).
+	Degrade
+	// Flip corrupts one bit of the rank's contribution to the first
+	// world-group collective round of an epoch (flip@rankR:epochE). The
+	// bit position is drawn from the injector's seeded RNG.
+	Flip
+	// Drop fails Count consecutive world-group rounds of an epoch with
+	// a transient error (drop@rankR:epochE[:nK], default n1), exercising
+	// the fabric's retry/backoff path.
+	Drop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Slow:
+		return "slow"
+	case Degrade:
+		return "degrade"
+	case Flip:
+		return "flip"
+	case Drop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled fault. Rank always addresses the ORIGINAL rank
+// numbering of the full world; after an elastic shrink the injector
+// remaps it onto the surviving fabric, and events whose rank has died
+// deactivate.
+type Event struct {
+	Kind   Kind
+	Rank   int
+	Epoch  int     // Crash/Flip/Drop epoch trigger; -1 when unused
+	Time   float64 // Crash simulated-time trigger; 0 when unused
+	Factor float64 // Slow multiplier (> 1)
+	Alpha  float64 // Degrade latency multiplier (>= 1)
+	Beta   float64 // Degrade bandwidth divisor (>= 1)
+	Count  int     // Drop round count (>= 1)
+}
+
+// Schedule is an ordered list of fault events, parsed from the -faults
+// flag grammar: comma-separated events like
+//
+//	crash@rank2:epoch3,slow@rank0:1.5x,degrade@rank1:alpha2:beta4,
+//	flip@rank3:epoch1,drop@rank0:epoch2:n2,crash@rank5:t0.25
+type Schedule struct {
+	Events []Event
+}
+
+// ParseSchedule parses the -faults grammar. An empty (or all-blank)
+// string is a valid empty schedule. The result round-trips through
+// String: ParseSchedule(s.String()) reproduces s exactly.
+func ParseSchedule(s string) (*Schedule, error) {
+	sched := &Schedule{}
+	if strings.TrimSpace(s) == "" {
+		return sched, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		ev, err := parseEvent(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		sched.Events = append(sched.Events, ev)
+	}
+	return sched, nil
+}
+
+func parseEvent(tok string) (Event, error) {
+	fail := func(format string, args ...any) (Event, error) {
+		return Event{}, fmt.Errorf("fault: event %q: %s", tok, fmt.Sprintf(format, args...))
+	}
+	kind, rest, ok := strings.Cut(tok, "@")
+	if !ok {
+		return fail("missing '@'")
+	}
+	fields := strings.Split(rest, ":")
+	rank, err := prefixedInt(fields[0], "rank")
+	if err != nil {
+		return fail("%v", err)
+	}
+	ev := Event{Rank: rank, Epoch: -1}
+	args := fields[1:]
+	switch kind {
+	case "crash":
+		ev.Kind = Crash
+		if len(args) != 1 {
+			return fail("crash takes exactly one trigger (epochN or tSECONDS)")
+		}
+		switch {
+		case strings.HasPrefix(args[0], "epoch"):
+			if ev.Epoch, err = prefixedInt(args[0], "epoch"); err != nil {
+				return fail("%v", err)
+			}
+		case strings.HasPrefix(args[0], "t"):
+			if ev.Time, err = prefixedFloat(args[0], "t"); err != nil {
+				return fail("%v", err)
+			}
+			if ev.Time <= 0 {
+				return fail("crash time must be positive")
+			}
+		default:
+			return fail("trigger %q is neither epochN nor tSECONDS", args[0])
+		}
+	case "slow":
+		ev.Kind = Slow
+		if len(args) != 1 || !strings.HasSuffix(args[0], "x") {
+			return fail("slow takes exactly one FACTORx argument")
+		}
+		if ev.Factor, err = parseFloat(strings.TrimSuffix(args[0], "x")); err != nil {
+			return fail("%v", err)
+		}
+		if ev.Factor <= 1 {
+			return fail("slowdown factor must exceed 1")
+		}
+	case "degrade":
+		ev.Kind = Degrade
+		if len(args) != 2 {
+			return fail("degrade takes alphaA:betaB")
+		}
+		if ev.Alpha, err = prefixedFloat(args[0], "alpha"); err != nil {
+			return fail("%v", err)
+		}
+		if ev.Beta, err = prefixedFloat(args[1], "beta"); err != nil {
+			return fail("%v", err)
+		}
+		if ev.Alpha < 1 || ev.Beta < 1 {
+			return fail("degrade multipliers must be >= 1")
+		}
+	case "flip":
+		ev.Kind = Flip
+		if len(args) != 1 {
+			return fail("flip takes exactly one epochN argument")
+		}
+		if ev.Epoch, err = prefixedInt(args[0], "epoch"); err != nil {
+			return fail("%v", err)
+		}
+	case "drop":
+		ev.Kind = Drop
+		ev.Count = 1
+		if len(args) < 1 || len(args) > 2 {
+			return fail("drop takes epochN with an optional :nK")
+		}
+		if ev.Epoch, err = prefixedInt(args[0], "epoch"); err != nil {
+			return fail("%v", err)
+		}
+		if len(args) == 2 {
+			if ev.Count, err = prefixedInt(args[1], "n"); err != nil {
+				return fail("%v", err)
+			}
+			if ev.Count < 1 {
+				return fail("drop count must be >= 1")
+			}
+		}
+	default:
+		return fail("unknown fault kind %q", kind)
+	}
+	return ev, nil
+}
+
+func prefixedInt(s, prefix string) (int, error) {
+	body, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("expected %s<N>, got %q", prefix, s)
+	}
+	v, err := strconv.Atoi(body)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s value %q", prefix, body)
+	}
+	return v, nil
+}
+
+func prefixedFloat(s, prefix string) (float64, error) {
+	body, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("expected %s<F>, got %q", prefix, s)
+	}
+	return parseFloat(body)
+}
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("bad numeric value %q", s)
+	}
+	return v, nil
+}
+
+// String renders the canonical grammar form of the schedule; it parses
+// back to an identical schedule.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, ev := range s.Events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (ev Event) String() string {
+	switch ev.Kind {
+	case Crash:
+		if ev.Epoch >= 0 {
+			return fmt.Sprintf("crash@rank%d:epoch%d", ev.Rank, ev.Epoch)
+		}
+		return fmt.Sprintf("crash@rank%d:t%s", ev.Rank, fmtFloat(ev.Time))
+	case Slow:
+		return fmt.Sprintf("slow@rank%d:%sx", ev.Rank, fmtFloat(ev.Factor))
+	case Degrade:
+		return fmt.Sprintf("degrade@rank%d:alpha%s:beta%s", ev.Rank, fmtFloat(ev.Alpha), fmtFloat(ev.Beta))
+	case Flip:
+		return fmt.Sprintf("flip@rank%d:epoch%d", ev.Rank, ev.Epoch)
+	case Drop:
+		return fmt.Sprintf("drop@rank%d:epoch%d:n%d", ev.Rank, ev.Epoch, ev.Count)
+	}
+	return "?"
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Validate checks the schedule against a world of p ranks: every event
+// must address an existing rank and the crash set must leave at least
+// one survivor.
+func (s *Schedule) Validate(p int) error {
+	crashed := map[int]bool{}
+	for _, ev := range s.Events {
+		if ev.Rank >= p {
+			return fmt.Errorf("fault: event %s addresses rank %d of a %d-rank world", ev, ev.Rank, p)
+		}
+		if ev.Kind == Crash {
+			crashed[ev.Rank] = true
+		}
+	}
+	if len(crashed) >= p {
+		return fmt.Errorf("fault: schedule crashes all %d ranks; at least one must survive", p)
+	}
+	return nil
+}
+
+// Crashes returns the distinct ranks the schedule ever crashes, sorted.
+func (s *Schedule) Crashes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ev := range s.Events {
+		if ev.Kind == Crash && !seen[ev.Rank] {
+			seen[ev.Rank] = true
+			out = append(out, ev.Rank)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

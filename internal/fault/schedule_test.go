@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleGrammar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Event
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"crash@rank2:epoch3", []Event{{Kind: Crash, Rank: 2, Epoch: 3}}},
+		{"crash@rank5:t0.25", []Event{{Kind: Crash, Rank: 5, Epoch: -1, Time: 0.25}}},
+		{"slow@rank0:1.5x", []Event{{Kind: Slow, Rank: 0, Epoch: -1, Factor: 1.5}}},
+		{"degrade@rank1:alpha2:beta4", []Event{{Kind: Degrade, Rank: 1, Epoch: -1, Alpha: 2, Beta: 4}}},
+		{"flip@rank3:epoch1", []Event{{Kind: Flip, Rank: 3, Epoch: 1}}},
+		{"drop@rank0:epoch2", []Event{{Kind: Drop, Rank: 0, Epoch: 2, Count: 1}}},
+		{"drop@rank0:epoch2:n3", []Event{{Kind: Drop, Rank: 0, Epoch: 2, Count: 3}}},
+		{
+			"crash@rank2:epoch3, slow@rank0:1.5x",
+			[]Event{{Kind: Crash, Rank: 2, Epoch: 3}, {Kind: Slow, Rank: 0, Epoch: -1, Factor: 1.5}},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseSchedule(c.in)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.Events, c.want) {
+			t.Errorf("ParseSchedule(%q) = %+v, want %+v", c.in, got.Events, c.want)
+		}
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	bad := []string{
+		"crash",                      // no '@'
+		"crash@epoch3",               // no rank
+		"crash@rank2",                // no trigger
+		"crash@rank2:epoch3:extra",   // too many args
+		"crash@rank2:t0",             // non-positive time
+		"crash@rank2:t-1",            // negative time
+		"crash@rank-2:epoch3",        // negative rank
+		"boom@rank0:epoch1",          // unknown kind
+		"slow@rank0:1.5",             // missing x suffix
+		"slow@rank0:0.5x",            // factor <= 1
+		"slow@rank0:NaNx",            // non-finite
+		"degrade@rank0:alpha2",       // missing beta
+		"degrade@rank0:alpha0:beta2", // alpha < 1
+		"flip@rank0:epochx",          // bad epoch
+		"drop@rank0:epoch1:n0",       // count < 1
+		"crash@rank0:epoch1,,",       // empty event
+	}
+	for _, s := range bad {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	in := "crash@rank2:epoch3,crash@rank5:t0.25,slow@rank0:1.5x," +
+		"degrade@rank1:alpha2:beta4.5,flip@rank3:epoch1,drop@rank0:epoch2:n2"
+	s, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	re, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re, s) {
+		t.Fatalf("round trip changed schedule: %+v vs %+v", re, s)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	s, err := ParseSchedule("crash@rank7:epoch1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(8); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := s.Validate(4); err == nil {
+		t.Fatal("rank 7 accepted in a 4-rank world")
+	}
+	all, _ := ParseSchedule("crash@rank0:epoch1,crash@rank1:epoch1")
+	if err := all.Validate(2); err == nil {
+		t.Fatal("schedule crashing every rank accepted")
+	}
+}
+
+func TestScheduleCrashes(t *testing.T) {
+	s, err := ParseSchedule("crash@rank5:epoch1,flip@rank2:epoch0,crash@rank1:t0.5,crash@rank5:epoch3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Crashes(); !reflect.DeepEqual(got, []int{1, 5}) {
+		t.Fatalf("Crashes() = %v, want [1 5]", got)
+	}
+}
+
+func TestRandomScheduleIsReproducibleAndValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := RandomSchedule(seed, 8, 4)
+		b := RandomSchedule(seed, 8, 4)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: schedules differ: %q vs %q", seed, a, b)
+		}
+		if err := a.Validate(8); err != nil {
+			t.Fatalf("seed %d: invalid schedule %q: %v", seed, a, err)
+		}
+		if len(a.Crashes()) == 0 {
+			t.Fatalf("seed %d: chaos schedule %q has no crash", seed, a)
+		}
+		// Crash epochs must leave epoch 0 intact so training starts.
+		if strings.Contains(a.String(), "epoch0,crash") {
+			t.Fatalf("seed %d: crash at epoch 0 in %q", seed, a)
+		}
+	}
+}

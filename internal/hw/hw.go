@@ -68,6 +68,26 @@ func A6000SlowPCIe() *Model {
 	return m
 }
 
+// Degraded returns a copy of the model with the link parameters scaled by
+// per-link fault multipliers: latency (alpha) is multiplied by alphaMul
+// and bandwidth (beta) divided by betaMul, both >= 1 for a degraded link.
+// The simulated fabric applies the worst multipliers among a collective's
+// participants — a ring is only as fast as its slowest link — so one
+// flaky device taxes every group it joins (internal/fault's degrade
+// events drive this).
+func (h *Model) Degraded(alphaMul, betaMul float64) *Model {
+	if alphaMul < 1 {
+		alphaMul = 1
+	}
+	if betaMul < 1 {
+		betaMul = 1
+	}
+	m := *h
+	m.LinkLatency *= alphaMul
+	m.LinkBandwidth /= betaMul
+	return &m
+}
+
 // GemmTime returns the modelled time of an (m x k)·(k x n) dense product.
 func (h *Model) GemmTime(m, k, n int) float64 {
 	fma := float64(m) * float64(k) * float64(n)

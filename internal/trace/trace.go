@@ -36,6 +36,13 @@ const (
 	// layer, redistribute, ...). Phases nest and overlap kernel and
 	// collective events; they carry no time of their own.
 	ClassPhase
+	// ClassFault is a fault-handling interval: a transient-failure retry
+	// with its backoff ("retry:allreduce"), a collective abandoned to a
+	// dead peer ("timeout:allgather"), or a rank crash marker ("crash").
+	// Fault events occupy real simulated time on the device timeline (the
+	// backoff or deadline charge), keeping clocks reconcilable with the
+	// trace even on faulty runs.
+	ClassFault
 )
 
 func (c Class) String() string {
@@ -46,6 +53,8 @@ func (c Class) String() string {
 		return "collective"
 	case ClassPhase:
 		return "phase"
+	case ClassFault:
+		return "fault"
 	}
 	return "unknown"
 }

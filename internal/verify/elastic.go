@@ -1,0 +1,176 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/fault"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/nn"
+	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/trace"
+)
+
+// NoGoroutineLeak runs fn and fails the test if the process goroutine
+// count has not returned to its starting level shortly afterwards. Use
+// it around fabric runs that exercise crash/abort paths: a rank blocked
+// forever in an abandoned rendezvous shows up here even when the run
+// itself returned.
+func NoGoroutineLeak(t testing.TB, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("verify: goroutine leak: %d before, %d after (a rank is likely parked in a dead rendezvous)",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ElasticCase is one entry of an elastic-recovery equivalence sweep.
+type ElasticCase struct {
+	Name string
+	// P is the starting world size.
+	P int
+	// Faults is the -faults grammar schedule to inject.
+	Faults string
+	// WantFinalP is the expected world size after all recoveries.
+	WantFinalP int
+	// WantRecoveries is the expected number of world re-formations.
+	WantRecoveries int
+}
+
+// ElasticSpec is a table-driven elastic-recovery sweep: each case trains
+// under an injected fault schedule and must (a) finish on the expected
+// shrunken world, (b) match the fault-free single-device reference
+// within the package tolerances, and (c) meter recovery redistribution
+// traffic exactly equal to the cost model's shrink prediction.
+type ElasticSpec struct {
+	Problem *core.Problem
+	Dims    []int
+	Epochs  int
+	Cases   []ElasticCase
+	// FaultSeed seeds the injector (default 1).
+	FaultSeed int64
+}
+
+// RunElastic executes the sweep, one subtest per case.
+func RunElastic(t *testing.T, spec ElasticSpec) {
+	t.Helper()
+	seed := spec.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	opts := DiffSpec{Dims: spec.Dims}.opts(0)
+	ref := core.ReferenceTrain(spec.Problem, opts, spec.Epochs)
+	refAcc := nn.Accuracy(ref.Logits, spec.Problem.Labels, nil)
+
+	for _, c := range spec.Cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			sched, err := fault.ParseSchedule(c.Faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var el *core.ElasticResult
+			NoGoroutineLeak(t, func() {
+				el = core.TrainElastic(c.P, hw.A6000(), spec.Problem, opts, spec.Epochs,
+					core.ElasticOptions{Schedule: sched, FaultSeed: seed})
+			})
+			if el.FinalP != c.WantFinalP {
+				t.Fatalf("finished on P'=%d, want %d (recoveries: %+v)", el.FinalP, c.WantFinalP, el.Recoveries)
+			}
+			if len(el.Recoveries) != c.WantRecoveries {
+				t.Fatalf("%d recoveries, want %d: %+v", len(el.Recoveries), c.WantRecoveries, el.Recoveries)
+			}
+			for i, rec := range el.Recoveries {
+				if rec.ReshardBytes != rec.PredictedReshardBytes {
+					t.Fatalf("recovery %d: metered reshard %d bytes, cost model predicts %d",
+						i, rec.ReshardBytes, rec.PredictedReshardBytes)
+				}
+				// Zero bytes is legitimate: when every surviving panel
+				// nests inside its new panel the whole gap refills by
+				// storage reload, so only meter == prediction is asserted.
+			}
+			// The recovered run's final timeline must match the fault-free
+			// single-device reference within the documented tolerances.
+			for ep, want := range ref.Losses {
+				if d := math.Abs(el.Epochs[ep].Loss - want); d > LossTol {
+					t.Fatalf("epoch %d loss %v, reference %v (|Δ|=%.3g > %g)",
+						ep, el.Epochs[ep].Loss, want, d, LossTol)
+				}
+			}
+			if d := tensor.MaxAbsDiff(el.Logits, ref.Logits); d > LogitsTol {
+				t.Fatalf("final logits diverge from reference: max|Δ|=%.3g > %g", d, LogitsTol)
+			}
+			for i := range el.Weights {
+				if d := tensor.MaxAbsDiff(el.Weights[i], ref.Weights[i]); d > WeightTol {
+					t.Fatalf("weight %d diverges from reference: max|Δ|=%.3g > %g", i, d, WeightTol)
+				}
+			}
+			acc := el.Accuracy(spec.Problem.Labels, nil)
+			if d := math.Abs(acc - refAcc); d > AccTol {
+				t.Fatalf("accuracy %v, reference %v (|Δ|=%.3g > %g)", acc, refAcc, d, AccTol)
+			}
+		})
+	}
+}
+
+// CheckElasticTraceDeterminism runs the same elastic training twice with
+// tracing enabled and asserts the exported Chrome traces are identical
+// byte for byte — the repo's strongest reproducibility claim: same seed,
+// same schedule ⇒ same simulated timeline, same metered bytes, same
+// trace file.
+func CheckElasticTraceDeterminism(t testing.TB, p int, prob *core.Problem, dims []int, epochs int, faults string, seed int64) {
+	t.Helper()
+	sched, err := fault.ParseSchedule(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		opts := DiffSpec{Dims: dims}.opts(0)
+		opts.Tracer = trace.NewTracer(1 << 16)
+		core.TrainElastic(p, hw.A6000(), prob, opts, epochs,
+			core.ElasticOptions{Schedule: sched, FaultSeed: seed})
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, opts.Tracer); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		t.Fatalf("identical elastic runs produced different traces (%d vs %d bytes, first divergence at offset %d: %s)",
+			len(a), len(b), i, contextAround(a, b, i))
+	}
+}
+
+func contextAround(a, b []byte, i int) string {
+	grab := func(s []byte) string {
+		lo, hi := i-30, i+30
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		return string(s[lo:hi])
+	}
+	return fmt.Sprintf("%q vs %q", grab(a), grab(b))
+}

@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/fault"
+	"gnnrdm/internal/hw"
+)
+
+// The ISSUE's acceptance sweep: crashes at P=8 shrinking to P' ∈ {7, 4}
+// must converge to the fault-free single-device reference, and every
+// recovery's metered redistribution must equal the cost model's shrink
+// prediction byte for byte.
+func TestElasticRecoveryEquivalence(t *testing.T) {
+	RunElastic(t, ElasticSpec{
+		Problem: DefaultProblem(3, 64, 12, 4),
+		Dims:    []int{12, 10, 4},
+		Epochs:  6,
+		Cases: []ElasticCase{
+			{Name: "P8to7", P: 8, Faults: "crash@rank3:epoch2", WantFinalP: 7, WantRecoveries: 1},
+			{Name: "P8to4", P: 8,
+				Faults:     "crash@rank1:epoch2,crash@rank4:epoch2,crash@rank5:epoch2,crash@rank6:epoch2",
+				WantFinalP: 4, WantRecoveries: 1},
+			{Name: "P8to7to4-sequential", P: 8,
+				Faults:     "crash@rank7:epoch1,crash@rank1:epoch3,crash@rank3:epoch3,crash@rank5:epoch3",
+				WantFinalP: 4, WantRecoveries: 2},
+			{Name: "P4to3-with-noise", P: 4,
+				Faults:     "crash@rank2:epoch3,slow@rank1:1.5x,drop@rank0:epoch1",
+				WantFinalP: 3, WantRecoveries: 1},
+		},
+	})
+}
+
+// Same seed, same schedule ⇒ byte-identical trace, twice over: once for
+// a clean run and once through a crash and recovery.
+func TestElasticTraceByteDeterminism(t *testing.T) {
+	prob := DefaultProblem(3, 64, 12, 4)
+	CheckElasticTraceDeterminism(t, 4, prob, []int{12, 8, 4}, 4, "", 7)
+	CheckElasticTraceDeterminism(t, 4, prob, []int{12, 8, 4}, 4,
+		"crash@rank2:epoch2,flip@rank0:epoch1", 7)
+}
+
+// Chaos sweep: randomized but seed-deterministic schedules (CI runs a
+// matrix of CHAOS_SEED values). Whatever the schedule throws at the
+// world, training must finish on some P' >= 1, meter every shrink
+// exactly, and leak no goroutines.
+func TestElasticChaosSeed(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	const p, epochs = 8, 5
+	sched := fault.RandomSchedule(seed, p, epochs)
+	t.Logf("chaos seed %d: %s", seed, sched)
+	prob := DefaultProblem(3, 64, 12, 4)
+	opts := DiffSpec{Dims: []int{12, 10, 4}}.opts(0)
+
+	var el *core.ElasticResult
+	NoGoroutineLeak(t, func() {
+		el = core.TrainElastic(p, hw.A6000(), prob, opts, epochs,
+			core.ElasticOptions{Schedule: sched, FaultSeed: seed})
+	})
+	if el.FinalP < 1 || el.FinalP > p {
+		t.Fatalf("implausible final world size %d", el.FinalP)
+	}
+	if want := p - len(sched.Crashes()); el.FinalP != want {
+		t.Fatalf("final P'=%d, schedule %q implies %d", el.FinalP, sched, want)
+	}
+	for i, rec := range el.Recoveries {
+		if rec.ReshardBytes != rec.PredictedReshardBytes {
+			t.Fatalf("recovery %d: metered %d != predicted %d", i, rec.ReshardBytes, rec.PredictedReshardBytes)
+		}
+	}
+	last := el.Epochs[len(el.Epochs)-1].Loss
+	if !(last < el.Epochs[0].Loss) {
+		t.Fatalf("chaos run did not learn: %v -> %v", el.Epochs[0].Loss, last)
+	}
+}
