@@ -2,7 +2,10 @@
 // the paper's Table V datasets: it prints their characteristics at a
 // chosen scale, the GCN normalization statistics, and the greedy
 // partitioner's edge cut per device count (the quantity DGCL's
-// communication is proportional to).
+// communication is proportional to). With -plan it instead prints the
+// compiled op schedule (internal/plan) for a chosen ordering, device
+// count, and replication factor, with per-op priced fabric bytes and a
+// totals line reconciled against the Table IV closed-form prediction.
 package main
 
 import (
@@ -10,9 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"gnnrdm/internal/baselines"
+	"gnnrdm/internal/costmodel"
 	"gnnrdm/internal/graph"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
 )
 
 func main() {
@@ -26,8 +34,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	scale := fs.Int("scale", 128, "dataset scale divisor (1 = the paper's full sizes)")
 	cuts := fs.Bool("cuts", false, "also compute LDG partitioner edge cuts (builds each graph)")
+	planFlag := fs.Bool("plan", false, "print the compiled op schedule with per-op priced bytes")
+	cfgID := fs.Int("config", 0, "Table IV ordering ID (with -plan)")
+	devs := fs.Int("p", 4, "device count (with -plan)")
+	ra := fs.Int("ra", 0, "adjacency replication factor, 0 = P (with -plan)")
+	n := fs.Int("n", 64, "vertex count (with -plan)")
+	dimsStr := fs.String("dims", "16,12,8", "comma-separated layer widths f_0..f_L (with -plan)")
+	nnz := fs.Int64("nnz", 0, "stored adjacency entries, 0 = 8n (with -plan)")
+	nomemo := fs.Bool("nomemo", false, "disable forward memoization (with -plan)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *planFlag {
+		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo)
 	}
 
 	fmt.Fprintf(stdout, "Dataset recipes (Table V), scale=1/%d\n", *scale)
@@ -53,6 +72,106 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, " %9.1f%%", 100*float64(cut)/float64(nnz))
 		}
 		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+// runPlan compiles, optimizes, and prices the op schedule for one
+// problem shape, printing every op with its fabric byte volumes and a
+// totals line checked byte-for-byte against the closed-form cost model.
+// Exit code 1 signals a planner/model disagreement.
+func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, nomemo bool) int {
+	dims, err := parseDims(dimsStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 2
+	}
+	layers := len(dims) - 1
+	if cfgID < 0 || cfgID >= costmodel.NumConfigs(layers) {
+		fmt.Fprintf(stderr, "rdminfo: config %d out of range for %d layers (0..%d)\n",
+			cfgID, layers, costmodel.NumConfigs(layers)-1)
+		return 2
+	}
+	if ra == 0 {
+		ra = p
+	}
+	if p < 1 || ra < 1 || ra > p || p%ra != 0 {
+		fmt.Fprintf(stderr, "rdminfo: RA=%d invalid for P=%d\n", ra, p)
+		return 2
+	}
+	if nnz == 0 {
+		nnz = int64(8 * n)
+	}
+	sp := plan.Spec{
+		N: n, Dims: dims, Config: costmodel.ConfigFromID(cfgID, layers),
+		P: p, RA: ra, Memoize: !nomemo, InputGrad: true,
+	}
+	sched := plan.Compile(sp).Optimize()
+	cost := sched.Price(nnz, hw.A6000())
+	byStep := make(map[int]plan.OpCost, len(cost.PerOp))
+	for _, oc := range cost.PerOp {
+		byStep[oc.Step] = oc
+	}
+	fmt.Fprintf(stdout, "compiled schedule: config=%d p=%d ra=%d n=%d dims=%s memoize=%d regs=%d ops=%d\n",
+		cfgID, p, ra, n, dimsStr, b01(!nomemo), sched.NumRegs, sched.Ops())
+	for i := range sched.Sections {
+		sec := &sched.Sections[i]
+		fmt.Fprintf(stdout, "section %s %d\n", sec.Phase, sec.Layer)
+		for j := range sec.Ops {
+			op := &sec.Ops[j]
+			line := fmt.Sprintf("  s%-3d %s", op.Step, op.OpString())
+			var ann []string
+			oc := byStep[op.Step]
+			if oc.AllToAll > 0 {
+				ann = append(ann, fmt.Sprintf("alltoall=%dB", oc.AllToAll))
+			}
+			if oc.AllGather > 0 {
+				ann = append(ann, fmt.Sprintf("allgather=%dB", oc.AllGather))
+			}
+			if oc.AllReduce > 0 {
+				ann = append(ann, fmt.Sprintf("allreduce=%dB", oc.AllReduce))
+			}
+			if oc.Side > 0 {
+				ann = append(ann, fmt.Sprintf("side=%dB", oc.Side))
+			}
+			if len(ann) > 0 {
+				line = fmt.Sprintf("%-48s %s", line, strings.Join(ann, " "))
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	fmt.Fprintf(stdout, "totals: alltoall=%dB allgather=%dB rdm=%dB allreduce=%dB side=%dB\n",
+		cost.AllToAll, cost.AllGather, cost.RDMBytes(), cost.AllReduce, cost.Side)
+	net := costmodel.Network{Dims: dims, N: int64(n), NNZ: nnz, P: p, RA: ra, NoMemo: nomemo}
+	want := costmodel.EvaluateEngine(net, sp.Config).CommVolumeBytes()
+	fmt.Fprintf(stdout, "model:  rdm=%dB (Table IV closed form)\n", want)
+	if got := cost.RDMBytes(); got != want {
+		fmt.Fprintf(stderr, "rdminfo: schedule prices %d RDM bytes but model predicts %d (Δ=%d)\n",
+			got, want, got-want)
+		return 1
+	}
+	return 0
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("-dims needs at least two comma-separated widths, got %q", s)
+	}
+	dims := make([]int, len(parts))
+	for i, part := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("-dims entry %q is not a positive integer", part)
+		}
+		dims[i] = d
+	}
+	return dims, nil
+}
+
+func b01(v bool) int {
+	if v {
+		return 1
 	}
 	return 0
 }

@@ -2,9 +2,15 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite the -plan golden dumps")
 
 func TestRecipeListing(t *testing.T) {
 	var out, errb bytes.Buffer
@@ -30,6 +36,52 @@ func TestCuts(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "edge cuts") {
 		t.Errorf("stdout missing edge-cut table: %q", out.String())
+	}
+}
+
+// TestPlanGoldens pins the -plan schedule dumps for three orderings:
+// all-SpMM-first (0), a mixed row (10), and all-GEMM-first (15). The
+// dumps double as CI goldens (.github/workflows/ci.yml diffs them), so
+// planner or pricing changes surface as reviewable diffs.
+func TestPlanGoldens(t *testing.T) {
+	for _, cfg := range []int{0, 10, 15} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("cfg%02d", cfg), func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run([]string{"-plan", "-config", fmt.Sprint(cfg)}, &out, &errb); code != 0 {
+				t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("plan_cfg%02d.txt", cfg))
+			if *updateGolden {
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("-plan dump differs from %s; rerun with -update if intended\n--- got\n%s--- want\n%s",
+					path, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestPlanFlagValidation: malformed -plan inputs exit 2 without output.
+func TestPlanFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-plan", "-dims", "16"},
+		{"-plan", "-dims", "16,x,8"},
+		{"-plan", "-config", "99"},
+		{"-plan", "-p", "4", "-ra", "3"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2 (stderr %q)", args, code, errb.String())
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"gnnrdm/internal/fault"
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
 	"gnnrdm/internal/saint"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/trace"
@@ -130,13 +131,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if raEff == 0 {
 		raEff = *gpus
 	}
-	net := costmodel.Network{Dims: dims, N: int64(*n), NNZ: prob.A.NNZ(), P: *gpus, RA: raEff}
 	id := *configID
 	if id < 0 {
-		candidates := costmodel.ParetoConfigs(net)
-		id = candidates[0]
-		fmt.Fprintf(stdout, "model-selected ordering: candidates %v, using %d (%v)\n",
-			candidates, id, costmodel.ConfigFromID(id, *layers))
+		// Model-driven per-layer selection (§IV-B): the planner prices a
+		// fully compiled schedule per candidate slot, so mixed orderings
+		// no uniform Table IV row expresses fall out naturally.
+		sp := plan.Spec{N: *n, Dims: dims, P: *gpus, RA: raEff, SAGE: *sage, Memoize: true}
+		cfg := plan.ChooseOrdering(sp, prob.A.NNZ(), hw.A6000())
+		id = cfg.ID()
+		sp.Config = cfg
+		predicted := plan.Compile(sp).Optimize().PredictTime(prob.A.NNZ(), hw.A6000())
+		fmt.Fprintf(stdout, "planner-selected ordering: %d (%v), predicted epoch %.3gs\n",
+			id, cfg, predicted)
 	}
 
 	opts := core.Options{

@@ -44,7 +44,7 @@ func TestSyntheticTrainWithTrace(t *testing.T) {
 	if code := run(args, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
 	}
-	for _, want := range []string{"model-selected ordering", "train accuracy", "trace written to", "checkpoint written to"} {
+	for _, want := range []string{"planner-selected ordering", "train accuracy", "trace written to", "checkpoint written to"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("stdout missing %q: %q", want, out.String())
 		}

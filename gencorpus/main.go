@@ -13,7 +13,9 @@ import (
 	"path/filepath"
 
 	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
 	"gnnrdm/internal/graph"
+	"gnnrdm/internal/plan"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
 )
@@ -117,6 +119,29 @@ func main() {
 	write(fc, "seed-single-cell", bs([]byte{1, 1, 0, 0, 1, 0, 0, 2, 0, 0, 3}))
 	write(fc, "seed-empty-rows", bs([]byte{24, 24, 23, 23, 7}))
 	write(fc, "seed-cancellation", bs([]byte{4, 4, 2, 2, 5, 2, 2, 251}))
+
+	// internal/plan: schedule dump grammar (Parse/String fixed point).
+	sched := func(sp plan.Spec, optimize bool) string {
+		s := plan.Compile(sp)
+		if optimize {
+			s = s.Optimize()
+		}
+		return fmt.Sprintf("string(%q)", s.String())
+	}
+	pl := "internal/plan/testdata/fuzz/FuzzPlanString"
+	write(pl, "seed-header-only",
+		`string("schedule p=1 ra=1 n=4 dims=3,2 config=0 sage=0 memoize=0 inputgrad=0 regs=0 weights=1\n")`)
+	write(pl, "seed-cfg0-opt", sched(plan.Spec{
+		N: 64, Dims: []int{16, 12, 8}, Config: costmodel.ConfigFromID(0, 2),
+		P: 4, RA: 4, Memoize: true, InputGrad: true,
+	}, true))
+	write(pl, "seed-cfg15-grid", sched(plan.Spec{
+		N: 64, Dims: []int{16, 12, 8}, Config: costmodel.ConfigFromID(15, 2),
+		P: 8, RA: 2, InputGrad: true,
+	}, true))
+	write(pl, "seed-sage-naive", sched(plan.Spec{
+		N: 7, Dims: []int{5, 4, 3, 2}, P: 2, RA: 2, SAGE: true, Memoize: true,
+	}, false))
 
 	// internal/dist: divide/exchange/merge redistribution.
 	rg := "internal/dist/testdata/fuzz/FuzzRegrid"

@@ -666,6 +666,14 @@ func (d *Device) TraceSetLayer(layer int) {
 	}
 }
 
+// TraceSetStep tags subsequent trace events with a plan-schedule step
+// ID (0 = outside any scheduled op).
+func (d *Device) TraceSetStep(step int) {
+	if tr := d.F.tracer; tr != nil {
+		tr.SetStep(d.Rank, step)
+	}
+}
+
 // TraceSetDir tags subsequent trace events with the pass direction
 // ("fwd", "bwd", or "").
 func (d *Device) TraceSetDir(dir string) {

@@ -22,6 +22,7 @@ import (
 	"gnnrdm/internal/costmodel"
 	"gnnrdm/internal/dist"
 	"gnnrdm/internal/nn"
+	"gnnrdm/internal/plan"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
 	"gnnrdm/internal/trace"
@@ -158,6 +159,12 @@ type Engine struct {
 	weights []*tensor.Dense
 	adam    *nn.Adam
 
+	// sched is the epoch's compiled, optimized op schedule (internal/plan):
+	// compiled once in NewEngine and interpreted every epoch. Shapes in the
+	// schedule are advisory — the executor reads live matrix shapes, so a
+	// SetProblem swap (GraphSAINT subgraphs) reuses the same schedule.
+	sched *plan.Schedule
+
 	// epochMask is the current epoch's sampled-neighbor mask for this
 	// device's panel rows (nil when sampling is off).
 	epochMask [][]int32
@@ -198,25 +205,18 @@ func NewEngine(dev *comm.Device, prob *Problem, opts Options) *Engine {
 		}
 	}
 	e.adam = nn.NewAdam(opts.LR, e.weights)
+	e.sched = plan.Compile(plan.Spec{
+		N: prob.N(), Dims: opts.Dims, Config: opts.Config,
+		P: p, RA: opts.RA, SAGE: opts.SAGE, Memoize: opts.Memoize,
+		InputGrad: opts.ComputeInputGrad,
+	}).Optimize()
 	dev.TraceSetConfig(opts.Config.String())
 	return e
 }
 
-// wN returns layer l's neighbor-aggregation weight matrix.
-func (e *Engine) wN(l int) *tensor.Dense {
-	if e.opts.SAGE {
-		return e.weights[2*(l-1)]
-	}
-	return e.weights[l-1]
-}
-
-// wS returns layer l's self weight matrix (SAGE only).
-func (e *Engine) wS(l int) *tensor.Dense {
-	if !e.opts.SAGE {
-		panic("core: wS without SAGE")
-	}
-	return e.weights[2*(l-1)+1]
-}
+// Schedule returns the compiled, optimized op schedule this engine
+// interprets each epoch.
+func (e *Engine) Schedule() *plan.Schedule { return e.sched }
 
 // Weights exposes the (replicated) weight matrices.
 func (e *Engine) Weights() []*tensor.Dense { return e.weights }
@@ -298,295 +298,150 @@ func (e *Engine) gemm(m *dist.Mat, w *tensor.Dense, transW bool) *dist.Mat {
 	return dist.FromLocal(e.dev, dist.H, m.GlobalRows, out.Cols, out)
 }
 
-// lcache holds one logical matrix in every layout it has been
-// materialized in, so reuse across passes (Fig. 3/4) never re-pays a
-// redistribution.
-type lcache struct {
-	mats map[string]*dist.Mat
-}
-
-func newCache(ms ...*dist.Mat) *lcache {
-	c := &lcache{mats: make(map[string]*dist.Mat)}
-	for _, m := range ms {
-		c.put(m)
+// runOps interprets one schedule section's ops in order, tagging trace
+// events with each op's plan step ID.
+func (e *Engine) runOps(sec *plan.Section, regs []*dist.Mat, grads []*tensor.Dense) {
+	for i := range sec.Ops {
+		op := &sec.Ops[i]
+		e.dev.TraceSetStep(op.Step)
+		e.execOp(op, regs, grads)
 	}
-	return c
+	e.dev.TraceSetStep(0)
 }
 
-func (c *lcache) put(m *dist.Mat) { c.mats[m.Layout.String()] = m }
-
-func (c *lcache) has(l dist.Layout, p int) bool {
-	_, ok := c.mats[l.Normalize(p).String()]
-	return ok
-}
-
-// get returns the matrix in the requested layout, redistributing (and
-// caching) from an existing copy if needed. Source preference is
-// deterministic: H, then V, then grids.
-func (c *lcache) get(l dist.Layout, p int) *dist.Mat {
-	key := l.Normalize(p).String()
-	if m, ok := c.mats[key]; ok {
-		return m
-	}
-	src := c.any()
-	out := src.Redistribute(l)
-	c.put(out)
-	return out
-}
-
-func (c *lcache) any() *dist.Mat {
-	for _, k := range []string{"H", "V"} {
-		if m, ok := c.mats[k]; ok {
-			return m
-		}
-	}
-	// Deterministic fallback: lowest grid PJ.
-	var best *dist.Mat
-	bestKey := ""
-	for k, m := range c.mats {
-		if best == nil || k < bestKey {
-			best, bestKey = m, k
-		}
-	}
-	if best == nil {
-		panic("core: empty layout cache")
-	}
-	return best
-}
-
-// pass holds the per-epoch forward state consumed by the backward pass.
-type pass struct {
-	h    []*lcache   // h[l] caches H^l (h[0] = input features)
-	memo []*dist.Mat // memo[l] = AᵀH^{l-1} horizontal, if fwd l was SpMM-first
-}
-
-// forward runs the forward pass under the configured ordering, computes
-// the loss, and returns the state plus the loss gradient G^L
-// (horizontal).
-func (e *Engine) forward() (*pass, *lcache) {
-	p := e.dev.P()
-	L := e.opts.Layers()
+// runForward interprets the init, per-layer forward, and loss sections,
+// reproducing the phase/layer trace structure of the historical
+// hand-written forward pass.
+func (e *Engine) runForward(regs []*dist.Mat, grads []*tensor.Dense) {
 	e.dev.TraceSetDir("fwd")
 	e.dev.TraceBeginPhase("forward")
-	defer func() {
-		e.dev.TraceEndPhase()
-		e.dev.TraceSetDir("")
-	}()
-	st := &pass{h: make([]*lcache, L+1), memo: make([]*dist.Mat, L+1)}
-	// H^0 is free in both layouts: the initial distribution is a
-	// data-loading choice (§IV-A1).
-	st.h[0] = newCache(dist.Distribute(e.dev, dist.H, e.prob.X), dist.Distribute(e.dev, e.gridL, e.prob.X))
+	for i := range e.sched.Sections {
+		sec := &e.sched.Sections[i]
+		switch sec.Phase {
+		case "init":
+			// H^0 is free in whatever layouts the schedule asks for: the
+			// initial distribution is a data-loading choice (§IV-A1).
+			e.runOps(sec, regs, grads)
+		case "fwd":
+			e.dev.TraceSetLayer(sec.Layer)
+			e.dev.TraceBeginPhase("layer")
+			e.runOps(sec, regs, grads)
+			e.dev.TraceEndPhase()
+		case "loss":
+			// Loss: vertex-complete logits required, so a vertical final
+			// layer pays one last redistribution (§IV-A1).
+			e.dev.TraceSetLayer(0)
+			e.dev.TraceBeginPhase("loss")
+			e.runOps(sec, regs, grads)
+			e.dev.TraceEndPhase()
+		}
+	}
+	e.dev.TraceEndPhase()
+	e.dev.TraceSetDir("")
+}
 
-	for l := 1; l <= L; l++ {
-		e.dev.TraceSetLayer(l)
+// runBackward interprets the per-layer backward sections (compiled in
+// layer order L..1).
+func (e *Engine) runBackward(regs []*dist.Mat, grads []*tensor.Dense) {
+	e.dev.TraceSetDir("bwd")
+	e.dev.TraceBeginPhase("backward")
+	for i := range e.sched.Sections {
+		sec := &e.sched.Sections[i]
+		if sec.Phase != "bwd" {
+			continue
+		}
+		e.dev.TraceSetLayer(sec.Layer)
 		e.dev.TraceBeginPhase("layer")
-		var z *dist.Mat
-		if e.opts.Config.Fwd[l-1] == costmodel.SparseFirst {
-			x := st.h[l-1].get(e.gridL, p)
-			t := e.spmm(x, true).Redistribute(dist.H)
-			e.dev.ChargeMem(t.Local.Bytes()) // divide/merge accounted in dist; T write-out
-			if e.opts.Memoize {
-				st.memo[l] = t
-			}
-			z = e.gemm(t, e.wN(l), false)
-			if e.opts.SAGE {
-				self := e.gemm(st.h[l-1].get(dist.H, p), e.wS(l), false)
-				z.Local.Add(self.Local)
-				e.dev.ChargeMem(z.Local.Bytes())
-			}
-		} else {
-			x := st.h[l-1].get(dist.H, p)
-			t := e.gemm(x, e.wN(l), false)
-			z = t.Redistribute(e.gridL)
-			z = e.spmm(z, true)
-			if e.opts.SAGE {
-				self := e.gemm(x, e.wS(l), false).Redistribute(e.gridL)
-				z.Local.Add(self.Local)
-				e.dev.ChargeMem(z.Local.Bytes())
-			}
-		}
-		if l < L {
-			z.Local.ReLU()
-			e.dev.ChargeMem(z.Local.Bytes())
-		}
-		st.h[l] = newCache(z)
+		e.runOps(sec, regs, grads)
 		e.dev.TraceEndPhase()
 	}
 	e.dev.TraceSetLayer(0)
-
-	// Loss: vertex-complete logits required, so a vertical final layer
-	// pays one last redistribution (§IV-A1).
-	e.dev.TraceBeginPhase("loss")
-	defer e.dev.TraceEndPhase()
-	logits := st.h[L].get(dist.H, p)
-	e.lastLogits = logits
-	rlo, rhi := dist.RowRange(dist.H, p, e.dev.Rank, e.prob.N())
-	var mask []bool
-	if e.prob.TrainMask != nil {
-		mask = e.prob.TrainMask[rlo:rhi]
-	}
-	var lw []float32
-	if e.prob.LossWeights != nil {
-		lw = e.prob.LossWeights[rlo:rhi]
-	}
-	lossSum, grad, wtot := nn.WeightedSoftmaxCrossEntropySum(logits.Local, e.prob.Labels[rlo:rhi], mask, lw)
-	e.dev.ChargeMem(2 * logits.Local.Bytes())
-	tot := e.dev.AllReduceSum(e.dev.World(), []float32{float32(lossSum), float32(wtot)})
-	totalCount := float64(tot[1])
-	if totalCount > 0 {
-		grad.Scale(float32(1.0 / totalCount))
-		e.lastLoss = float64(tot[0]) / totalCount
-	} else {
-		e.lastLoss = 0
-	}
-	gl := dist.FromLocal(e.dev, dist.H, e.prob.N(), e.opts.Dims[L], grad)
-	return st, newCache(gl)
+	e.dev.TraceEndPhase()
+	e.dev.TraceSetDir("")
 }
 
-// backward runs the backward pass, returning the weight gradients
-// (identical on every device after all-reduce).
-func (e *Engine) backward(st *pass, gTop *lcache) []*tensor.Dense {
-	p := e.dev.P()
-	L := e.opts.Layers()
-	e.dev.TraceSetDir("bwd")
-	e.dev.TraceBeginPhase("backward")
-	defer func() {
-		e.dev.TraceSetLayer(0)
-		e.dev.TraceEndPhase()
-		e.dev.TraceSetDir("")
-	}()
-	grads := make([]*tensor.Dense, len(e.weights))
-	setGrads := func(l int, yn, ys *tensor.Dense) {
-		if e.opts.SAGE {
-			grads[2*(l-1)], grads[2*(l-1)+1] = yn, ys
-		} else {
-			grads[l-1] = yn
-		}
-	}
-	g := gTop
-	for l := L; l >= 1; l-- {
-		e.dev.TraceSetLayer(l)
-		e.dev.TraceBeginPhase("layer")
-		var tb *dist.Mat // A·G^l horizontal, when backward is SpMM-first
-		needInputGrad := l > 1 || e.opts.ComputeInputGrad
-		if e.opts.Config.Bwd[l-1] == costmodel.SparseFirst {
-			gv := g.get(e.gridL, p)
-			tb = e.spmm(gv, false).Redistribute(dist.H)
-			setGrads(l, e.weightGrad(l, st, g, tb), e.selfGrad(l, st, g))
-			if needInputGrad {
-				u := e.gemm(tb, e.wN(l), true) // T_b · W_nᵀ, horizontal
-				if e.opts.SAGE {
-					self := e.gemm(g.get(dist.H, p), e.wS(l), true)
-					u.Local.Add(self.Local)
-					e.dev.ChargeMem(u.Local.Bytes())
-				}
-				if l > 1 {
-					e.applyReLUMask(u, st.h[l-1])
-				}
-				g = newCache(u)
-			} else {
-				g = nil
-			}
-		} else {
-			// GEMM-first: G^l must be horizontal (mismatch redistribution
-			// charged by the cache).
-			gh := g.get(dist.H, p)
-			g.put(gh)
-			setGrads(l, e.weightGrad(l, st, g, nil), e.selfGrad(l, st, g))
-			if needInputGrad {
-				u := e.gemm(gh, e.wN(l), true).Redistribute(e.gridL)
-				gn := e.spmm(u, false)
-				if e.opts.SAGE {
-					self := e.gemm(gh, e.wS(l), true).Redistribute(e.gridL)
-					gn.Local.Add(self.Local)
-					e.dev.ChargeMem(gn.Local.Bytes())
-				}
-				if l > 1 {
-					e.applyReLUMask(gn, st.h[l-1])
-				}
-				g = newCache(gn)
-			} else {
-				g = nil
-			}
-		}
-		e.dev.TraceEndPhase()
-	}
-	return grads
-}
-
-// selfGrad computes the self-weight gradient (H^{l-1})ᵀ·G^l for SAGE
-// layers (nil otherwise): local vertex-sliced partial products summed
-// with an all-reduce.
-func (e *Engine) selfGrad(l int, st *pass, g *lcache) *tensor.Dense {
-	if !e.opts.SAGE {
-		return nil
-	}
-	p := e.dev.P()
-	h := st.h[l-1].get(dist.H, p)
-	gh := g.get(dist.H, p)
-	partial := tensor.MatMulTA(h.Local, gh.Local)
-	e.dev.ChargeGemm(h.Local.Cols, h.Local.Rows, gh.Local.Cols)
-	sum := e.dev.AllReduceSum(e.dev.World(), partial.Data)
-	return tensor.FromRowMajor(partial.Rows, partial.Cols, sum)
-}
-
-// weightGrad computes Y^l = (H^{l-1})ᵀ(A·G^l) following the reuse
-// analysis of Fig. 3: prefer a free vertex-sliced operand pair, fall back
-// to gathering the narrower missing operand, and only when the layer is
-// GEMM-first in both passes perform the extra SpMM (§III-C). The local
-// partial product is summed with an O(f²) all-reduce.
-func (e *Engine) weightGrad(l int, st *pass, g *lcache, tb *dist.Mat) *tensor.Dense {
-	p := e.dev.P()
-	in, out := e.opts.Dims[l-1], e.opts.Dims[l]
-	tf := st.memo[l]
-	hPrev := st.h[l-1]
-
-	var partial *tensor.Dense
-	mulTA := func(a, b *dist.Mat) *tensor.Dense {
-		pp := tensor.MatMulTA(a.Local, b.Local)
+// execOp interprets one schedule op. Global shapes come from the live
+// matrices (not the schedule's compile-time fields), so the same
+// schedule drives problems of any vertex count; only weight shapes —
+// fixed by Dims — are read from the op.
+func (e *Engine) execOp(op *plan.Op, regs []*dist.Mat, grads []*tensor.Dense) {
+	switch op.Kind {
+	case plan.KInput:
+		regs[op.Dst] = dist.Distribute(e.dev, op.Layout, e.prob.X)
+	case plan.KRedist:
+		regs[op.Dst] = regs[op.A].Redistribute(op.To)
+	case plan.KSpMM:
+		regs[op.Dst] = e.spmm(regs[op.A], op.Forward)
+	case plan.KGEMM:
+		regs[op.Dst] = e.gemm(regs[op.A], e.weights[op.Weight], op.TransW)
+	case plan.KGradGEMM:
+		// Local vertex-sliced partial of an (·)ᵀ(·) weight-gradient
+		// product; the partials differ per device until KAllReduceGrad
+		// sums them, so the R layout here is a forward declaration.
+		a, b := regs[op.A], regs[op.B]
+		partial := tensor.MatMulTA(a.Local, b.Local)
 		e.dev.ChargeGemm(a.Local.Cols, a.Local.Rows, b.Local.Cols)
-		return pp
-	}
-	switch {
-	case tf != nil && g.has(dist.H, p):
-		partial = mulTA(tf, g.get(dist.H, p))
-	case tb != nil && hPrev.has(dist.H, p):
-		partial = mulTA(hPrev.get(dist.H, p), tb)
-	case tf != nil && tb != nil:
-		if in <= out {
-			partial = mulTA(hPrev.get(dist.H, p), tb) // gather H^{l-1}: f_{l-1}
-		} else {
-			partial = mulTA(tf, g.get(dist.H, p)) // gather G^l: f_l
+		regs[op.Dst] = dist.FromLocal(e.dev, dist.R, partial.Rows, partial.Cols, partial)
+	case plan.KAllReduceGrad:
+		sum := e.dev.AllReduceSum(e.dev.World(), regs[op.A].Local.Data)
+		grads[op.Weight] = tensor.FromRowMajor(op.Rows, op.Cols, sum)
+	case plan.KReLU:
+		regs[op.A].Local.ReLU()
+		e.dev.ChargeMem(regs[op.A].Local.Bytes())
+	case plan.KReLUGrad:
+		e.applyReLUMask(regs[op.A], regs[op.B])
+	case plan.KAdd:
+		regs[op.A].Local.Add(regs[op.B].Local)
+		e.dev.ChargeMem(regs[op.A].Local.Bytes())
+	case plan.KMemoize, plan.KReuse:
+		regs[op.Dst] = regs[op.A]
+	case plan.KLoss:
+		logits := regs[op.A]
+		e.lastLogits = logits
+		p := e.dev.P()
+		rlo, rhi := dist.RowRange(dist.H, p, e.dev.Rank, e.prob.N())
+		var mask []bool
+		if e.prob.TrainMask != nil {
+			mask = e.prob.TrainMask[rlo:rhi]
 		}
-	case tf != nil:
-		partial = mulTA(tf, g.get(dist.H, p))
-	case tb != nil:
-		partial = mulTA(hPrev.get(dist.H, p), tb)
+		var lw []float32
+		if e.prob.LossWeights != nil {
+			lw = e.prob.LossWeights[rlo:rhi]
+		}
+		lossSum, grad, wtot := nn.WeightedSoftmaxCrossEntropySum(logits.Local, e.prob.Labels[rlo:rhi], mask, lw)
+		e.dev.ChargeMem(2 * logits.Local.Bytes())
+		tot := e.dev.AllReduceSum(e.dev.World(), []float32{float32(lossSum), float32(wtot)})
+		totalCount := float64(tot[1])
+		if totalCount > 0 {
+			grad.Scale(float32(1.0 / totalCount))
+			e.lastLoss = float64(tot[0]) / totalCount
+		} else {
+			e.lastLoss = 0
+		}
+		regs[op.Dst] = dist.FromLocal(e.dev, dist.H, e.prob.N(), e.opts.Dims[e.opts.Layers()], grad)
+	case plan.KMemWrite:
+		e.dev.ChargeMem(regs[op.A].Local.Bytes())
+	case plan.KUpdate:
+		e.adam.Step(e.weights, grads)
+		var wBytes int64
+		for _, w := range e.weights {
+			wBytes += w.Bytes()
+		}
+		e.dev.ChargeMem(4 * wBytes)
 	default:
-		// Both passes GEMM-first: recompute the cheaper SpMM product.
-		if in <= out {
-			t := e.spmm(hPrev.get(e.gridL, p), true).Redistribute(dist.H)
-			partial = mulTA(t, g.get(dist.H, p))
-		} else {
-			t := e.spmm(g.get(e.gridL, p), false).Redistribute(dist.H)
-			partial = mulTA(hPrev.get(dist.H, p), t)
-		}
+		panic(fmt.Sprintf("core: unknown schedule op kind %v", op.Kind))
 	}
-	sum := e.dev.AllReduceSum(e.dev.World(), partial.Data)
-	return tensor.FromRowMajor(in, out, sum)
 }
 
-// applyReLUMask multiplies u element-wise by σ'(Z^{l-1}) = [H^{l-1} > 0].
-// When H^{l-1} exists in u's layout the mask is applied locally;
-// otherwise a byte-packed mask is redistributed (¼ of the elements — a
-// mechanical cost the paper's model omits; see EXPERIMENTS.md).
-func (e *Engine) applyReLUMask(u *dist.Mat, hPrev *lcache) {
-	p := e.dev.P()
-	var src *dist.Mat
-	if hPrev.has(u.Layout, p) {
-		src = hPrev.get(u.Layout, p)
-	} else {
-		from := hPrev.any()
+// applyReLUMask multiplies u element-wise by σ'(Z^{l-1}) = [H^{l-1} > 0],
+// with src a copy of H^{l-1}. When src already lives in u's layout the
+// mask is applied locally; otherwise a byte-packed mask is redistributed
+// (¼ of the elements — a mechanical cost the paper's model omits; see
+// EXPERIMENTS.md). The planner encodes the choice in the op's From/To
+// layouts; the decision re-derives here from the live matrices.
+func (e *Engine) applyReLUMask(u, src *dist.Mat) {
+	if src.Layout != u.Layout {
+		from := src
 		mask := tensor.NewDense(from.Local.Rows, from.Local.Cols)
 		for i, v := range from.Local.Data {
 			if v > 0 {
@@ -616,15 +471,16 @@ func (e *Engine) Epoch() float64 {
 	e.dev.TraceBeginPhase("epoch")
 	defer e.dev.TraceEndPhase()
 	e.epoch++
-	st, g := e.forward()
-	grads := e.backward(st, g)
+	regs := make([]*dist.Mat, e.sched.NumRegs)
+	grads := make([]*tensor.Dense, len(e.weights))
+	e.runForward(regs, grads)
+	e.runBackward(regs, grads)
 	e.dev.TraceBeginPhase("update")
-	e.adam.Step(e.weights, grads)
-	var wBytes int64
-	for _, w := range e.weights {
-		wBytes += w.Bytes()
+	for i := range e.sched.Sections {
+		if sec := &e.sched.Sections[i]; sec.Phase == "update" {
+			e.runOps(sec, regs, grads)
+		}
 	}
-	e.dev.ChargeMem(4 * wBytes)
 	e.dev.TraceEndPhase()
 	return e.lastLoss
 }
@@ -684,7 +540,8 @@ func (e *Engine) SetProblem(prob *Problem) {
 // Forward runs inference only (no loss/backward) and returns this
 // device's horizontal logits tile.
 func (e *Engine) Forward() *dist.Mat {
-	st, _ := e.forward()
-	_ = st
+	regs := make([]*dist.Mat, e.sched.NumRegs)
+	grads := make([]*tensor.Dense, len(e.weights))
+	e.runForward(regs, grads)
 	return e.lastLogits
 }

@@ -36,14 +36,23 @@ type Result struct {
 	Weights []*tensor.Dense
 }
 
-// FinalLoss returns the last epoch's training loss.
-func (r *Result) FinalLoss() float64 { return r.Epochs[len(r.Epochs)-1].Loss }
+// FinalLoss returns the last epoch's training loss (0 when no epochs
+// were run).
+func (r *Result) FinalLoss() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return r.Epochs[len(r.Epochs)-1].Loss
+}
 
 // MeanEpochTime returns the arithmetic-mean simulated epoch time,
 // skipping the first epoch if more than one was run (warm-up, matching
 // the paper's throughput methodology).
 func (r *Result) MeanEpochTime() float64 {
 	es := r.Epochs
+	if len(es) == 0 {
+		return 0
+	}
 	if len(es) > 1 {
 		es = es[1:]
 	}
@@ -55,13 +64,21 @@ func (r *Result) MeanEpochTime() float64 {
 }
 
 // EpochsPerSecond is the training throughput the paper's Figs. 8-11
-// report.
-func (r *Result) EpochsPerSecond() float64 { return 1 / r.MeanEpochTime() }
+// report (0 when no epochs were run).
+func (r *Result) EpochsPerSecond() float64 {
+	if t := r.MeanEpochTime(); t > 0 {
+		return 1 / t
+	}
+	return 0
+}
 
 // MeanCommTime returns the mean per-epoch communication time (skipping
 // the warm-up epoch like MeanEpochTime).
 func (r *Result) MeanCommTime() float64 {
 	es := r.Epochs
+	if len(es) == 0 {
+		return 0
+	}
 	if len(es) > 1 {
 		es = es[1:]
 	}
@@ -151,11 +168,16 @@ func TrainResumable(p int, model *hw.Model, prob *Problem, opts Options, epochs 
 		}
 		res.Epochs = append(res.Epochs, es)
 	}
-	tiles := make([]*dist.Mat, p)
-	for r := 0; r < p; r++ {
-		tiles[r] = engines[r].LastLogits()
+	if engines[0].LastLogits() != nil {
+		tiles := make([]*dist.Mat, p)
+		for r := 0; r < p; r++ {
+			tiles[r] = engines[r].LastLogits()
+		}
+		res.Logits = dist.Assemble(tiles)
+	} else {
+		// Zero-epoch run: no forward pass produced logits.
+		res.Logits = tensor.NewDense(0, 0)
 	}
-	res.Logits = dist.Assemble(tiles)
 	return res, engines[0].Snapshot()
 }
 

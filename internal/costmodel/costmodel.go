@@ -32,6 +32,14 @@
 // their communication must differ by f_in - ...); and row 15's entries
 // are inconsistent with every sibling all-D row. Both are treated as
 // typographical errors; see KnownTableIVErrata.
+//
+// This package prices a configuration from the closed-form tables.
+// internal/plan prices the same quantities op by op from a compiled
+// schedule (plan.Schedule.Price); the two accountings are asserted equal
+// byte-for-byte across every config, P, R_A, and memoization setting
+// (internal/plan tests, verify.CheckVolumeMatchesModel), and the plan
+// pricing additionally covers mixed per-layer orderings that no single
+// Table IV row expresses.
 package costmodel
 
 import (

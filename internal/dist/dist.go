@@ -148,6 +148,25 @@ func RowRange(l Layout, p, rank, rows int) (lo, hi int) {
 	panic("dist: bad layout")
 }
 
+// TileOverlap returns the element count of the intersection between
+// device ra's tile under layout a and device rb's tile under layout b,
+// for a global rows x cols matrix on p devices: the exact chunk size
+// regrid ships from ra to rb. Schedule pricing (internal/plan) computes
+// redistribution volumes from this, so the planner's byte predictions
+// derive from the same layout metadata the executor moves bytes with.
+func TileOverlap(a Layout, ra int, b Layout, rb int, p, rows, cols int) int {
+	arlo, arhi := RowRange(a, p, ra, rows)
+	aclo, achi := ColRange(a, p, ra, cols)
+	brlo, brhi := RowRange(b, p, rb, rows)
+	bclo, bchi := ColRange(b, p, rb, cols)
+	r := min(arhi, brhi) - max(arlo, brlo)
+	c := min(achi, bchi) - max(aclo, bclo)
+	if r <= 0 || c <= 0 {
+		return 0
+	}
+	return r * c
+}
+
 // ColRange returns the global column range of a device's tile.
 func ColRange(l Layout, p, rank, cols int) (lo, hi int) {
 	switch l.normalize(p).Kind {

@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/hw"
+)
+
+// ChooseOrdering picks a per-layer SpMM/GEMM ordering by greedy
+// coordinate descent over the 2L forward/backward slots, pricing each
+// candidate as a fully compiled and optimized schedule (§IV-B's
+// model-driven selection, lifted from closed-form epoch terms to the op
+// level). Because every slot is chosen independently, mixed orderings
+// that no uniform Table IV row expresses fall out naturally whenever
+// adjacent layers have asymmetric widths. Ties keep SpMM-first, and the
+// sweep order is fixed, so the choice is deterministic.
+func ChooseOrdering(sp Spec, nnz int64, h *hw.Model) costmodel.Config {
+	sp = sp.withDefaults()
+	L := len(sp.Dims) - 1
+	cfg := costmodel.ConfigFromID(0, L) // all SpMM-first
+	price := func(c costmodel.Config) float64 {
+		s := sp
+		s.Config = c
+		return Compile(s).Optimize().Price(nnz, h).Time
+	}
+	best := price(cfg)
+	// A slot flip changes which operands later layers inherit for free,
+	// so re-sweep until the assignment is stable (two extra rounds
+	// suffice in practice; the bound keeps termination obvious).
+	for round := 0; round < 3; round++ {
+		improved := false
+		for i := 0; i < 2*L; i++ {
+			slot := &cfg.Fwd[i%L]
+			if i >= L {
+				slot = &cfg.Bwd[i-L]
+			}
+			prev := *slot
+			alt := costmodel.DenseFirst
+			if prev == costmodel.DenseFirst {
+				alt = costmodel.SparseFirst
+			}
+			*slot = alt
+			if t := price(cfg); t < best {
+				best = t
+				improved = true
+			} else {
+				*slot = prev
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cfg
+}

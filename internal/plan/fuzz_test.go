@@ -1,0 +1,30 @@
+package plan
+
+import (
+	"testing"
+)
+
+// FuzzPlanString checks the schedule dump grammar is a parse fixed
+// point: any text Parse accepts must re-print to a dump that parses to
+// the byte-identical dump (so checked-in golden schedules and
+// `rdminfo -plan` output are stable under a load/store round trip).
+func FuzzPlanString(f *testing.F) {
+	f.Add("schedule p=1 ra=1 n=4 dims=3,2 config=0 sage=0 memoize=0 inputgrad=0 regs=0 weights=1\n")
+	f.Add(Compile(spec2(64, 0, 4, 4, true)).Optimize().String())
+	f.Add(Compile(spec2(64, 15, 8, 2, false)).Optimize().String())
+	f.Add(Compile(Spec{N: 7, Dims: []int{5, 4, 3, 2}, P: 2, RA: 2, SAGE: true, Memoize: true}).String())
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		d1 := s.String()
+		s2, err := Parse(d1)
+		if err != nil {
+			t.Fatalf("own dump rejected: %v\n%s", err, d1)
+		}
+		if d2 := s2.String(); d2 != d1 {
+			t.Fatalf("dump not a fixed point:\n--- first\n%s--- second\n%s", d1, d2)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package plan
+
+// This file is the optimization-pass pipeline over the schedule IR.
+// Compile emits the engine's historical op sequence verbatim; the
+// passes then make the engine's implicit run-time optimizations
+// explicit rewrites:
+//
+//   - ElideRedistributions removes redistributions whose source and
+//     target layouts already agree (the engine's Redistribute identity
+//     short-circuit, e.g. every grid<->H hop once R_A folds the grid
+//     layout to H).
+//   - EliminateDead removes ops whose results nothing consumes: the
+//     G^0 input-gradient chain when ComputeInputGrad is off, memoized
+//     products the weight-gradient case analysis never reads, and
+//     cache-filling redistributions those dead ops forced.
+//   - finalize renumbers registers in definition order and re-assigns
+//     dense 1-based step IDs.
+//
+// Passes preserve the executor-observable cost behavior exactly: every
+// op they remove is one the engine either no-ops at run time or skips
+// via its needInputGrad guard.
+
+// Optimize runs the full pass pipeline and returns a new schedule; the
+// receiver is not modified.
+func (s *Schedule) Optimize() *Schedule {
+	t := s.clone()
+	t.ElideRedistributions()
+	t.EliminateDead()
+	t.finalize()
+	if err := t.Validate(); err != nil {
+		panic("plan: optimized schedule invalid: " + err.Error())
+	}
+	return t
+}
+
+// ElideRedistributions drops KRedist ops whose normalized source and
+// target layouts are equal, renaming their destination register to
+// their operand everywhere downstream.
+func (s *Schedule) ElideRedistributions() {
+	rename := make(map[Reg]Reg)
+	resolve := func(r Reg) Reg {
+		for {
+			n, ok := rename[r]
+			if !ok {
+				return r
+			}
+			r = n
+		}
+	}
+	for i := range s.Sections {
+		kept := s.Sections[i].Ops[:0]
+		for _, op := range s.Sections[i].Ops {
+			if op.A != None {
+				op.A = resolve(op.A)
+			}
+			if op.B != None {
+				op.B = resolve(op.B)
+			}
+			if op.Kind == KRedist && op.From.Normalize(s.P) == op.To.Normalize(s.P) {
+				rename[op.Dst] = op.A
+				continue
+			}
+			kept = append(kept, op)
+		}
+		s.Sections[i].Ops = kept
+	}
+	for i, r := range s.Outputs {
+		s.Outputs[i] = resolve(r)
+	}
+}
+
+// EliminateDead removes ops whose results are never consumed. Roots are
+// the ops with externally-visible effects — the loss, the weight
+// gradient all-reduces, the optimizer update, and forward write-out
+// charges — plus the schedule's declared Outputs (G^0 when InputGrad is
+// set). In-place ops (ReLU, ReLU-grad masking, SAGE adds) are live
+// exactly when the register they mutate is read afterwards.
+func (s *Schedule) EliminateDead() {
+	live := make(map[Reg]bool)
+	for _, r := range s.Outputs {
+		live[r] = true
+	}
+	// Backward liveness scan, marking kept ops.
+	type pos struct{ sec, op int }
+	var order []pos
+	for i := range s.Sections {
+		for j := range s.Sections[i].Ops {
+			order = append(order, pos{i, j})
+		}
+	}
+	kept := make(map[pos]bool, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		at := order[i]
+		op := &s.Sections[at.sec].Ops[at.op]
+		keep := false
+		switch op.Kind {
+		case KLoss, KAllReduceGrad, KUpdate, KMemWrite:
+			keep = true
+		case KReLU, KReLUGrad, KAdd:
+			keep = live[op.A]
+		default:
+			keep = live[op.Dst]
+		}
+		if keep {
+			kept[at] = true
+			if op.A != None {
+				live[op.A] = true
+			}
+			if op.B != None {
+				live[op.B] = true
+			}
+		}
+	}
+	for i := range s.Sections {
+		out := s.Sections[i].Ops[:0]
+		for j, op := range s.Sections[i].Ops {
+			if kept[pos{i, j}] {
+				out = append(out, op)
+			}
+		}
+		s.Sections[i].Ops = out
+	}
+}
+
+// finalize renumbers registers in first-definition order, re-assigns
+// dense 1-based step IDs, and recomputes NumRegs.
+func (s *Schedule) finalize() {
+	remap := make(map[Reg]Reg)
+	var next Reg
+	step := 0
+	for i := range s.Sections {
+		for j := range s.Sections[i].Ops {
+			op := &s.Sections[i].Ops[j]
+			step++
+			op.Step = step
+			if op.A != None {
+				if r, ok := remap[op.A]; ok {
+					op.A = r
+				}
+			}
+			if op.B != None {
+				if r, ok := remap[op.B]; ok {
+					op.B = r
+				}
+			}
+			if op.Kind.assigns() {
+				remap[op.Dst] = next
+				op.Dst = next
+				next++
+			}
+		}
+	}
+	for i, r := range s.Outputs {
+		if n, ok := remap[r]; ok {
+			s.Outputs[i] = n
+		}
+	}
+	s.NumRegs = int(next)
+}

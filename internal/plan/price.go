@@ -1,0 +1,192 @@
+package plan
+
+import (
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/hw"
+)
+
+// This file prices a compiled schedule: exact per-op fabric byte
+// volumes (the planner-side source of truth the verifier reconciles
+// against the simulator's meters byte-for-byte) plus an α–β/roofline
+// time estimate driving the per-layer ordering chooser. The byte
+// formulas reproduce the fabric's metering rules: an all-to-all counts
+// every cross-pair chunk once, an allgather counts the group's total
+// buffer (groupSize-1) times, an allreduce counts 2·bytes·(groupSize-1),
+// and groups of one device short-circuit to zero.
+
+// OpCost is the priced cost of one schedule step.
+type OpCost struct {
+	Step int
+	Kind Kind
+	// AllToAll, AllGather and AllReduce are the op's fabric byte volumes
+	// by collective class, matching the simulator's meters exactly.
+	AllToAll, AllGather, AllReduce int64
+	// Side is byte-packed mask traffic on the fabric's side channel
+	// (excluded from the primary meters, as the paper's model omits it).
+	Side int64
+	// Time estimates the op's duration on the busiest device.
+	Time float64
+}
+
+// Cost is a priced schedule: the per-op breakdown plus totals.
+type Cost struct {
+	PerOp                          []OpCost
+	AllToAll, AllGather, AllReduce int64
+	Side                           int64
+	Time                           float64
+}
+
+// RDMBytes returns the volume the §IV cost model counts — all-to-all
+// redistributions plus column-group allgathers — directly comparable to
+// costmodel.EvaluateEngine's CommVolumeBytes and to the fabric's
+// Volume(OpAllToAll) + Volume(OpAllGather).
+func (c Cost) RDMBytes() int64 { return c.AllToAll + c.AllGather }
+
+// Price walks the schedule once and prices every op. nnz is the global
+// stored-entry count of the propagation operator (for SpMM kernel
+// time); h is the hardware model time estimates are drawn from.
+func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
+	type rinfo struct {
+		layout     dist.Layout
+		rows, cols int
+	}
+	regs := make(map[Reg]rinfo, s.NumRegs)
+	def := func(r Reg, l dist.Layout, rows, cols int) {
+		regs[r] = rinfo{l.Normalize(s.P), rows, cols}
+	}
+	var c Cost
+	for i := range s.Sections {
+		for j := range s.Sections[i].Ops {
+			op := &s.Sections[i].Ops[j]
+			oc := OpCost{Step: op.Step, Kind: op.Kind}
+			switch op.Kind {
+			case KInput:
+				def(op.Dst, op.Layout, op.Rows, op.Cols)
+			case KRedist:
+				vol, inj, ej := s.exchange(op.From, op.To, op.Rows, op.Cols, false)
+				oc.AllToAll = vol
+				oc.Time = h.MemTime(inj) + h.CollectiveTime(hw.OpAllToAll, s.P, inj) + h.MemTime(ej)
+				def(op.Dst, op.To, op.Rows, op.Cols)
+			case KSpMM:
+				group := s.P / s.RA
+				prows, pcols := dist.TileShape(s.GridL, s.P, 0, op.Rows, op.Cols)
+				slice := int64(op.Rows) * int64(pcols) * 4
+				if group > 1 {
+					oc.AllGather = int64(group-1) * int64(op.Rows) * int64(op.Cols) * 4
+					oc.Time += h.CollectiveTime(hw.OpAllGather, group, slice) + h.MemTime(slice)
+				}
+				panelNNZ := (nnz*int64(prows) + int64(op.Rows) - 1) / int64(op.Rows)
+				oc.Time += h.SpMMTime(panelNNZ, pcols)
+				def(op.Dst, s.GridL, op.Rows, op.Cols)
+			case KGEMM:
+				a := regs[op.A]
+				m0, _ := dist.TileShape(dist.H, s.P, 0, op.Rows, op.Cols)
+				oc.Time = h.GemmTime(m0, a.cols, op.Cols)
+				def(op.Dst, dist.H, op.Rows, op.Cols)
+			case KGradGEMM:
+				a := regs[op.A]
+				m0, _ := dist.TileShape(dist.H, s.P, 0, a.rows, a.cols)
+				oc.Time = h.GemmTime(op.Rows, m0, op.Cols)
+				def(op.Dst, dist.R, op.Rows, op.Cols)
+			case KAllReduceGrad:
+				buf := int64(op.Rows) * int64(op.Cols) * 4
+				if s.P > 1 {
+					oc.AllReduce = 2 * buf * int64(s.P-1)
+				}
+				oc.Time = h.CollectiveTime(hw.OpAllReduce, s.P, buf)
+			case KReLU, KAdd:
+				oc.Time = h.MemTime(tileBytes0(op.Layout, s.P, op.Rows, op.Cols))
+			case KReLUGrad:
+				apply := h.MemTime(tileBytes0(op.To, s.P, op.Rows, op.Cols))
+				if op.From.Normalize(s.P) == op.To.Normalize(s.P) {
+					oc.Time = apply
+					break
+				}
+				vol, inj, ej := s.exchange(op.From, op.To, op.Rows, op.Cols, true)
+				oc.Side = vol
+				oc.Time = h.MemTime(tileBytes0(op.From, s.P, op.Rows, op.Cols)) + // mask build
+					h.MemTime(inj) + h.CollectiveTime(hw.OpAllToAll, s.P, inj) + h.MemTime(ej) +
+					apply
+			case KMemoize, KReuse:
+				a := regs[op.A]
+				def(op.Dst, a.layout, op.Rows, op.Cols)
+			case KLoss:
+				tile := tileBytes0(dist.H, s.P, op.Rows, op.Cols)
+				if s.P > 1 {
+					oc.AllReduce = 2 * 8 * int64(s.P-1)
+				}
+				oc.Time = h.MemTime(2*tile) + h.CollectiveTime(hw.OpAllReduce, s.P, 8)
+				def(op.Dst, dist.H, op.Rows, op.Cols)
+			case KMemWrite:
+				a := regs[op.A]
+				oc.Time = h.MemTime(tileBytes0(a.layout, s.P, a.rows, a.cols))
+			case KUpdate:
+				var wBytes int64
+				for l := 1; l < len(s.Dims); l++ {
+					wBytes += int64(s.Dims[l-1]) * int64(s.Dims[l]) * 4
+				}
+				if s.SAGE {
+					wBytes *= 2
+				}
+				oc.Time = h.MemTime(4 * wBytes)
+			}
+			c.PerOp = append(c.PerOp, oc)
+			c.AllToAll += oc.AllToAll
+			c.AllGather += oc.AllGather
+			c.AllReduce += oc.AllReduce
+			c.Side += oc.Side
+			c.Time += oc.Time
+		}
+	}
+	return c
+}
+
+// PredictTime estimates one epoch's duration under the schedule — the
+// planner-side analogue of costmodel.PredictEpochTime, computed per op
+// rather than per closed-form term.
+func (s *Schedule) PredictTime(nnz int64, h *hw.Model) float64 {
+	return s.Price(nnz, h).Time
+}
+
+// exchange computes the exact all-to-all economics of a from->to
+// redistribution of a rows x cols matrix: the metered volume (every
+// cross-pair chunk counted once), the busiest device's injected bytes,
+// and the busiest device's received bytes. With packed=true chunks are
+// byte-packed masks (four elements per transmitted float32).
+func (s *Schedule) exchange(from, to dist.Layout, rows, cols int, packed bool) (vol, maxInj, maxEj int64) {
+	p := s.P
+	from, to = from.Normalize(p), to.Normalize(p)
+	inj := make([]int64, p)
+	ej := make([]int64, p)
+	for r := 0; r < p; r++ {
+		for q := 0; q < p; q++ {
+			if q == r {
+				continue
+			}
+			n := dist.TileOverlap(from, r, to, q, p, rows, cols)
+			if n == 0 {
+				continue
+			}
+			b := 4 * int64(n)
+			if packed {
+				b = 4 * int64((n+3)/4)
+			}
+			vol += b
+			inj[r] += b
+			ej[q] += b
+		}
+	}
+	for r := 0; r < p; r++ {
+		maxInj = max(maxInj, inj[r])
+		maxEj = max(maxEj, ej[r])
+	}
+	return vol, maxInj, maxEj
+}
+
+// tileBytes0 returns device 0's tile size in bytes under a layout
+// (device 0 always holds a largest tile: ragged splits give the first
+// chunks the extra rows/columns).
+func tileBytes0(l dist.Layout, p, rows, cols int) int64 {
+	r, c := dist.TileShape(l, p, 0, rows, cols)
+	return int64(r) * int64(c) * 4
+}

@@ -165,6 +165,11 @@ func TrainSAINTRDM(p int, model *hw.Model, prob *core.Problem, testMask []bool, 
 		for ep := 0; ep < epochs; ep++ {
 			lossSum := 0.0
 			for s := 0; s < opts.StepsPerEpoch; s++ {
+				// SetProblem swaps only the data: the op schedule the
+				// engine compiled at construction is N-independent
+				// (runtime shapes come from the live distributed
+				// matrices), so it is reused verbatim for every
+				// subgraph size the sampler produces.
 				eng.SetProblem(subs[ep*opts.StepsPerEpoch+s])
 				lossSum += eng.Epoch()
 			}

@@ -32,6 +32,7 @@ type chromeArgs struct {
 	Seq    uint64 `json:"seq,omitempty"`
 	Epoch  int    `json:"epoch,omitempty"`
 	Layer  int    `json:"layer,omitempty"`
+	Step   int    `json:"step,omitempty"`
 	Dir    string `json:"dir,omitempty"`
 	Config string `json:"config,omitempty"`
 	Name   string `json:"name,omitempty"` // metadata payload
@@ -106,7 +107,7 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 				args := chromeArgs{
 					Bytes: ev.Bytes, Flops: ev.Flops,
 					Group: ev.Group, GSize: ev.GroupSize, Seq: ev.Seq,
-					Epoch: ev.Epoch, Layer: ev.Layer, Dir: ev.Dir, Config: ev.Config,
+					Epoch: ev.Epoch, Layer: ev.Layer, Step: ev.Step, Dir: ev.Dir, Config: ev.Config,
 				}
 				if args != (chromeArgs{}) {
 					ce.Args = &args

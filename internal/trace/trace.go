@@ -88,6 +88,10 @@ type Event struct {
 	Start, End float64
 	// Scope tags captured at emission time.
 	Epoch, Layer int
+	// Step is the plan-schedule step ID of the op being executed
+	// (internal/plan's Op.Step; 0 = outside any scheduled op), so trace
+	// events reconcile against the compiled schedule's per-op prices.
+	Step int
 	// Dir is "fwd", "bwd", or "".
 	Dir string
 	// Config is the Table IV ordering of the run ("fwd[sd] bwd[ds]").
@@ -140,6 +144,7 @@ type rankState struct {
 
 type scope struct {
 	epoch, layer int
+	step         int
 	dir          string
 	config       string
 }
@@ -193,7 +198,7 @@ func (t *Tracer) rank(r int) *rankState {
 // invariant; internal/comm guarantees it by construction.
 func (t *Tracer) Emit(r int, ev Event) {
 	rs := t.rank(r)
-	ev.Epoch, ev.Layer = rs.scope.epoch, rs.scope.layer
+	ev.Epoch, ev.Layer, ev.Step = rs.scope.epoch, rs.scope.layer, rs.scope.step
 	ev.Dir, ev.Config = rs.scope.dir, rs.scope.config
 	rs.total++
 	if len(rs.buf) < t.capacity {
@@ -214,6 +219,10 @@ func (t *Tracer) SetEpoch(r, epoch int) { t.rank(r).scope.epoch = epoch }
 // SetLayer tags subsequent events on rank r with the layer number
 // (0 = outside any layer).
 func (t *Tracer) SetLayer(r, layer int) { t.rank(r).scope.layer = layer }
+
+// SetStep tags subsequent events on rank r with a plan-schedule step ID
+// (0 = outside any scheduled op).
+func (t *Tracer) SetStep(r, step int) { t.rank(r).scope.step = step }
 
 // SetDir tags subsequent events on rank r with the pass direction
 // ("fwd", "bwd", or "").

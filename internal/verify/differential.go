@@ -10,6 +10,7 @@ import (
 	"gnnrdm/internal/costmodel"
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/nn"
+	"gnnrdm/internal/plan"
 	"gnnrdm/internal/tensor"
 )
 
@@ -155,5 +156,58 @@ func CheckVolumeMatchesModel(t testing.TB, prob *core.Problem, dims []int, p, ra
 		t.Fatalf("P=%d RA=%d cfg=%d: metered RDM volume %d bytes, model predicts %d (Δ=%d)",
 			p, ra, cfg, got, want, got-want)
 	}
+	// The compiled schedule is a third independent accounting of the same
+	// epoch; its per-op prices must sum to the identical figure.
+	planned := scheduleFor(prob, p, o).Price(prob.A.NNZ(), hw.A6000()).RDMBytes()
+	if planned != want {
+		t.Fatalf("P=%d RA=%d cfg=%d: schedule prices %d RDM bytes, model predicts %d (Δ=%d)",
+			p, ra, cfg, planned, want, planned-want)
+	}
 	return fab.TotalSideVolume()
+}
+
+// scheduleFor compiles the optimized op schedule NewEngine would build
+// for these options (the compile is deterministic, so this reproduces
+// the engines' schedule without reaching into a fabric).
+func scheduleFor(prob *core.Problem, p int, o core.Options) *plan.Schedule {
+	ra := o.RA
+	if ra == 0 {
+		ra = p
+	}
+	cfg := o.Config
+	if len(cfg.Fwd) == 0 {
+		cfg = costmodel.ConfigFromID(0, len(o.Dims)-1)
+	}
+	return plan.Compile(plan.Spec{
+		N: prob.N(), Dims: o.Dims, Config: cfg, P: p, RA: ra,
+		SAGE: o.SAGE, Memoize: o.Memoize, InputGrad: o.ComputeInputGrad,
+	}).Optimize()
+}
+
+// CheckScheduleMatchesMeters trains one epoch under arbitrary options —
+// including mixed per-layer orderings and GraphSAGE, which the closed-form
+// §IV model does not cover — and reconciles the fabric's meters against
+// the compiled schedule's per-op prices exactly: RDM volume (all-to-all +
+// allgather), gradient/loss all-reduce volume, and side-channel mask
+// bytes. Options must not request per-epoch accuracy evaluation
+// (EvalMask), whose all-reduce is outside the epoch schedule.
+func CheckScheduleMatchesMeters(t testing.TB, prob *core.Problem, p int, o core.Options) {
+	t.Helper()
+	if o.EvalMask != nil {
+		panic("verify: CheckScheduleMatchesMeters with EvalMask")
+	}
+	fab := TrainFabric(p, prob, o, 1)
+	c := scheduleFor(prob, p, o).Price(prob.A.NNZ(), hw.A6000())
+	if got := fab.Volume(hw.OpAllToAll) + fab.Volume(hw.OpAllGather); got != c.RDMBytes() {
+		t.Fatalf("P=%d: metered RDM volume %d bytes, schedule prices %d (Δ=%d)",
+			p, got, c.RDMBytes(), got-c.RDMBytes())
+	}
+	if got := fab.Volume(hw.OpAllReduce); got != c.AllReduce {
+		t.Fatalf("P=%d: metered all-reduce volume %d bytes, schedule prices %d (Δ=%d)",
+			p, got, c.AllReduce, got-c.AllReduce)
+	}
+	if got := fab.TotalSideVolume(); got != c.Side {
+		t.Fatalf("P=%d: metered side-channel volume %d bytes, schedule prices %d (Δ=%d)",
+			p, got, c.Side, got-c.Side)
+	}
 }
