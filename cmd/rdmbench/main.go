@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	saintEpochs := fs.Int("saint-epochs", 15, "training epochs for fig13 curves")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (open in Perfetto or chrome://tracing)")
 	traceSummary := fs.Bool("trace-summary", false, "with -trace, also print per-op counters and sim-time totals")
+	jsonOut := fs.String("json", "", "write machine-readable results of JSON-capable experiments (topo -> BENCH_topo.json) to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: rdmbench [flags] <experiment>\n\nexperiments:\n")
 		fmt.Fprintf(stderr, "  fig8 fig9 fig10 fig11  training throughput (2/3 layers x 128/256 hidden)\n")
@@ -53,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "  table9                 CAGNET/RDM epoch and comm time ratios\n")
 		fmt.Fprintf(stderr, "  table10                per-GPU space model (paper-scale)\n")
 		fmt.Fprintf(stderr, "  memo ra volume         ablations (memoization, R_A sweep, volume scaling)\n")
+		fmt.Fprintf(stderr, "  topo                   topology-aware collectives: per-tier traffic and algorithm crossover\n")
 		fmt.Fprintf(stderr, "  hwablate predict spmm  interconnect sensitivity; model validation; SpMM kernels\n")
 		fmt.Fprintf(stderr, "  all                    everything above\n\nflags:\n")
 		fs.PrintDefaults()
@@ -130,6 +133,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			_, err = bench.RunRAAblation(cfg)
 		case "volume":
 			_, err = bench.RunVolumeScaling(cfg)
+		case "topo":
+			var res *bench.TopoResult
+			if res, err = bench.RunTopoComparison(cfg); err == nil && *jsonOut != "" {
+				err = writeJSONFile(*jsonOut, res)
+			}
 		case "hwablate":
 			_, err = bench.RunHWAblation(cfg)
 		case "predict":
@@ -138,8 +146,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			_, err = bench.RunSpMMKernels(cfg)
 		case "all":
 			for _, e := range []string{"table6", "table10", "fig8", "fig9", "fig10", "fig11",
-				"fig12", "table7", "table8", "table9", "memo", "ra", "volume", "hwablate",
-				"predict", "spmm", "fig13"} {
+				"fig12", "table7", "table8", "table9", "memo", "ra", "volume", "topo",
+				"hwablate", "predict", "spmm", "fig13"} {
 				fmt.Fprintln(stdout, "==== "+e+" ====")
 				if err := runExp(e); err != nil {
 					return err
@@ -167,6 +175,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeTrace(path string, t *trace.Tracer) error {

@@ -6,6 +6,9 @@
 // compiled op schedule (internal/plan) for a chosen ordering, device
 // count, and replication factor, with per-op priced fabric bytes and a
 // totals line reconciled against the Table IV closed-form prediction.
+// With -topo it instead prints an interconnect spec's link-tier
+// structure and the topology-aware cost library's predicted collective
+// times per algorithm (internal/topo).
 package main
 
 import (
@@ -42,8 +45,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dimsStr := fs.String("dims", "16,12,8", "comma-separated layer widths f_0..f_L (with -plan)")
 	nnz := fs.Int64("nnz", 0, "stored adjacency entries, 0 = 8n (with -plan)")
 	nomemo := fs.Bool("nomemo", false, "disable forward memoization (with -plan)")
+	topoFlag := fs.Bool("topo", false, "print an interconnect spec's link tiers and predicted collective times")
+	specStr := fs.String("spec", "8x4:nvlink,ib", "interconnect spec <nodes>x<perNode>:<intra>[,<inter>] (with -topo)")
+	topoP := fs.Int("topo-p", 0, "device count for -topo predictions, 0 = the spec's full size")
+	payload := fs.Int64("bytes", 1<<22, "collective payload bytes for -topo predictions")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *topoFlag {
+		return runTopo(stdout, stderr, *specStr, *topoP, *payload)
 	}
 	if *planFlag {
 		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo)

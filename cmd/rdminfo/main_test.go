@@ -91,3 +91,45 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+// TestTopoGolden pins the -topo dump for the issue's 8x4 reference
+// machine. The dump doubles as a CI golden (.github/workflows/ci.yml
+// diffs it), so topology-model or algorithm-cost changes surface as
+// reviewable diffs.
+func TestTopoGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-topo", "-spec", "8x4:nvlink,ib"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	path := filepath.Join("testdata", "topo_8x4.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-topo dump differs from %s; rerun with -update if intended\n--- got\n%s--- want\n%s",
+			path, out.String(), want)
+	}
+}
+
+// TestTopoFlagValidation: malformed -topo inputs exit 2.
+func TestTopoFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topo", "-spec", "0x4:nvlink,ib"},
+		{"-topo", "-spec", "8x4:warp,ib"},
+		{"-topo", "-spec", "8x4:nvlink"},
+		{"-topo", "-topo-p", "999"},
+		{"-topo", "-bytes", "-1"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2 (stderr %q)", args, code, errb.String())
+		}
+	}
+}

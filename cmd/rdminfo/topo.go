@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
+)
+
+// runTopo prints an interconnect spec's instantiated shape — the
+// per-tier α–β table and the rank-pair link-tier matrix — followed by
+// the predicted time and per-tier byte volume of every collective under
+// every algorithm (internal/topo's cost library), with the autotuner's
+// pick on its own row. The dump is deterministic and doubles as a CI
+// golden (testdata/topo_8x4.txt).
+func runTopo(stdout, stderr io.Writer, specStr string, p int, payload int64) int {
+	sp, err := topo.ParseSpec(specStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 2
+	}
+	if p == 0 {
+		p = sp.Devices()
+	}
+	tp, err := sp.Topology(p)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 2
+	}
+	if payload <= 0 {
+		fmt.Fprintf(stderr, "rdminfo: -bytes must be positive, got %d\n", payload)
+		return 2
+	}
+	h := hw.A6000()
+
+	fmt.Fprintf(stdout, "topology %s: %d devices = %d nodes x %d/node (P=%d in use)\n",
+		sp, sp.Devices(), sp.Nodes, sp.PerNode, p)
+	fmt.Fprintf(stdout, "%-5s %-8s %-12s %s\n", "tier", "class", "alpha(s)", "beta(B/s)")
+	fmt.Fprintf(stdout, "%-5d %-8s %-12g %g\n", topo.TierIntra, sp.Intra.Name, sp.Intra.Alpha, sp.Intra.Beta)
+	if tp.Tiers > 1 {
+		fmt.Fprintf(stdout, "%-5d %-8s %-12g %g\n", topo.TierInter, sp.Inter.Name, sp.Inter.Alpha, sp.Inter.Beta)
+	}
+
+	// Rank-pair tier matrix. Large worlds are truncated to the first
+	// 2·PerNode ranks, enough to show both sides of a node boundary.
+	shown := p
+	if lim := 2 * sp.PerNode; shown > lim && lim >= 2 {
+		shown = lim
+	}
+	fmt.Fprintf(stdout, "\nlink-tier matrix (ranks 0..%d%s; . = self)\n", shown-1, truncNote(shown, p))
+	fmt.Fprintf(stdout, "    ")
+	for j := 0; j < shown; j++ {
+		fmt.Fprintf(stdout, "%2d", j)
+	}
+	fmt.Fprintln(stdout)
+	for i := 0; i < shown; i++ {
+		fmt.Fprintf(stdout, "%3d ", i)
+		for j := 0; j < shown; j++ {
+			if i == j {
+				fmt.Fprintf(stdout, " .")
+			} else {
+				fmt.Fprintf(stdout, "%2d", tp.Tier(i, j))
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	world := make([]int, p)
+	for i := range world {
+		world[i] = i
+	}
+	chunks := topo.EvenChunks(payload, p)
+	perPair := payload / int64(max(p-1, 1))
+	pair := func(i, j int) int64 { return perPair }
+
+	fmt.Fprintf(stdout, "\npredicted collective times, P=%d, payload %dB\n", p, payload)
+	fmt.Fprintf(stdout, "%-14s %-10s %-14s %-12s %s\n", "collective", "algorithm", "time(s)", "intra(B)", "inter(B)")
+	type row struct {
+		name string
+		cost func(alg topo.Algorithm) (topo.Algorithm, topo.Cost)
+	}
+	rows := []row{
+		{"allreduce", func(a topo.Algorithm) (topo.Algorithm, topo.Cost) { return tp.AllReduce(h, a, world, payload) }},
+		{"allgather", func(a topo.Algorithm) (topo.Algorithm, topo.Cost) { return tp.AllGather(h, a, world, chunks) }},
+		{"reducescatter", func(a topo.Algorithm) (topo.Algorithm, topo.Cost) { return tp.ReduceScatter(h, a, world, chunks) }},
+		{"alltoall", func(a topo.Algorithm) (topo.Algorithm, topo.Cost) { return tp.AllToAll(h, a, world, pair) }},
+	}
+	for _, r := range rows {
+		for _, alg := range []topo.Algorithm{topo.Ring, topo.RHD, topo.Hier, topo.Auto} {
+			got, c := r.cost(alg)
+			label := alg.String()
+			if alg == topo.Auto {
+				label = "auto=" + got.String()
+			} else if got != alg {
+				// Inapplicable algorithm fell back (e.g. RHD on a
+				// non-power-of-two world).
+				label = alg.String() + "->" + got.String()
+			}
+			fmt.Fprintf(stdout, "%-14s %-10s %-14.9f %-12d %d\n",
+				r.name, label, c.Time, c.Tier[topo.TierIntra], c.Tier[topo.TierInter])
+		}
+	}
+	return 0
+}
+
+func truncNote(shown, p int) string {
+	if shown < p {
+		return fmt.Sprintf(" of %d", p)
+	}
+	return ""
+}

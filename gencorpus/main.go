@@ -150,6 +150,20 @@ func main() {
 	write(rg, "seed-single-device", bytesArgs(1, 1, 0, 0, 0)...)
 	write(rg, "seed-wide", bytesArgs(3, 9, 1, 1, 0)...)
 
+	// internal/topo: interconnect spec grammar (parse/String fixed
+	// point). Valid specs across the class table plus malformed shapes
+	// the parser must reject.
+	ts := "internal/topo/testdata/fuzz/FuzzTopoSpec"
+	write(ts, "seed-reference", `string("8x4:nvlink,ib")`)
+	write(ts, "seed-single-node", `string("1x8:pcie")`)
+	write(ts, "seed-ethernet", `string("2x2:nvlink,eth")`)
+	write(ts, "seed-one-per-node", `string("16x1:pcie3,ib")`)
+	write(ts, "seed-degenerate", `string("1x1:eth")`)
+	write(ts, "seed-missing-inter", `string("8x4:nvlink")`)
+	write(ts, "seed-zero-nodes", `string("0x0:nvlink,ib")`)
+	write(ts, "seed-punctuation", `string(":,")`)
+	write(ts, "seed-non-numeric", `string("axb:c,d")`)
+
 	fmt.Println("corpora written")
 }
 

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
 	"gnnrdm/internal/trace"
 )
 
@@ -63,6 +64,20 @@ type Fabric struct {
 	// omits. Keeping it out of `volumes` lets model-versus-meter
 	// comparisons stay byte-exact.
 	sideVolumes [6]atomic.Int64
+
+	// tierVol/tierSide split the same bytes by link tier when a topology
+	// is attached (SetTopology): tierVol[topo.TierInter] is the share
+	// that crossed inter-node links. Without a topology everything
+	// meters on tier 0, so tierVol[0] == volumes for every kind.
+	tierVol  [topo.NumTiers][6]atomic.Int64
+	tierSide [topo.NumTiers][6]atomic.Int64
+
+	// topology, when non-nil, switches every collective's time and byte
+	// accounting from the flat linkModel path to the topology-aware
+	// algorithm library (internal/topo); algs holds the per-kind
+	// algorithm selection (default topo.Auto). Set before Run.
+	topology *topo.Topology
+	algs     [6]topo.Algorithm
 
 	// tracer, when non-nil, records every kernel charge and collective
 	// as a trace event. Set before Run via SetTracer; nil keeps tracing
@@ -362,6 +377,19 @@ func (f *Fabric) TotalSideVolume() int64 {
 // Calls returns the number of collectives of the given kind executed.
 func (f *Fabric) Calls(kind hw.CollectiveKind) int64 { return f.calls[kind].Load() }
 
+// TierVolume returns the bytes of the given kind that crossed links of
+// the given tier (topo.TierIntra or topo.TierInter), excluding
+// side-channel traffic. Summed over tiers it equals Volume(kind); on a
+// fabric without a topology everything lands on tier 0.
+func (f *Fabric) TierVolume(kind hw.CollectiveKind, tier int) int64 {
+	return f.tierVol[tier][kind].Load()
+}
+
+// SideTierVolume is TierVolume for side-channel traffic.
+func (f *Fabric) SideTierVolume(kind hw.CollectiveKind, tier int) int64 {
+	return f.tierSide[tier][kind].Load()
+}
+
 // ResetVolumes zeroes the volume and call counters (e.g. after warmup).
 // Must not race with in-flight collectives.
 func (f *Fabric) ResetVolumes() {
@@ -369,6 +397,10 @@ func (f *Fabric) ResetVolumes() {
 		f.volumes[i].Store(0)
 		f.sideVolumes[i].Store(0)
 		f.calls[i].Store(0)
+		for t := 0; t < topo.NumTiers; t++ {
+			f.tierVol[t][i].Store(0)
+			f.tierSide[t][i].Store(0)
+		}
 	}
 }
 
@@ -414,11 +446,15 @@ func (f *Fabric) MaxClock() float64 {
 	return m
 }
 
-func (f *Fabric) addVolume(kind hw.CollectiveKind, bytes int64, side bool) {
+func (f *Fabric) addVolume(kind hw.CollectiveKind, vol Volume, side bool) {
 	if side {
-		f.sideVolumes[kind].Add(bytes)
+		f.sideVolumes[kind].Add(vol.Bytes)
+		f.tierSide[topo.TierIntra][kind].Add(vol.Bytes - vol.Tier1)
+		f.tierSide[topo.TierInter][kind].Add(vol.Tier1)
 	} else {
-		f.volumes[kind].Add(bytes)
+		f.volumes[kind].Add(vol.Bytes)
+		f.tierVol[topo.TierIntra][kind].Add(vol.Bytes - vol.Tier1)
+		f.tierVol[topo.TierInter][kind].Add(vol.Tier1)
 	}
 	f.calls[kind].Add(1)
 }
@@ -434,9 +470,9 @@ type groupComm struct {
 	slots    []any
 	clocks   []float64
 	newClock float64
-	vol      int64 // round's metered volume, shared with every member
-	aux      any   // round-scoped value passed from finalize to extract
-	err      error // round's failure, delivered to every member
+	vol      Volume // round's metered volume, shared with every member
+	aux      any    // round-scoped value passed from finalize to extract
+	err      error  // round's failure, delivered to every member
 }
 
 func (f *Fabric) groupFor(ranks []int) (*groupComm, string) {
@@ -482,9 +518,9 @@ func groupKey(ranks []int) string {
 // round that has already finalized is always drained normally — death
 // only aborts rendezvous that can no longer complete.
 func (g *groupComm) exchange(idx int, clock float64, in any,
-	finalize func(slots []any, clocks []float64) (float64, any, int64, error),
+	finalize func(slots []any, clocks []float64) (float64, any, Volume, error),
 	extract func(slots []any, aux any),
-	dead func() error) (float64, int64, uint64, error) {
+	dead func() error) (float64, Volume, uint64, error) {
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -493,7 +529,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 	}
 	if dead != nil {
 		if err := dead(); err != nil {
-			return clock, 0, g.gen, err
+			return clock, Volume{}, g.gen, err
 		}
 	}
 	g.slots[idx] = in
@@ -513,7 +549,7 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 				if err := dead(); err != nil {
 					g.slots[idx] = nil
 					g.arrived--
-					return clock, 0, g.gen, err
+					return clock, Volume{}, g.gen, err
 				}
 			}
 		}
@@ -758,7 +794,7 @@ func (d *Device) groupPos(op string, group []int) (int, error) {
 // identical on all participants, so survivors stay in SPMD lockstep —
 // all of them retry, or all of them abort.
 func (d *Device) collective(op string, group []int, in any,
-	finalize func(slots []any, clocks []float64) (float64, any, int64, error),
+	finalize func(slots []any, clocks []float64) (float64, any, Volume, error),
 	extract func(slots []any, aux any)) error {
 
 	f := d.F
@@ -768,9 +804,9 @@ func (d *Device) collective(op string, group []int, in any,
 	idx := indexOf(group, d.Rank)
 	g, key := f.groupFor(group)
 	deadCheck := func() error { return f.deadIn(group) }
-	wrapped := func(slots []any, clocks []float64) (float64, any, int64, error) {
+	wrapped := func(slots []any, clocks []float64) (float64, any, Volume, error) {
 		if err := slotErr(slots); err != nil {
-			return maxClock(clocks), nil, 0, err
+			return maxClock(clocks), nil, Volume{}, err
 		}
 		if h := f.hook; h != nil {
 			var sums []uint32
@@ -780,7 +816,7 @@ func (d *Device) collective(op string, group []int, in any,
 				saved = clonePayloads(slots)
 			}
 			if err := h.OnRound(d, op, group, g.gen, slots); err != nil {
-				return maxClock(clocks), nil, 0, err
+				return maxClock(clocks), nil, Volume{}, err
 			}
 			if sums != nil {
 				if i := crcMismatch(slots, sums); i >= 0 {
@@ -788,7 +824,7 @@ func (d *Device) collective(op string, group []int, in any,
 					// memories: restore the deposited buffers so a retry
 					// retransmits clean data.
 					restorePayloads(slots, saved)
-					return maxClock(clocks), nil, 0, fmt.Errorf(
+					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
 						"checksum mismatch on contribution from group position %d: %w",
 						i, ErrCorrupt)
 				}
@@ -807,7 +843,8 @@ func (d *Device) collective(op string, group []int, in any,
 			if tr := f.tracer; tr != nil {
 				tr.Emit(d.Rank, trace.Event{
 					Class: trace.ClassCollective, Op: op,
-					Group: key, Seq: seq, GroupSize: len(group), Bytes: vol,
+					Group: key, Seq: seq, GroupSize: len(group),
+					Bytes: vol.Bytes, Tier1: vol.Tier1,
 					Start: before, End: newClock,
 				})
 			}
@@ -971,12 +1008,20 @@ func (d *Device) TryBroadcast(group []int, root int, data []float32) ([]float32,
 		}
 	}
 	err := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, int64, error) {
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
 			buf := slots[rootIdx].([]float32)
 			bytes := int64(len(buf)) * 4
-			vol := bytes * int64(len(group)-1)
+			var t float64
+			var vol Volume
+			if tp := f.topoFor(group); tp != nil {
+				c := tp.Broadcast(f.HW, group, rootIdx, bytes)
+				t, vol = c.Time, volumeOf(c)
+			} else {
+				t = f.linkModel(group).CollectiveTime(hw.OpBroadcast, len(group), bytes)
+				vol = Volume{Bytes: bytes * int64(len(group)-1)}
+			}
 			f.addVolume(hw.OpBroadcast, vol, d.side)
-			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpBroadcast, len(group), bytes), nil, vol, nil
+			return maxClock(clocks) + t, nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			if d.Rank == root {
@@ -1019,6 +1064,9 @@ func (d *Device) TryAllGather(group []int, local []float32) ([][]float32, error)
 		}
 		return [][]float32{local}, nil
 	}
+	if nodes, ok := d.F.stagedHier(hw.OpAllGather, group); ok {
+		return d.hierAllGather(group, local, nodes)
+	}
 	out := make([][]float32, len(group))
 	f := d.F
 	var contribution any = local
@@ -1026,14 +1074,24 @@ func (d *Device) TryAllGather(group []int, local []float32) ([][]float32, error)
 		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
 	}
 	cerr := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, int64, error) {
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
+			chunks := make([]int64, len(slots))
 			var total int64
-			for _, s := range slots {
-				total += int64(len(s.([]float32))) * 4
+			for i, s := range slots {
+				chunks[i] = int64(len(s.([]float32))) * 4
+				total += chunks[i]
 			}
-			vol := total * int64(len(group)-1)
+			var t float64
+			var vol Volume
+			if tp := f.topoFor(group); tp != nil {
+				_, c := tp.AllGather(f.HW, f.algs[hw.OpAllGather], group, chunks)
+				t, vol = c.Time, volumeOf(c)
+			} else {
+				t = f.linkModel(group).CollectiveTime(hw.OpAllGather, len(group), total)
+				vol = Volume{Bytes: total * int64(len(group)-1)}
+			}
 			f.addVolume(hw.OpAllGather, vol, d.side)
-			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpAllGather, len(group), total), nil, vol, nil
+			return maxClock(clocks) + t, nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -1076,6 +1134,9 @@ func (d *Device) TryAllReduceSum(group []int, local []float32) ([]float32, error
 		}
 		return append(make([]float32, 0, len(local)), local...), nil
 	}
+	if nodes, ok := d.F.stagedHier(hw.OpAllReduce, group); ok {
+		return d.hierAllReduceSum(group, local, nodes)
+	}
 	out := make([]float32, len(local))
 	f := d.F
 	var contribution any = local
@@ -1083,13 +1144,13 @@ func (d *Device) TryAllReduceSum(group []int, local []float32) ([]float32, error
 		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
 	}
 	cerr := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, int64, error) {
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
 			first := slots[0].([]float32)
 			sum := make([]float32, len(first))
 			for i, s := range slots {
 				buf := s.([]float32)
 				if len(buf) != len(sum) {
-					return maxClock(clocks), nil, 0, fmt.Errorf(
+					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
 						"group position 0 has %d elements, position %d has %d: %w",
 						len(sum), i, len(buf), ErrLengthMismatch)
 				}
@@ -1098,9 +1159,17 @@ func (d *Device) TryAllReduceSum(group []int, local []float32) ([]float32, error
 				}
 			}
 			bytes := int64(len(sum)) * 4
-			vol := 2 * bytes * int64(len(group)-1)
+			var t float64
+			var vol Volume
+			if tp := f.topoFor(group); tp != nil {
+				_, c := tp.AllReduce(f.HW, f.algs[hw.OpAllReduce], group, bytes)
+				t, vol = c.Time, volumeOf(c)
+			} else {
+				t = f.linkModel(group).CollectiveTime(hw.OpAllReduce, len(group), bytes)
+				vol = Volume{Bytes: 2 * bytes * int64(len(group)-1)}
+			}
 			f.addVolume(hw.OpAllReduce, vol, d.side)
-			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpAllReduce, len(group), bytes), sum, vol, nil
+			return maxClock(clocks) + t, sum, vol, nil
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32))
@@ -1151,7 +1220,7 @@ func (d *Device) TryAllToAll(group []int, parts [][]float32) ([][]float32, error
 		contribution = collErr{fmt.Errorf("parts on rank %d: %w", d.Rank, ErrNilBuffer)}
 	}
 	cerr := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, int64, error) {
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
 			var maxInject, total int64
 			for i, s := range slots {
 				ps := s.([][]float32)
@@ -1167,8 +1236,19 @@ func (d *Device) TryAllToAll(group []int, parts [][]float32) ([][]float32, error
 					maxInject = inject
 				}
 			}
-			f.addVolume(hw.OpAllToAll, total, d.side)
-			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpAllToAll, len(group), maxInject), nil, total, nil
+			var t float64
+			var vol Volume
+			if tp := f.topoFor(group); tp != nil {
+				_, c := tp.AllToAll(f.HW, f.algs[hw.OpAllToAll], group, func(i, j int) int64 {
+					return int64(len(slots[i].([][]float32)[j])) * 4
+				})
+				t, vol = c.Time, volumeOf(c)
+			} else {
+				t = f.linkModel(group).CollectiveTime(hw.OpAllToAll, len(group), maxInject)
+				vol = Volume{Bytes: total}
+			}
+			f.addVolume(hw.OpAllToAll, vol, d.side)
+			return maxClock(clocks) + t, nil, vol, nil
 		},
 		func(slots []any, _ any) {
 			for i, s := range slots {
@@ -1247,12 +1327,12 @@ func (d *Device) TryReduceScatterSum(group []int, local []float32, counts []int)
 		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
 	}
 	cerr := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, int64, error) {
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
 			sum := make([]float32, total)
 			for i, s := range slots {
 				buf := s.([]float32)
 				if len(buf) != total {
-					return maxClock(clocks), nil, 0, fmt.Errorf(
+					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
 						"counts sum to %d but group position %d has %d elements: %w",
 						total, i, len(buf), ErrLengthMismatch)
 				}
@@ -1261,9 +1341,21 @@ func (d *Device) TryReduceScatterSum(group []int, local []float32, counts []int)
 				}
 			}
 			bytes := int64(total) * 4
-			vol := bytes * int64(len(group)-1)
+			var t float64
+			var vol Volume
+			if tp := f.topoFor(group); tp != nil {
+				cb := make([]int64, len(counts))
+				for i, n := range counts {
+					cb[i] = int64(n) * 4
+				}
+				_, c := tp.ReduceScatter(f.HW, f.algs[hw.OpReduceScatter], group, cb)
+				t, vol = c.Time, volumeOf(c)
+			} else {
+				t = f.linkModel(group).CollectiveTime(hw.OpReduceScatter, len(group), bytes)
+				vol = Volume{Bytes: bytes * int64(len(group)-1)}
+			}
 			f.addVolume(hw.OpReduceScatter, vol, d.side)
-			return maxClock(clocks) + f.linkModel(group).CollectiveTime(hw.OpReduceScatter, len(group), bytes), sum, vol, nil
+			return maxClock(clocks) + t, sum, vol, nil
 		},
 		func(slots []any, aux any) {
 			copy(out, aux.([]float32)[offset:offset+counts[myIdx]])
@@ -1294,8 +1386,11 @@ func (d *Device) TryBarrier(group []int) error {
 	}
 	f := d.F
 	return d.collective(op, group, nil,
-		func(slots []any, clocks []float64) (float64, any, int64, error) {
-			return maxClock(clocks) + f.linkModel(group).LinkLatency, nil, 0, nil
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
+			if tp := f.topoFor(group); tp != nil {
+				return maxClock(clocks) + tp.Barrier(f.HW, group), nil, Volume{}, nil
+			}
+			return maxClock(clocks) + f.linkModel(group).LinkLatency, nil, Volume{}, nil
 		}, nil)
 }
 

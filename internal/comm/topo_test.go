@@ -1,0 +1,341 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
+)
+
+func spec(t *testing.T, s string, p int) *topo.Topology {
+	t.Helper()
+	sp, err := topo.ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp.MustTopology(p)
+}
+
+// runMixed drives one representative collective of every kind on a
+// world-sized group and returns the fabric for meter inspection.
+func runMixed(p int, model *hw.Model, tp *topo.Topology) *Fabric {
+	f := NewFabric(p, model)
+	f.SetTopology(tp)
+	f.Run(func(d *Device) {
+		w := d.World()
+		buf := make([]float32, 64)
+		for i := range buf {
+			buf[i] = float32(d.Rank + i)
+		}
+		d.AllReduceSum(w, buf)
+		d.AllGather(w, buf[:16+d.Rank]) // ragged chunks
+		var root []float32
+		if d.Rank == 0 {
+			root = buf[:32]
+		}
+		d.Broadcast(w, 0, root)
+		parts := make([][]float32, p)
+		for j := range parts {
+			parts[j] = make([]float32, 4*(1+(d.Rank+j)%3))
+		}
+		d.AllToAll(w, parts)
+		counts := make([]int, p)
+		total := 0
+		for i := range counts {
+			counts[i] = 8 + i
+			total += counts[i]
+		}
+		d.ReduceScatterSum(w, make([]float32, total), counts)
+		d.Barrier(w)
+	})
+	return f
+}
+
+// TestFlatTopologyBitIdentical is the backward-compat oracle at the
+// fabric level: attaching topo.Flat built from the fabric's own model
+// must leave every clock, volume, call count, and per-kind meter
+// bit-identical to the legacy (nil-topology) path, with all traffic on
+// tier 0.
+func TestFlatTopologyBitIdentical(t *testing.T) {
+	kinds := []hw.CollectiveKind{
+		hw.OpBroadcast, hw.OpAllGather, hw.OpAllReduce,
+		hw.OpAllToAll, hw.OpReduceScatter,
+	}
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		legacy := runMixed(p, hw.A6000(), nil)
+		flat := runMixed(p, hw.A6000(), topo.Flat(p, hw.A6000()))
+		if legacy.MaxClock() != flat.MaxClock() {
+			t.Fatalf("p=%d: flat topology clock %v != legacy %v (diff %g)",
+				p, flat.MaxClock(), legacy.MaxClock(), flat.MaxClock()-legacy.MaxClock())
+		}
+		for _, k := range kinds {
+			if legacy.Volume(k) != flat.Volume(k) || legacy.Calls(k) != flat.Calls(k) {
+				t.Fatalf("p=%d %v: volume/calls diverge: legacy (%d,%d) vs flat (%d,%d)",
+					p, k, legacy.Volume(k), legacy.Calls(k), flat.Volume(k), flat.Calls(k))
+			}
+			if flat.TierVolume(k, topo.TierInter) != 0 {
+				t.Fatalf("p=%d %v: flat topology leaked %d bytes onto tier 1",
+					p, k, flat.TierVolume(k, topo.TierInter))
+			}
+			if flat.TierVolume(k, topo.TierIntra) != flat.Volume(k) {
+				t.Fatalf("p=%d %v: tier-0 meter %d != volume %d",
+					p, k, flat.TierVolume(k, topo.TierIntra), flat.Volume(k))
+			}
+		}
+		for r := 0; r < p; r++ {
+			lc, fc := legacy.Device(r).Clock(), flat.Device(r).Clock()
+			if lc != fc {
+				t.Fatalf("p=%d rank %d: clock %v != legacy %v", p, r, fc, lc)
+			}
+		}
+	}
+}
+
+// TestFlatTopologyBitIdenticalDegraded extends the flat-parity contract
+// to link-fault degradation: worst-multiplier pricing must match the
+// legacy linkModel path bit-for-bit through a topology too.
+func TestFlatTopologyBitIdenticalDegraded(t *testing.T) {
+	build := func(tp *topo.Topology) *Fabric {
+		f := NewFabric(4, hw.A6000())
+		f.SetTopology(tp)
+		f.SetLinkFault(2, 3.5, 1.75)
+		f.Run(func(d *Device) {
+			d.AllReduceSum(d.World(), make([]float32, 256))
+			d.AllGather(d.World(), make([]float32, 64))
+			d.Barrier(d.World())
+		})
+		return f
+	}
+	legacy := build(nil)
+	flat := build(topo.Flat(4, hw.A6000()))
+	if legacy.MaxClock() != flat.MaxClock() {
+		t.Fatalf("degraded flat clock %v != legacy %v", flat.MaxClock(), legacy.MaxClock())
+	}
+	if legacy.TotalVolume() != flat.TotalVolume() {
+		t.Fatalf("degraded flat volume %d != legacy %d", flat.TotalVolume(), legacy.TotalVolume())
+	}
+}
+
+// TestMeteredTiersMatchModel is the end-to-end meter oracle on a
+// two-tier topology: for every collective kind, the fabric's per-tier
+// byte meters and the clock advance must equal the topo cost model's
+// prediction exactly — same inputs, same functions, zero drift.
+func TestMeteredTiersMatchModel(t *testing.T) {
+	h := hw.A6000()
+	tp := spec(t, "4x2:nvlink,ib", 8)
+	p := 8
+	w := world(p)
+
+	type pred struct {
+		kind hw.CollectiveKind
+		cost topo.Cost
+	}
+	var preds []pred
+
+	elems := 300
+	_, arCost := tp.AllReduce(h, topo.Auto, w, int64(elems)*4)
+	preds = append(preds, pred{hw.OpAllReduce, arCost})
+
+	chunks := make([]int64, p)
+	for i := range chunks {
+		chunks[i] = int64(4 * (16 + i))
+	}
+	_, agCost := tp.AllGather(h, topo.Auto, w, chunks)
+	preds = append(preds, pred{hw.OpAllGather, agCost})
+
+	bcCost := tp.Broadcast(h, w, 1, 128*4)
+	preds = append(preds, pred{hw.OpBroadcast, bcCost})
+
+	pair := func(i, j int) int64 { return int64(4 * (1 + (i+2*j)%4)) }
+	_, a2aCost := tp.AllToAll(h, topo.Auto, w, pair)
+	preds = append(preds, pred{hw.OpAllToAll, a2aCost})
+
+	counts := make([]int, p)
+	cb := make([]int64, p)
+	total := 0
+	for i := range counts {
+		counts[i] = 8 + 2*i
+		cb[i] = int64(counts[i]) * 4
+		total += counts[i]
+	}
+	_, rsCost := tp.ReduceScatter(h, topo.Auto, w, cb)
+	preds = append(preds, pred{hw.OpReduceScatter, rsCost})
+
+	f := NewFabric(p, h)
+	f.SetTopology(tp)
+	f.Run(func(d *Device) {
+		d.AllReduceSum(d.World(), make([]float32, elems))
+		d.AllGather(d.World(), make([]float32, 16+d.Rank))
+		var root []float32
+		if d.Rank == 1 {
+			root = make([]float32, 128)
+		}
+		d.Broadcast(d.World(), 1, root)
+		parts := make([][]float32, p)
+		for j := range parts {
+			parts[j] = make([]float32, pair(d.Rank, j)/4)
+		}
+		d.AllToAll(d.World(), parts)
+		d.ReduceScatterSum(d.World(), make([]float32, total), counts)
+	})
+
+	clock := 0.0
+	for _, pr := range preds {
+		clock += pr.cost.Time
+		if got := f.Volume(pr.kind); got != pr.cost.Bytes() {
+			t.Errorf("%v: metered %d bytes, model predicts %d", pr.kind, got, pr.cost.Bytes())
+		}
+		if got := f.TierVolume(pr.kind, topo.TierInter); got != pr.cost.Tier[topo.TierInter] {
+			t.Errorf("%v: tier-1 meter %d, model predicts %d", pr.kind, got, pr.cost.Tier[topo.TierInter])
+		}
+		if got := f.TierVolume(pr.kind, topo.TierIntra); got != pr.cost.Tier[topo.TierIntra] {
+			t.Errorf("%v: tier-0 meter %d, model predicts %d", pr.kind, got, pr.cost.Tier[topo.TierIntra])
+		}
+	}
+	if f.MaxClock() != clock {
+		t.Errorf("fabric clock %v != summed model time %v (diff %g)",
+			f.MaxClock(), clock, f.MaxClock()-clock)
+	}
+}
+
+// TestStagedHierMatchesVirtual pins the staged-versus-virtual oracle:
+// explicitly routing allreduce/allgather through the real three-stage
+// hierarchical schedule must land every meter and the fabric clock
+// exactly where the fused (virtual) hierarchical accounting puts them.
+func TestStagedHierMatchesVirtual(t *testing.T) {
+	h := hw.A6000()
+	p := 8
+	elems := 257 // deliberately non-divisible by the node size
+
+	tp := spec(t, "4x2:nvlink,ib", p)
+	_, wantAR := tp.AllReduce(h, topo.Hier, world(p), int64(elems)*4)
+	chunks := make([]int64, p)
+	for i := range chunks {
+		chunks[i] = int64(4 * (10 + i))
+	}
+	_, wantAG := tp.AllGather(h, topo.Hier, world(p), chunks)
+
+	staged := NewFabric(p, h)
+	staged.SetTopology(tp)
+	staged.SetAlgorithm(hw.OpAllReduce, topo.Hier)
+	staged.SetAlgorithm(hw.OpAllGather, topo.Hier)
+	results := make([][]float32, p)
+	staged.Run(func(d *Device) {
+		buf := make([]float32, elems)
+		for i := range buf {
+			buf[i] = float32(d.Rank*1000 + i)
+		}
+		results[d.Rank] = d.AllReduceSum(d.World(), buf)
+	})
+	if got := staged.Volume(hw.OpAllReduce); got != wantAR.Bytes() {
+		t.Fatalf("staged hier allreduce metered %d bytes, virtual model %d", got, wantAR.Bytes())
+	}
+	if got := staged.TierVolume(hw.OpAllReduce, topo.TierInter); got != wantAR.Tier[topo.TierInter] {
+		t.Fatalf("staged hier allreduce tier-1 %d, virtual %d", got, wantAR.Tier[topo.TierInter])
+	}
+	if staged.MaxClock() != wantAR.Time {
+		t.Fatalf("staged hier allreduce clock %v != virtual time %v (diff %g)",
+			staged.MaxClock(), wantAR.Time, staged.MaxClock()-wantAR.Time)
+	}
+	// With equal per-node stage-3 costs every device lands on the same
+	// clock — per-device equality, not just the max.
+	for r := 0; r < p; r++ {
+		if c := staged.Device(r).Clock(); c != wantAR.Time {
+			t.Fatalf("rank %d clock %v != virtual %v", r, c, wantAR.Time)
+		}
+	}
+	// Numerics: the staged sum must match the plain sum within float32
+	// association error.
+	for r := 0; r < p; r++ {
+		for i := 0; i < elems; i += 97 {
+			var want float64
+			for rr := 0; rr < p; rr++ {
+				want += float64(rr*1000 + i)
+			}
+			if diff := math.Abs(float64(results[r][i]) - want); diff > 1e-2 {
+				t.Fatalf("rank %d elem %d: staged sum %v, want %v", r, i, results[r][i], want)
+			}
+		}
+	}
+
+	// Allgather with ragged chunks: per-device clocks may differ (node
+	// totals differ), but the max clock and all meters match the virtual
+	// cost exactly.
+	staged2 := NewFabric(p, h)
+	staged2.SetTopology(tp)
+	staged2.SetAlgorithm(hw.OpAllGather, topo.Hier)
+	gathered := make([][][]float32, p)
+	staged2.Run(func(d *Device) {
+		buf := make([]float32, 10+d.Rank)
+		for i := range buf {
+			buf[i] = float32(d.Rank*100 + i)
+		}
+		gathered[d.Rank] = d.AllGather(d.World(), buf)
+	})
+	if got := staged2.Volume(hw.OpAllGather); got != wantAG.Bytes() {
+		t.Fatalf("staged hier allgather metered %d bytes, virtual model %d", got, wantAG.Bytes())
+	}
+	if got := staged2.TierVolume(hw.OpAllGather, topo.TierInter); got != wantAG.Tier[topo.TierInter] {
+		t.Fatalf("staged hier allgather tier-1 %d, virtual %d", got, wantAG.Tier[topo.TierInter])
+	}
+	if staged2.MaxClock() != wantAG.Time {
+		t.Fatalf("staged hier allgather clock %v != virtual time %v (diff %g)",
+			staged2.MaxClock(), wantAG.Time, staged2.MaxClock()-wantAG.Time)
+	}
+	// Every rank must see every chunk, correctly.
+	for r := 0; r < p; r++ {
+		for src := 0; src < p; src++ {
+			part := gathered[r][src]
+			if len(part) != 10+src {
+				t.Fatalf("rank %d: chunk from %d has %d elems, want %d", r, src, len(part), 10+src)
+			}
+			for i, v := range part {
+				if v != float32(src*100+i) {
+					t.Fatalf("rank %d: chunk from %d corrupt at %d: %v", r, src, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestStagedHierSubgroupFallsBack: a group the hierarchical schedule
+// cannot serve (single node, or ragged node membership) silently uses
+// the fused path even when Hier is pinned.
+func TestStagedHierSubgroupFallsBack(t *testing.T) {
+	h := hw.A6000()
+	tp := spec(t, "4x2:nvlink,ib", 8)
+	f := NewFabric(8, h)
+	f.SetTopology(tp)
+	f.SetAlgorithm(hw.OpAllReduce, topo.Hier)
+	f.Run(func(d *Device) {
+		if d.Rank >= 2 {
+			return
+		}
+		got := d.AllReduceSum([]int{0, 1}, []float32{float32(d.Rank + 1)})
+		if got[0] != 3 {
+			t.Errorf("intra-node hier-pinned allreduce wrong: %v", got)
+		}
+	})
+	// One fused round, ring-priced (Hier falls back to Ring on a
+	// single-node group).
+	if f.Calls(hw.OpAllReduce) != 1 {
+		t.Fatalf("expected 1 fused call, got %d", f.Calls(hw.OpAllReduce))
+	}
+	_, want := tp.AllReduce(h, topo.Hier, []int{0, 1}, 4)
+	if f.MaxClock() != want.Time {
+		t.Fatalf("fallback clock %v != model %v", f.MaxClock(), want.Time)
+	}
+}
+
+// TestTopologyRejectsSmallCoverage: a topology that cannot address
+// every rank must be refused up front.
+func TestTopologyRejectsSmallCoverage(t *testing.T) {
+	f := NewFabric(8, hw.A6000())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTopology must reject a 4-device topology on an 8-device fabric")
+		}
+	}()
+	f.SetTopology(spec(t, "2x2:nvlink,ib", 4))
+}

@@ -155,6 +155,12 @@ func TrainElastic(p int, model *hw.Model, prob *Problem, opts Options, epochs in
 	for world := 0; ; world++ {
 		curP := len(orig)
 		fabric := comm.NewFabric(curP, model)
+		if opts.Topology != nil {
+			// The topology covers the original P and survivor ranks are
+			// renumbered contiguously from 0, so reattaching it to every
+			// shrunk world is always legal (curP <= P).
+			fabric.SetTopology(opts.Topology)
+		}
 		if opts.Tracer != nil {
 			fabric.SetTracer(opts.Tracer, fmt.Sprintf("%s/w%d", label, world))
 		}

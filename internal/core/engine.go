@@ -25,6 +25,7 @@ import (
 	"gnnrdm/internal/plan"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/topo"
 	"gnnrdm/internal/trace"
 )
 
@@ -97,6 +98,12 @@ type Options struct {
 	// vertex-sliced layout and redistributed when the layer's SpMM-side
 	// output is feature-sliced.
 	SAGE bool
+	// Topology, when non-nil, runs the fabric on a hierarchical
+	// interconnect (see internal/topo): collectives are routed and
+	// priced by topology-aware algorithms and metered per link tier.
+	// Nil keeps the flat pre-topology fabric, bit-for-bit. Must cover at
+	// least P devices.
+	Topology *topo.Topology
 	// Tracer, when non-nil, records every kernel, collective, and phase
 	// of the run into one trace session (see internal/trace). Train
 	// attaches it to the fabric before the devices start.

@@ -103,6 +103,9 @@ func TrainResumable(p int, model *hw.Model, prob *Problem, opts Options, epochs 
 	opts = opts.withDefaults(p)
 	opts.validate(p, prob) // fail on the caller's goroutine, not a device's
 	fabric := comm.NewFabric(p, model)
+	if opts.Topology != nil {
+		fabric.SetTopology(opts.Topology)
+	}
 	if opts.Tracer != nil {
 		label := opts.TraceLabel
 		if label == "" {

@@ -159,9 +159,15 @@ func (k CollectiveKind) String() string {
 //
 // bytes is the full buffer size B for broadcast/allgather/allreduce and
 // the maximum per-device injected volume for all-to-all.
+// Zero-work collectives (p > 1 but no bytes to move) cost exactly one
+// kernel launch — the rendezvous still happens on device — and any
+// collective over p ≤ 1 devices costs zero, uniformly across kinds.
 func (h *Model) CollectiveTime(kind CollectiveKind, p int, bytes int64) float64 {
 	if p <= 1 {
 		return 0
+	}
+	if bytes <= 0 {
+		return h.KernelLaunch
 	}
 	b := float64(bytes)
 	pf := float64(p)

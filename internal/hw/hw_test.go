@@ -126,3 +126,42 @@ func TestMemTime(t *testing.T) {
 		t.Fatal("MemTime must grow with bytes")
 	}
 }
+
+func TestCollectiveTimeZeroWork(t *testing.T) {
+	m := A6000()
+	kinds := []CollectiveKind{
+		OpBroadcast, OpAllGather, OpAllReduce,
+		OpAllToAll, OpSendRecv, OpReduceScatter,
+	}
+	cases := []struct {
+		name  string
+		p     int
+		bytes int64
+		want  float64
+	}{
+		{"p1-zero", 1, 0, 0},
+		{"p1-bytes", 1, 1 << 20, 0},
+		{"p0-zero", 0, 0, 0},
+		{"p0-bytes", 0, 1 << 20, 0},
+		{"negative-p", -3, 4096, 0},
+		{"p2-zero", 2, 0, m.KernelLaunch},
+		{"p8-zero", 8, 0, m.KernelLaunch},
+		{"p8-negative-bytes", 8, -64, m.KernelLaunch},
+	}
+	for _, k := range kinds {
+		for _, c := range cases {
+			if got := m.CollectiveTime(k, c.p, c.bytes); got != c.want {
+				t.Errorf("%v/%s: CollectiveTime(p=%d, bytes=%d) = %v, want %v",
+					k, c.name, c.p, c.bytes, got, c.want)
+			}
+		}
+	}
+	// Real work is never mistaken for zero work: a positive transfer over
+	// p>1 costs strictly more than a bare launch on every kind.
+	for _, k := range kinds {
+		if got := m.CollectiveTime(k, 8, 1<<20); got <= m.KernelLaunch {
+			t.Errorf("%v: positive-byte collective (%v) must exceed one launch (%v)",
+				k, got, m.KernelLaunch)
+		}
+	}
+}

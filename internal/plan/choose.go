@@ -3,6 +3,7 @@ package plan
 import (
 	"gnnrdm/internal/costmodel"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
 )
 
 // ChooseOrdering picks a per-layer SpMM/GEMM ordering by greedy
@@ -14,13 +15,22 @@ import (
 // adjacent layers have asymmetric widths. Ties keep SpMM-first, and the
 // sweep order is fixed, so the choice is deterministic.
 func ChooseOrdering(sp Spec, nnz int64, h *hw.Model) costmodel.Config {
+	return ChooseOrderingTopo(sp, nnz, h, nil)
+}
+
+// ChooseOrderingTopo is ChooseOrdering pricing candidates on an
+// interconnect topology (nil = flat, exactly ChooseOrdering): the same
+// greedy descent, but each candidate schedule's collectives are costed
+// by the topology-aware algorithms the fabric would actually run, so
+// the chosen ordering can differ once inter-node links dominate.
+func ChooseOrderingTopo(sp Spec, nnz int64, h *hw.Model, tp *topo.Topology) costmodel.Config {
 	sp = sp.withDefaults()
 	L := len(sp.Dims) - 1
 	cfg := costmodel.ConfigFromID(0, L) // all SpMM-first
 	price := func(c costmodel.Config) float64 {
 		s := sp
 		s.Config = c
-		return Compile(s).Optimize().Price(nnz, h).Time
+		return Compile(s).Optimize().PriceOn(nnz, h, tp).Time
 	}
 	best := price(cfg)
 	// A slot flip changes which operands later layers inherit for free,

@@ -3,6 +3,7 @@ package plan
 import (
 	"gnnrdm/internal/dist"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
 )
 
 // This file prices a compiled schedule: exact per-op fabric byte
@@ -24,6 +25,11 @@ type OpCost struct {
 	// Side is byte-packed mask traffic on the fabric's side channel
 	// (excluded from the primary meters, as the paper's model omits it).
 	Side int64
+	// Tier and SideTier split the primary and side volumes by link tier
+	// (intra-node, inter-node). Only populated by PriceOn with a
+	// topology; under flat pricing everything is tier 0.
+	Tier     [topo.NumTiers]int64
+	SideTier [topo.NumTiers]int64
 	// Time estimates the op's duration on the busiest device.
 	Time float64
 }
@@ -33,6 +39,8 @@ type Cost struct {
 	PerOp                          []OpCost
 	AllToAll, AllGather, AllReduce int64
 	Side                           int64
+	Tier                           [topo.NumTiers]int64
+	SideTier                       [topo.NumTiers]int64
 	Time                           float64
 }
 
@@ -46,6 +54,16 @@ func (c Cost) RDMBytes() int64 { return c.AllToAll + c.AllGather }
 // stored-entry count of the propagation operator (for SpMM kernel
 // time); h is the hardware model time estimates are drawn from.
 func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
+	return s.PriceOn(nnz, h, nil)
+}
+
+// PriceOn prices the schedule on an interconnect topology. With tp ==
+// nil it is exactly Price: the pre-topology flat formulas, bit-for-bit.
+// With a topology, every collective is priced through internal/topo
+// under the fabric's default Auto algorithm selection, so the op byte
+// volumes — split per link tier — and the collective time terms equal
+// the live fabric's meters and clocks for the same topology exactly.
+func (s *Schedule) PriceOn(nnz int64, h *hw.Model, tp *topo.Topology) Cost {
 	type rinfo struct {
 		layout     dist.Layout
 		rows, cols int
@@ -53,6 +71,13 @@ func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
 	regs := make(map[Reg]rinfo, s.NumRegs)
 	def := func(r Reg, l dist.Layout, rows, cols int) {
 		regs[r] = rinfo{l.Normalize(s.P), rows, cols}
+	}
+	var world []int
+	if tp != nil {
+		world = make([]int, s.P)
+		for i := range world {
+			world[i] = i
+		}
 	}
 	var c Cost
 	for i := range s.Sections {
@@ -64,14 +89,48 @@ func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
 				def(op.Dst, op.Layout, op.Rows, op.Cols)
 			case KRedist:
 				vol, inj, ej := s.exchange(op.From, op.To, op.Rows, op.Cols, false)
-				oc.AllToAll = vol
-				oc.Time = h.MemTime(inj) + h.CollectiveTime(hw.OpAllToAll, s.P, inj) + h.MemTime(ej)
+				if tp != nil {
+					_, cst := tp.AllToAll(h, topo.Auto, world, s.pairFn(op.From, op.To, op.Rows, op.Cols, false))
+					oc.AllToAll = cst.Bytes()
+					oc.Tier = cst.Tier
+					oc.Time = h.MemTime(inj) + cst.Time + h.MemTime(ej)
+				} else {
+					oc.AllToAll = vol
+					oc.Time = h.MemTime(inj) + h.CollectiveTime(hw.OpAllToAll, s.P, inj) + h.MemTime(ej)
+				}
 				def(op.Dst, op.To, op.Rows, op.Cols)
 			case KSpMM:
 				group := s.P / s.RA
 				prows, pcols := dist.TileShape(s.GridL, s.P, 0, op.Rows, op.Cols)
 				slice := int64(op.Rows) * int64(pcols) * 4
-				if group > 1 {
+				if group > 1 && tp != nil {
+					// R_A concurrent column-group allgathers, one per grid
+					// column; each member contributes its live tile, so the
+					// chunk census matches the fabric's ragged allgather
+					// exactly. The op runs at the slowest group's pace.
+					var worst float64
+					for j := 0; j < s.RA; j++ {
+						grp := make([]int, 0, group)
+						chunks := make([]int64, 0, group)
+						var total int64
+						for r := j; r < s.P; r += s.RA {
+							gr, gc := dist.TileShape(s.GridL, s.P, r, op.Rows, op.Cols)
+							grp = append(grp, r)
+							b := int64(gr) * int64(gc) * 4
+							chunks = append(chunks, b)
+							total += b
+						}
+						_, cst := tp.AllGather(h, topo.Auto, grp, chunks)
+						oc.AllGather += cst.Bytes()
+						for t := range cst.Tier {
+							oc.Tier[t] += cst.Tier[t]
+						}
+						if t := cst.Time + h.MemTime(total); t > worst {
+							worst = t
+						}
+					}
+					oc.Time += worst
+				} else if group > 1 {
 					oc.AllGather = int64(group-1) * int64(op.Rows) * int64(op.Cols) * 4
 					oc.Time += h.CollectiveTime(hw.OpAllGather, group, slice) + h.MemTime(slice)
 				}
@@ -90,10 +149,17 @@ func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
 				def(op.Dst, dist.R, op.Rows, op.Cols)
 			case KAllReduceGrad:
 				buf := int64(op.Rows) * int64(op.Cols) * 4
-				if s.P > 1 {
-					oc.AllReduce = 2 * buf * int64(s.P-1)
+				if tp != nil {
+					_, cst := tp.AllReduce(h, topo.Auto, world, buf)
+					oc.AllReduce = cst.Bytes()
+					oc.Tier = cst.Tier
+					oc.Time = cst.Time
+				} else {
+					if s.P > 1 {
+						oc.AllReduce = 2 * buf * int64(s.P-1)
+					}
+					oc.Time = h.CollectiveTime(hw.OpAllReduce, s.P, buf)
 				}
-				oc.Time = h.CollectiveTime(hw.OpAllReduce, s.P, buf)
 			case KReLU, KAdd:
 				oc.Time = h.MemTime(tileBytes0(op.Layout, s.P, op.Rows, op.Cols))
 			case KReLUGrad:
@@ -103,19 +169,34 @@ func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
 					break
 				}
 				vol, inj, ej := s.exchange(op.From, op.To, op.Rows, op.Cols, true)
-				oc.Side = vol
-				oc.Time = h.MemTime(tileBytes0(op.From, s.P, op.Rows, op.Cols)) + // mask build
-					h.MemTime(inj) + h.CollectiveTime(hw.OpAllToAll, s.P, inj) + h.MemTime(ej) +
-					apply
+				mask := h.MemTime(tileBytes0(op.From, s.P, op.Rows, op.Cols))
+				if tp != nil {
+					_, cst := tp.AllToAll(h, topo.Auto, world, s.pairFn(op.From, op.To, op.Rows, op.Cols, true))
+					oc.Side = cst.Bytes()
+					oc.SideTier = cst.Tier
+					oc.Time = mask + h.MemTime(inj) + cst.Time + h.MemTime(ej) + apply
+				} else {
+					oc.Side = vol
+					oc.Time = mask +
+						h.MemTime(inj) + h.CollectiveTime(hw.OpAllToAll, s.P, inj) + h.MemTime(ej) +
+						apply
+				}
 			case KMemoize, KReuse:
 				a := regs[op.A]
 				def(op.Dst, a.layout, op.Rows, op.Cols)
 			case KLoss:
 				tile := tileBytes0(dist.H, s.P, op.Rows, op.Cols)
-				if s.P > 1 {
-					oc.AllReduce = 2 * 8 * int64(s.P-1)
+				if tp != nil {
+					_, cst := tp.AllReduce(h, topo.Auto, world, 8)
+					oc.AllReduce = cst.Bytes()
+					oc.Tier = cst.Tier
+					oc.Time = h.MemTime(2*tile) + cst.Time
+				} else {
+					if s.P > 1 {
+						oc.AllReduce = 2 * 8 * int64(s.P-1)
+					}
+					oc.Time = h.MemTime(2*tile) + h.CollectiveTime(hw.OpAllReduce, s.P, 8)
 				}
-				oc.Time = h.MemTime(2*tile) + h.CollectiveTime(hw.OpAllReduce, s.P, 8)
 				def(op.Dst, dist.H, op.Rows, op.Cols)
 			case KMemWrite:
 				a := regs[op.A]
@@ -135,6 +216,10 @@ func (s *Schedule) Price(nnz int64, h *hw.Model) Cost {
 			c.AllGather += oc.AllGather
 			c.AllReduce += oc.AllReduce
 			c.Side += oc.Side
+			for t := range oc.Tier {
+				c.Tier[t] += oc.Tier[t]
+				c.SideTier[t] += oc.SideTier[t]
+			}
 			c.Time += oc.Time
 		}
 	}
@@ -181,6 +266,22 @@ func (s *Schedule) exchange(from, to dist.Layout, rows, cols int, packed bool) (
 		maxEj = max(maxEj, ej[r])
 	}
 	return vol, maxInj, maxEj
+}
+
+// pairFn returns the per-pair byte function of a from->to
+// redistribution — the same census exchange() sums — in the shape
+// internal/topo's all-to-all costers consume. With packed=true chunks
+// are byte-packed masks.
+func (s *Schedule) pairFn(from, to dist.Layout, rows, cols int, packed bool) func(i, j int) int64 {
+	p := s.P
+	from, to = from.Normalize(p), to.Normalize(p)
+	return func(i, j int) int64 {
+		n := dist.TileOverlap(from, i, to, j, p, rows, cols)
+		if packed {
+			return 4 * int64((n+3)/4)
+		}
+		return 4 * int64(n)
+	}
 }
 
 // tileBytes0 returns device 0's tile size in bytes under a layout

@@ -1,0 +1,782 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"gnnrdm/internal/hw"
+)
+
+// Algorithm selects how a collective is scheduled over the topology.
+type Algorithm int
+
+const (
+	// Auto picks the cheapest applicable algorithm from the cost model
+	// (the per-collective autotuner). Groups whose members share a node
+	// — including every group on a flat topology — always resolve to
+	// Ring, so single-node machines reproduce the pre-topology fabric
+	// exactly.
+	Auto Algorithm = iota
+	// Ring is the flat ring family (the NCCL-regime formulas of
+	// hw.CollectiveTime): pipelined ring for allgather/allreduce/
+	// reduce-scatter, a latency-optimal tree broadcast, and direct
+	// pairwise exchange for all-to-all.
+	Ring
+	// RHD is recursive halving/doubling (classic MPI log-round
+	// algorithms; Bruck for all-to-all). Halving/doubling applies to
+	// power-of-two groups; other groups fall back to Ring.
+	RHD
+	// Hier is the two-level hierarchical schedule: intra-node
+	// reduce/gather, inter-node exchange between peer positions, then
+	// intra-node broadcast/scatter. It applies to node-uniform
+	// multi-node groups (every node contributing the same member
+	// count); other groups fall back to Ring.
+	Hier
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Ring:
+		return "ring"
+	case RHD:
+		return "rhd"
+	case Hier:
+		return "hier"
+	}
+	return "unknown"
+}
+
+// ParseAlgorithm resolves an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{Auto, Ring, RHD, Hier} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return Auto, fmt.Errorf("topo: unknown algorithm %q", s)
+}
+
+// Cost prices one collective: the modelled makespan (time until the
+// last participant finishes) and the exact bytes crossing each link
+// tier. Tier[0]+Tier[1] is what the fabric's volume meter records.
+type Cost struct {
+	Time float64
+	Tier [NumTiers]int64
+}
+
+// Bytes returns the total metered volume across tiers.
+func (c Cost) Bytes() int64 { return c.Tier[TierIntra] + c.Tier[TierInter] }
+
+func (c *Cost) addTier(t [NumTiers]int64) {
+	c.Tier[TierIntra] += t[TierIntra]
+	c.Tier[TierInter] += t[TierInter]
+}
+
+// ---------------------------------------------------------------------
+// Ring algorithms. Times come from hw.CollectiveTime on the worst
+// participating tier's link (a ring is as slow as its slowest link),
+// which on a flat topology reproduces the pre-topology fabric clocks
+// bit-for-bit. Per-tier bytes come from an exact integer census of the
+// ring's links, whose total equals the classic formulas: B·(p-1) for
+// allgather/reduce-scatter/broadcast, 2B·(p-1) for allreduce, and the
+// sum of cross pairs for all-to-all.
+
+func (t *Topology) ringTime(h *hw.Model, kind hw.CollectiveKind, group []int, bytes int64) float64 {
+	return t.model(h, t.worstTier(group)).CollectiveTime(kind, len(group), bytes)
+}
+
+// ringAllGather prices a ring allgather of per-position chunks (bytes).
+// Ring link ℓ (position ℓ → ℓ+1) carries every chunk except position
+// ℓ+1's own: B − chunks[ℓ+1].
+func (t *Topology) ringAllGather(h *hw.Model, group []int, chunks []int64) Cost {
+	p := len(group)
+	total := sum(chunks)
+	c := Cost{Time: t.ringTime(h, hw.OpAllGather, group, total)}
+	if p <= 1 {
+		return c
+	}
+	for l := 0; l < p; l++ {
+		next := (l + 1) % p
+		c.Tier[t.Tier(group[l], group[next])] += total - chunks[next]
+	}
+	return c
+}
+
+// ringReduceScatter prices a ring reduce-scatter of a total-byte buffer
+// into per-position counts (bytes). Link ℓ carries B − counts[ℓ].
+func (t *Topology) ringReduceScatter(h *hw.Model, group []int, counts []int64) Cost {
+	p := len(group)
+	total := sum(counts)
+	c := Cost{Time: t.ringTime(h, hw.OpReduceScatter, group, total)}
+	if p <= 1 {
+		return c
+	}
+	for l := 0; l < p; l++ {
+		c.Tier[t.Tier(group[l], group[(l+1)%p])] += total - counts[l]
+	}
+	return c
+}
+
+// ringAllReduce prices a ring allreduce (reduce-scatter over even
+// chunks, then allgather): link ℓ carries (B − cℓ) + (B − cℓ₊₁).
+func (t *Topology) ringAllReduce(h *hw.Model, group []int, bytes int64) Cost {
+	p := len(group)
+	c := Cost{Time: t.ringTime(h, hw.OpAllReduce, group, bytes)}
+	if p <= 1 {
+		return c
+	}
+	ch := evenChunks(bytes, p)
+	for l := 0; l < p; l++ {
+		next := (l + 1) % p
+		c.Tier[t.Tier(group[l], group[next])] += (bytes - ch[l]) + (bytes - ch[next])
+	}
+	return c
+}
+
+// ringBroadcast prices a broadcast from the root position: the p−1
+// links of the pipeline path from the root each carry the full buffer.
+func (t *Topology) ringBroadcast(h *hw.Model, group []int, rootIdx int, bytes int64) Cost {
+	p := len(group)
+	c := Cost{Time: t.ringTime(h, hw.OpBroadcast, group, bytes)}
+	if p <= 1 {
+		return c
+	}
+	for k := 0; k < p-1; k++ {
+		a := group[(rootIdx+k)%p]
+		b := group[(rootIdx+k+1)%p]
+		c.Tier[t.Tier(a, b)] += bytes
+	}
+	return c
+}
+
+// ringAllToAll prices direct pairwise exchange: pair(i, j) gives the
+// bytes position i sends position j (i ≠ j; self pairs are ignored).
+func (t *Topology) ringAllToAll(h *hw.Model, group []int, pair func(i, j int) int64) Cost {
+	p := len(group)
+	var c Cost
+	var maxInj int64
+	for i := 0; i < p; i++ {
+		var inj int64
+		for j := 0; j < p; j++ {
+			if j == i {
+				continue
+			}
+			b := pair(i, j)
+			if b <= 0 {
+				continue
+			}
+			c.Tier[t.Tier(group[i], group[j])] += b
+			inj += b
+		}
+		if inj > maxInj {
+			maxInj = inj
+		}
+	}
+	c.Time = t.ringTime(h, hw.OpAllToAll, group, maxInj)
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Recursive halving/doubling. Classic hypercube schedules for
+// power-of-two groups: halving exchanges at distances p/2 … 1 with
+// message sizes shrinking by half each round; doubling reverses. Total
+// bytes equal the ring algorithms' exactly — only the latency profile
+// (log₂p rounds instead of p−1) and the per-tier placement differ.
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// rhdHalving prices the reduce-scatter direction over final ownership
+// segments seg (bytes per group position): at distance d each pair
+// splits its current contiguous segment range at the midpoint, every
+// device sending the half it gives up. Requires pow-2 len(group).
+func (t *Topology) rhdHalving(h *hw.Model, group []int, seg []int64) Cost {
+	p := len(group)
+	pre := prefix(seg)
+	lo := make([]int, p)
+	hi := make([]int, p)
+	for i := range hi {
+		hi[i] = p
+	}
+	var c Cost
+	for d := p / 2; d >= 1; d /= 2 {
+		var maxSend int64
+		var tb [NumTiers]int64
+		wt := TierIntra
+		for i := 0; i < p; i++ {
+			j := i ^ d
+			if j < i {
+				continue
+			}
+			mid := (lo[i] + hi[i]) / 2
+			sendI := pre[hi[i]] - pre[mid]
+			sendJ := pre[mid] - pre[lo[j]]
+			tier := t.Tier(group[i], group[j])
+			tb[tier] += sendI + sendJ
+			if tier > wt {
+				wt = tier
+			}
+			if sendI > maxSend {
+				maxSend = sendI
+			}
+			if sendJ > maxSend {
+				maxSend = sendJ
+			}
+			hi[i] = mid
+			lo[j] = mid
+		}
+		link := t.model(h, wt)
+		c.Time += link.LinkLatency + float64(maxSend)/link.LinkBandwidth
+		c.addTier(tb)
+	}
+	return c
+}
+
+// rhdDoubling prices the allgather direction over contributed segments
+// seg: at distance d each pair exchanges everything accumulated so far.
+func (t *Topology) rhdDoubling(h *hw.Model, group []int, seg []int64) Cost {
+	p := len(group)
+	acc := append([]int64(nil), seg...)
+	var c Cost
+	for d := 1; d < p; d *= 2 {
+		var maxSend int64
+		var tb [NumTiers]int64
+		wt := TierIntra
+		for i := 0; i < p; i++ {
+			j := i ^ d
+			if j < i {
+				continue
+			}
+			tier := t.Tier(group[i], group[j])
+			tb[tier] += acc[i] + acc[j]
+			if tier > wt {
+				wt = tier
+			}
+			if acc[i] > maxSend {
+				maxSend = acc[i]
+			}
+			if acc[j] > maxSend {
+				maxSend = acc[j]
+			}
+			s := acc[i] + acc[j]
+			acc[i], acc[j] = s, s
+		}
+		link := t.model(h, wt)
+		c.Time += link.LinkLatency + float64(maxSend)/link.LinkBandwidth
+		c.addTier(tb)
+	}
+	return c
+}
+
+func (t *Topology) rhdAllReduce(h *hw.Model, group []int, bytes int64) Cost {
+	if bytes <= 0 {
+		return Cost{Time: h.KernelLaunch}
+	}
+	ch := evenChunks(bytes, len(group))
+	c := t.rhdHalving(h, group, ch)
+	d := t.rhdDoubling(h, group, ch)
+	c.Time += d.Time
+	c.addTier(d.Tier)
+	return c
+}
+
+func (t *Topology) rhdAllGather(h *hw.Model, group []int, chunks []int64) Cost {
+	if sum(chunks) <= 0 {
+		return Cost{Time: h.KernelLaunch}
+	}
+	return t.rhdDoubling(h, group, chunks)
+}
+
+func (t *Topology) rhdReduceScatter(h *hw.Model, group []int, counts []int64) Cost {
+	if sum(counts) <= 0 {
+		return Cost{Time: h.KernelLaunch}
+	}
+	return t.rhdHalving(h, group, counts)
+}
+
+// bruckAllToAll prices the Bruck log-round all-to-all (any group
+// size): the block for offset o = (dst−src) mod p hops at every set
+// bit of o, so total volume exceeds direct exchange by the popcount —
+// the classic latency-for-bandwidth trade.
+func (t *Topology) bruckAllToAll(h *hw.Model, group []int, pair func(i, j int) int64) Cost {
+	p := len(group)
+	var c Cost
+	any := false
+	for d := 1; d < p; d *= 2 {
+		inj := make([]int64, p)
+		var tb [NumTiers]int64
+		wt := TierIntra
+		for s := 0; s < p; s++ {
+			for dst := 0; dst < p; dst++ {
+				if dst == s {
+					continue
+				}
+				o := (dst - s + p) % p
+				if o&d == 0 {
+					continue
+				}
+				b := pair(s, dst)
+				if b <= 0 {
+					continue
+				}
+				v := (s + o&(d-1)) % p
+				w := (v + d) % p
+				tier := t.Tier(group[v], group[w])
+				tb[tier] += b
+				if tier > wt {
+					wt = tier
+				}
+				inj[v] += b
+			}
+		}
+		link := t.model(h, wt)
+		c.Time += link.LinkLatency + float64(maxOf(inj))/link.LinkBandwidth
+		c.addTier(tb)
+		any = any || tb[TierIntra]+tb[TierInter] > 0
+	}
+	if !any {
+		return Cost{Time: h.KernelLaunch}
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Two-level hierarchical algorithms: stage 1 inside each node (tier-0
+// links), stage 2 between peer positions across nodes (tier-1 links),
+// stage 3 inside each node again. Stage times take the max over the
+// concurrent subgroups, matching the staged fabric execution's
+// makespan under synchronized entry; stage byte censuses are the ring
+// censuses of the subgroups. For allreduce and allgather the total
+// bytes equal the flat ring's exactly; hierarchical reduce-scatter and
+// all-to-all trade extra intra-node bytes for fewer inter-node ones.
+
+func (t *Topology) hierAllReduce(h *hw.Model, group []int, bytes int64) Cost {
+	nodes, ok := t.nodeGroups(group)
+	if !ok {
+		return t.ringAllReduce(h, group, bytes)
+	}
+	g := len(nodes[0])
+	ch := evenChunks(bytes, g)
+	var c Cost
+	// Stage 1: intra-node reduce-scatter into even chunks.
+	st := 0.0
+	for _, nd := range nodes {
+		s := t.ringReduceScatter(h, nd, ch)
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	// Stage 2: each position's plane (one member per node) allreduces
+	// its chunk across nodes.
+	st = 0.0
+	plane := make([]int, len(nodes))
+	for i := 0; i < g; i++ {
+		for j, nd := range nodes {
+			plane[j] = nd[i]
+		}
+		s := t.ringAllReduce(h, plane, ch[i])
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	// Stage 3: intra-node allgather of the reduced chunks.
+	st = 0.0
+	for _, nd := range nodes {
+		s := t.ringAllGather(h, nd, ch)
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	return c
+}
+
+func (t *Topology) hierAllGather(h *hw.Model, group []int, chunks []int64) Cost {
+	nodes, ok := t.nodeGroups(group)
+	if !ok {
+		return t.ringAllGather(h, group, chunks)
+	}
+	g := len(nodes[0])
+	total := sum(chunks)
+	totals := make([]int64, len(nodes))
+	for j := range nodes {
+		totals[j] = sum(chunks[j*g : (j+1)*g])
+	}
+	var c Cost
+	// Stage 1: intra-node allgather of the node's own chunks.
+	st := 0.0
+	for j, nd := range nodes {
+		s := t.ringAllGather(h, nd, chunks[j*g:(j+1)*g])
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	// Stage 2: node leaders allgather the per-node totals.
+	leaders := make([]int, len(nodes))
+	for j, nd := range nodes {
+		leaders[j] = nd[0]
+	}
+	s := t.ringAllGather(h, leaders, totals)
+	c.addTier(s.Tier)
+	c.Time += s.Time
+	// Stage 3: each leader broadcasts the remote nodes' bytes locally.
+	st = 0.0
+	for j, nd := range nodes {
+		s := t.ringBroadcast(h, nd, 0, total-totals[j])
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	return c
+}
+
+func (t *Topology) hierReduceScatter(h *hw.Model, group []int, counts []int64) Cost {
+	nodes, ok := t.nodeGroups(group)
+	if !ok {
+		return t.ringReduceScatter(h, group, counts)
+	}
+	g := len(nodes[0])
+	total := sum(counts)
+	ch := evenChunks(total, g)
+	chOff := prefix(ch)
+	segOff := prefix(counts)
+	overlap := func(aLo, aHi, bLo, bHi int64) int64 {
+		lo, hi := maxI64(aLo, bLo), minI64(aHi, bHi)
+		if hi > lo {
+			return hi - lo
+		}
+		return 0
+	}
+	var c Cost
+	// Stage 1: intra-node reduce-scatter into even chunks.
+	st := 0.0
+	for _, nd := range nodes {
+		s := t.ringReduceScatter(h, nd, ch)
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	// Stage 2: plane i reduce-scatters chunk i across nodes, split at
+	// the node-segment boundaries of the final counts.
+	st = 0.0
+	plane := make([]int, len(nodes))
+	cnts := make([]int64, len(nodes))
+	for i := 0; i < g; i++ {
+		for j, nd := range nodes {
+			plane[j] = nd[i]
+			cnts[j] = overlap(chOff[i], chOff[i+1], segOff[j*g], segOff[(j+1)*g])
+		}
+		s := t.ringReduceScatter(h, plane, cnts)
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	// Stage 3: an intra-node all-to-all moves each chunk∩segment piece
+	// to its final owner.
+	st = 0.0
+	for j, nd := range nodes {
+		base := j * g
+		s := t.ringAllToAll(h, nd, func(a, b int) int64 {
+			return overlap(chOff[a], chOff[a+1], segOff[base+b], segOff[base+b+1])
+		})
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	return c
+}
+
+func (t *Topology) hierAllToAll(h *hw.Model, group []int, pair func(i, j int) int64) Cost {
+	nodes, ok := t.nodeGroups(group)
+	if !ok {
+		return t.ringAllToAll(h, group, pair)
+	}
+	g := len(nodes[0])
+	m := len(nodes)
+	pos := func(j, a int) int { return j*g + a }
+	crossOut := make([][]int64, m)
+	crossIn := make([][]int64, m)
+	nodePair := make([][]int64, m)
+	for j := 0; j < m; j++ {
+		crossOut[j] = make([]int64, g)
+		crossIn[j] = make([]int64, g)
+		nodePair[j] = make([]int64, m)
+		for a := 0; a < g; a++ {
+			for q := 0; q < m*g; q++ {
+				if q/g == j {
+					continue
+				}
+				crossOut[j][a] += pair(pos(j, a), q)
+				crossIn[j][a] += pair(q, pos(j, a))
+			}
+		}
+		for jj := 0; jj < m; jj++ {
+			if jj == j {
+				continue
+			}
+			for a := 0; a < g; a++ {
+				for b := 0; b < g; b++ {
+					nodePair[j][jj] += pair(pos(j, a), pos(jj, b))
+				}
+			}
+		}
+	}
+	var c Cost
+	// Stage 1: intra-node exchange; non-leader members also forward
+	// their cross-node bytes to the leader (position 0).
+	st := 0.0
+	for j, nd := range nodes {
+		jj := j
+		s := t.ringAllToAll(h, nd, func(a, b int) int64 {
+			v := pair(pos(jj, a), pos(jj, b))
+			if b == 0 && a != 0 {
+				v += crossOut[jj][a]
+			}
+			return v
+		})
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	// Stage 2: leaders exchange the aggregated node-to-node traffic.
+	leaders := make([]int, m)
+	for j, nd := range nodes {
+		leaders[j] = nd[0]
+	}
+	s := t.ringAllToAll(h, leaders, func(a, b int) int64 { return nodePair[a][b] })
+	c.addTier(s.Tier)
+	c.Time += s.Time
+	// Stage 3: leaders scatter the received remote bytes locally.
+	st = 0.0
+	for j, nd := range nodes {
+		jj := j
+		s := t.ringAllToAll(h, nd, func(a, b int) int64 {
+			if a == 0 && b != 0 {
+				return crossIn[jj][b]
+			}
+			return 0
+		})
+		c.addTier(s.Tier)
+		st = math.Max(st, s.Time)
+	}
+	c.Time += st
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Entry points. Each resolves the requested algorithm (falling back to
+// Ring when the requested one does not apply to the group) or, for
+// Auto, picks the cheapest applicable algorithm — except that groups
+// confined to one node always resolve to Ring, which pins the flat
+// topology to the pre-topology fabric's exact behaviour.
+
+// AllReduce prices an allreduce of a bytes-sized buffer.
+func (t *Topology) AllReduce(h *hw.Model, alg Algorithm, group []int, bytes int64) (Algorithm, Cost) {
+	p := len(group)
+	switch alg {
+	case Ring:
+		return Ring, t.ringAllReduce(h, group, bytes)
+	case RHD:
+		if isPow2(p) && p > 1 {
+			return RHD, t.rhdAllReduce(h, group, bytes)
+		}
+		return Ring, t.ringAllReduce(h, group, bytes)
+	case Hier:
+		if _, ok := t.nodeGroups(group); ok {
+			return Hier, t.hierAllReduce(h, group, bytes)
+		}
+		return Ring, t.ringAllReduce(h, group, bytes)
+	}
+	best := t.ringAllReduce(h, group, bytes)
+	bestAlg := Ring
+	if t.worstTier(group) == TierIntra {
+		return bestAlg, best
+	}
+	if isPow2(p) {
+		if c := t.rhdAllReduce(h, group, bytes); c.Time < best.Time {
+			best, bestAlg = c, RHD
+		}
+	}
+	if _, ok := t.nodeGroups(group); ok {
+		if c := t.hierAllReduce(h, group, bytes); c.Time < best.Time {
+			best, bestAlg = c, Hier
+		}
+	}
+	return bestAlg, best
+}
+
+// AllGather prices an allgather of per-position chunks (bytes).
+func (t *Topology) AllGather(h *hw.Model, alg Algorithm, group []int, chunks []int64) (Algorithm, Cost) {
+	p := len(group)
+	switch alg {
+	case Ring:
+		return Ring, t.ringAllGather(h, group, chunks)
+	case RHD:
+		if isPow2(p) && p > 1 {
+			return RHD, t.rhdAllGather(h, group, chunks)
+		}
+		return Ring, t.ringAllGather(h, group, chunks)
+	case Hier:
+		if _, ok := t.nodeGroups(group); ok {
+			return Hier, t.hierAllGather(h, group, chunks)
+		}
+		return Ring, t.ringAllGather(h, group, chunks)
+	}
+	best := t.ringAllGather(h, group, chunks)
+	bestAlg := Ring
+	if t.worstTier(group) == TierIntra {
+		return bestAlg, best
+	}
+	if isPow2(p) {
+		if c := t.rhdAllGather(h, group, chunks); c.Time < best.Time {
+			best, bestAlg = c, RHD
+		}
+	}
+	if _, ok := t.nodeGroups(group); ok {
+		if c := t.hierAllGather(h, group, chunks); c.Time < best.Time {
+			best, bestAlg = c, Hier
+		}
+	}
+	return bestAlg, best
+}
+
+// ReduceScatter prices a reduce-scatter into per-position counts
+// (bytes).
+func (t *Topology) ReduceScatter(h *hw.Model, alg Algorithm, group []int, counts []int64) (Algorithm, Cost) {
+	p := len(group)
+	switch alg {
+	case Ring:
+		return Ring, t.ringReduceScatter(h, group, counts)
+	case RHD:
+		if isPow2(p) && p > 1 {
+			return RHD, t.rhdReduceScatter(h, group, counts)
+		}
+		return Ring, t.ringReduceScatter(h, group, counts)
+	case Hier:
+		if _, ok := t.nodeGroups(group); ok {
+			return Hier, t.hierReduceScatter(h, group, counts)
+		}
+		return Ring, t.ringReduceScatter(h, group, counts)
+	}
+	best := t.ringReduceScatter(h, group, counts)
+	bestAlg := Ring
+	if t.worstTier(group) == TierIntra {
+		return bestAlg, best
+	}
+	if isPow2(p) {
+		if c := t.rhdReduceScatter(h, group, counts); c.Time < best.Time {
+			best, bestAlg = c, RHD
+		}
+	}
+	if _, ok := t.nodeGroups(group); ok {
+		if c := t.hierReduceScatter(h, group, counts); c.Time < best.Time {
+			best, bestAlg = c, Hier
+		}
+	}
+	return bestAlg, best
+}
+
+// AllToAll prices a personalized exchange; pair(i, j) gives the bytes
+// position i sends position j.
+func (t *Topology) AllToAll(h *hw.Model, alg Algorithm, group []int, pair func(i, j int) int64) (Algorithm, Cost) {
+	switch alg {
+	case Ring:
+		return Ring, t.ringAllToAll(h, group, pair)
+	case RHD:
+		if len(group) > 1 {
+			return RHD, t.bruckAllToAll(h, group, pair)
+		}
+		return Ring, t.ringAllToAll(h, group, pair)
+	case Hier:
+		if _, ok := t.nodeGroups(group); ok {
+			return Hier, t.hierAllToAll(h, group, pair)
+		}
+		return Ring, t.ringAllToAll(h, group, pair)
+	}
+	best := t.ringAllToAll(h, group, pair)
+	bestAlg := Ring
+	if t.worstTier(group) == TierIntra {
+		return bestAlg, best
+	}
+	if c := t.bruckAllToAll(h, group, pair); c.Time < best.Time {
+		best, bestAlg = c, RHD
+	}
+	if _, ok := t.nodeGroups(group); ok {
+		if c := t.hierAllToAll(h, group, pair); c.Time < best.Time {
+			best, bestAlg = c, Hier
+		}
+	}
+	return bestAlg, best
+}
+
+// Broadcast prices a broadcast from the given root position (ring/tree
+// only; the hierarchical family does not apply).
+func (t *Topology) Broadcast(h *hw.Model, group []int, rootIdx int, bytes int64) Cost {
+	return t.ringBroadcast(h, group, rootIdx, bytes)
+}
+
+// ---------------------------------------------------------------------
+
+// EvenChunks is the exported form of evenChunks, used by the fabric's
+// staged hierarchical collectives to slice buffers exactly the way the
+// cost model assumes.
+func EvenChunks(bytes int64, p int) []int64 { return evenChunks(bytes, p) }
+
+// evenChunks splits a byte count into p chunks the way the fabric
+// splits float32 buffers: even element (4-byte) chunks with the
+// remainder elements on the first chunks; stray non-element bytes land
+// on chunk 0.
+func evenChunks(bytes int64, p int) []int64 {
+	n := bytes / 4
+	out := make([]int64, p)
+	q, r := n/int64(p), n%int64(p)
+	for i := range out {
+		c := q
+		if int64(i) < r {
+			c++
+		}
+		out[i] = c * 4
+	}
+	out[0] += bytes - n*4
+	return out
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func prefix(xs []int64) []int64 {
+	out := make([]int64, len(xs)+1)
+	for i, x := range xs {
+		out[i+1] = out[i] + x
+	}
+	return out
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

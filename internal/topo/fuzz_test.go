@@ -1,0 +1,49 @@
+package topo
+
+import (
+	"testing"
+)
+
+// FuzzTopoSpec checks the parse/String fixed point: any input ParseSpec
+// accepts must render to a canonical string that re-parses to the same
+// Spec and renders identically — and the accepted spec must describe a
+// usable machine (positive bounded device count, instantiable
+// topology).
+func FuzzTopoSpec(f *testing.F) {
+	f.Add("8x4:nvlink,ib")
+	f.Add("1x8:pcie")
+	f.Add("2x2:nvlink,eth")
+	f.Add("16x1:pcie3,ib")
+	f.Add("1x1:eth")
+	f.Add("8x4")
+	f.Add("0x0:nvlink,ib")
+	f.Add(":,")
+	f.Add("axb:c,d")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if s.Devices() < 1 || s.Devices() > maxDevices {
+			t.Fatalf("ParseSpec(%q) accepted out-of-range device count %d", in, s.Devices())
+		}
+		canon := s.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).String() = %q does not re-parse: %v", in, canon, err)
+		}
+		if again != s {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", in, s, canon, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("String not a fixed point: %q vs %q", again.String(), canon)
+		}
+		tp, err := s.Topology(s.Devices())
+		if err != nil {
+			t.Fatalf("spec %q cannot instantiate its own device count: %v", canon, err)
+		}
+		if tp.Name != canon {
+			t.Fatalf("topology name %q != canonical spec %q", tp.Name, canon)
+		}
+	})
+}

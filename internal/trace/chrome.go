@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format
@@ -26,6 +27,7 @@ type chromeEvent struct {
 // pane. Pointer-free zero values are omitted to keep files small.
 type chromeArgs struct {
 	Bytes  int64  `json:"bytes,omitempty"`
+	Tier1  int64  `json:"tier1_bytes,omitempty"`
 	Flops  int64  `json:"flops,omitempty"`
 	Group  string `json:"group,omitempty"`
 	GSize  int    `json:"group_size,omitempty"`
@@ -37,6 +39,8 @@ type chromeArgs struct {
 	Config string `json:"config,omitempty"`
 	Name   string `json:"name,omitempty"` // metadata payload
 	Sort   *int   `json:"sort_index,omitempty"`
+	Intra  *int64 `json:"intra_bytes,omitempty"` // counter series
+	Inter  *int64 `json:"inter_bytes,omitempty"` // counter series
 }
 
 type chromeFile struct {
@@ -57,6 +61,8 @@ type collOccurrence struct {
 	ranks  []int
 	starts []float64
 	ends   []float64
+	bytes  int64
+	tier1  int64
 }
 
 // WriteChrome exports every session as Chrome trace-event JSON: one
@@ -105,7 +111,7 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 					Ts: usec(ev.Start), Dur: &dur, Pid: pid, Tid: r,
 				}
 				args := chromeArgs{
-					Bytes: ev.Bytes, Flops: ev.Flops,
+					Bytes: ev.Bytes, Tier1: ev.Tier1, Flops: ev.Flops,
 					Group: ev.Group, GSize: ev.GroupSize, Seq: ev.Seq,
 					Epoch: ev.Epoch, Layer: ev.Layer, Step: ev.Step, Dir: ev.Dir, Config: ev.Config,
 				}
@@ -124,8 +130,41 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 					o.ranks = append(o.ranks, r)
 					o.starts = append(o.starts, ev.Start)
 					o.ends = append(o.ends, ev.End)
+					o.bytes, o.tier1 = ev.Bytes, ev.Tier1
 				}
 			}
+		}
+		// Link-utilization counters: one cumulative-bytes series per
+		// tier, stepped at each collective's completion. Occurrences are
+		// ordered by end time (group/seq tie-break) so the track is
+		// deterministic and monotone.
+		byEnd := make([]collKey, len(occOrder))
+		copy(byEnd, occOrder)
+		sort.SliceStable(byEnd, func(i, j int) bool {
+			a, b := occ[byEnd[i]], occ[byEnd[j]]
+			ea, eb := a.ends[0], b.ends[0]
+			if ea != eb {
+				return ea < eb
+			}
+			if byEnd[i].group != byEnd[j].group {
+				return byEnd[i].group < byEnd[j].group
+			}
+			return byEnd[i].seq < byEnd[j].seq
+		})
+		var cumIntra, cumInter int64
+		for _, k := range byEnd {
+			o := occ[k]
+			if o.bytes == 0 {
+				continue // barriers and zero-work rounds move no bytes
+			}
+			cumIntra += o.bytes - o.tier1
+			cumInter += o.tier1
+			intra, inter := cumIntra, cumInter
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "link bytes", Cat: "comm", Ph: "C",
+				Ts: usec(o.ends[0]), Pid: pid,
+				Args: &chromeArgs{Intra: &intra, Inter: &inter},
+			})
 		}
 		// Flow arrows: straggler -> every other participant.
 		for _, k := range occOrder {

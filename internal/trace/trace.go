@@ -81,6 +81,10 @@ type Event struct {
 	// across device boundaries (matching Fabric.Volume accounting), for
 	// mem kernels the bytes touched.
 	Bytes int64
+	// Tier1 is the share of Bytes that crossed inter-node (tier-1)
+	// links; zero on flat topologies and for kernels. Bytes-Tier1
+	// crossed intra-node links.
+	Tier1 int64
 	// Flops is the modelled FMA count of a compute kernel (m·k·n for
 	// gemm, nnz·f for spmm).
 	Flops int64

@@ -6,6 +6,7 @@ import (
 
 	"gnnrdm/internal/comm"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
 	"gnnrdm/internal/trace"
 )
 
@@ -20,8 +21,8 @@ import (
 //     GroupSize participants, all agreeing on the op, the metered bytes,
 //     and the synchronized end time;
 //   - the per-round traced bytes sum exactly to the fabric's volume
-//     meters (primary plus side channel), and the round counts to its
-//     call counters;
+//     meters (primary plus side channel) — per link tier too — and the
+//     round counts to its call counters;
 //   - each device's final clock equals the end of its last traced event.
 //
 // fab may be nil (e.g. baselines that do not expose their fabric), which
@@ -41,6 +42,7 @@ type roundKey struct {
 type roundInfo struct {
 	op    string
 	bytes int64
+	tier1 int64
 	end   float64
 	size  int
 	seen  int
@@ -75,7 +77,7 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 			k := roundKey{ev.Group, ev.Seq}
 			ri := rounds[k]
 			if ri == nil {
-				rounds[k] = &roundInfo{op: ev.Op, bytes: ev.Bytes, end: ev.End, size: ev.GroupSize, seen: 1}
+				rounds[k] = &roundInfo{op: ev.Op, bytes: ev.Bytes, tier1: ev.Tier1, end: ev.End, size: ev.GroupSize, seen: 1}
 				continue
 			}
 			if ri.op != ev.Op || ri.size != ev.GroupSize {
@@ -85,6 +87,10 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 			if ri.bytes != ev.Bytes {
 				return fmt.Errorf("round %s#%d (%s): rank %d metered %d bytes, another participant %d — sent != received",
 					k.group, k.seq, ev.Op, r, ev.Bytes, ri.bytes)
+			}
+			if ri.tier1 != ev.Tier1 {
+				return fmt.Errorf("round %s#%d (%s): rank %d metered %d tier-1 bytes, another participant %d",
+					k.group, k.seq, ev.Op, r, ev.Tier1, ri.tier1)
 			}
 			if ri.end != ev.End {
 				return fmt.Errorf("round %s#%d (%s): rank %d ended at %v, another participant at %v — clocks not synchronized",
@@ -107,7 +113,7 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 	if fab == nil {
 		return nil
 	}
-	var vol, calls [6]int64
+	var vol, tier1, calls [6]int64
 	for _, ri := range rounds {
 		if ri.op == "barrier" {
 			continue // latency-only; not metered or counted
@@ -117,12 +123,20 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 			return fmt.Errorf("collective op %q has no hw.CollectiveKind", ri.op)
 		}
 		vol[kind] += ri.bytes
+		tier1[kind] += ri.tier1
 		calls[kind]++
 	}
 	for i := range vol {
 		kind := hw.CollectiveKind(i)
 		if metered := fab.Volume(kind) + fab.SideVolume(kind); vol[i] != metered {
 			return fmt.Errorf("%s: traced rounds sum to %d bytes, fabric metered %d", kind, vol[i], metered)
+		}
+		if metered := fab.TierVolume(kind, topo.TierInter) + fab.SideTierVolume(kind, topo.TierInter); tier1[i] != metered {
+			return fmt.Errorf("%s: traced rounds sum to %d tier-1 bytes, fabric metered %d", kind, tier1[i], metered)
+		}
+		intra := vol[i] - tier1[i]
+		if metered := fab.TierVolume(kind, topo.TierIntra) + fab.SideTierVolume(kind, topo.TierIntra); intra != metered {
+			return fmt.Errorf("%s: traced rounds sum to %d tier-0 bytes, fabric metered %d", kind, intra, metered)
 		}
 		if c := fab.Calls(kind); calls[i] != c {
 			return fmt.Errorf("%s: %d traced rounds, fabric counted %d calls", kind, calls[i], c)

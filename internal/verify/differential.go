@@ -12,6 +12,7 @@ import (
 	"gnnrdm/internal/nn"
 	"gnnrdm/internal/plan"
 	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/topo"
 )
 
 // DiffSpec is a table-driven differential-equivalence sweep: train every
@@ -31,6 +32,12 @@ type DiffSpec struct {
 	// hyperparameters).
 	Seed int64
 	LR   float64
+	// TopoSpec, when non-empty, runs every distributed training on this
+	// interconnect spec (internal/topo), instantiated per fabric size.
+	// Results must still match the flat reference exactly: topology
+	// routing changes clocks and meters, never numerics. The spec must
+	// cover the largest P in the sweep.
+	TopoSpec string
 }
 
 func (s DiffSpec) opts(cfg int) core.Options {
@@ -74,6 +81,13 @@ func RunDifferential(t *testing.T, spec DiffSpec) {
 	if ras == nil {
 		ras = func(p int) []int { return []int{p} }
 	}
+	var ts topo.Spec
+	if spec.TopoSpec != "" {
+		var err error
+		if ts, err = topo.ParseSpec(spec.TopoSpec); err != nil {
+			t.Fatalf("bad TopoSpec: %v", err)
+		}
+	}
 	ref := core.ReferenceTrain(spec.Problem, spec.opts(0), spec.Epochs)
 	refAcc := nn.Accuracy(ref.Logits, spec.Problem.Labels, nil)
 
@@ -84,6 +98,9 @@ func RunDifferential(t *testing.T, spec DiffSpec) {
 				t.Run(fmt.Sprintf("cfg%02d/P%d/RA%d", cfg, p, ra), func(t *testing.T) {
 					o := spec.opts(cfg)
 					o.RA = ra
+					if spec.TopoSpec != "" {
+						o.Topology = ts.MustTopology(p)
+					}
 					res := core.Train(p, hw.A6000(), spec.Problem, o, spec.Epochs)
 					for ep, want := range ref.Losses {
 						if d := math.Abs(res.Epochs[ep].Loss - want); d > LossTol {
@@ -121,6 +138,9 @@ func TrainFabric(p int, prob *core.Problem, opts core.Options, epochs int) *comm
 		opts.RA = p
 	}
 	fab := comm.NewFabric(p, hw.A6000())
+	if opts.Topology != nil {
+		fab.SetTopology(opts.Topology)
+	}
 	if opts.Tracer != nil {
 		label := opts.TraceLabel
 		if label == "" {

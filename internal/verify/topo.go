@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"testing"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
+)
+
+// This file reconciles the topology-aware fabric against the planner's
+// closed-form topology pricing: the same invariants the flat checks
+// enforce, extended per link tier. The planner, the topo cost library,
+// and the live fabric are three accountings of one epoch; they must
+// agree byte-for-byte on every tier.
+
+// CheckTopoScheduleMatchesMeters trains one epoch with opts.Topology
+// set and reconciles the fabric's meters against the compiled
+// schedule's topology-aware prices exactly: RDM volume, all-reduce
+// volume, side-channel mask bytes, and — the topology-specific
+// invariant — the per-link-tier split of both the primary and side
+// volumes. Options must not request per-epoch accuracy evaluation
+// (EvalMask), whose all-reduce is outside the epoch schedule.
+func CheckTopoScheduleMatchesMeters(t testing.TB, prob *core.Problem, p int, o core.Options) {
+	t.Helper()
+	if o.Topology == nil {
+		panic("verify: CheckTopoScheduleMatchesMeters without Topology")
+	}
+	if o.EvalMask != nil {
+		panic("verify: CheckTopoScheduleMatchesMeters with EvalMask")
+	}
+	fab := TrainFabric(p, prob, o, 1)
+	c := scheduleFor(prob, p, o).PriceOn(prob.A.NNZ(), hw.A6000(), o.Topology)
+	if got := fab.Volume(hw.OpAllToAll) + fab.Volume(hw.OpAllGather); got != c.RDMBytes() {
+		t.Fatalf("P=%d on %s: metered RDM volume %d bytes, schedule prices %d (Δ=%d)",
+			p, o.Topology.Name, got, c.RDMBytes(), got-c.RDMBytes())
+	}
+	if got := fab.Volume(hw.OpAllReduce); got != c.AllReduce {
+		t.Fatalf("P=%d on %s: metered all-reduce volume %d bytes, schedule prices %d (Δ=%d)",
+			p, o.Topology.Name, got, c.AllReduce, got-c.AllReduce)
+	}
+	if got := fab.TotalSideVolume(); got != c.Side {
+		t.Fatalf("P=%d on %s: metered side-channel volume %d bytes, schedule prices %d (Δ=%d)",
+			p, o.Topology.Name, got, c.Side, got-c.Side)
+	}
+	for tier := 0; tier < topo.NumTiers; tier++ {
+		var prim, side int64
+		for k := 0; k < 6; k++ {
+			prim += fab.TierVolume(hw.CollectiveKind(k), tier)
+			side += fab.SideTierVolume(hw.CollectiveKind(k), tier)
+		}
+		if prim != c.Tier[tier] {
+			t.Fatalf("P=%d on %s: metered tier-%d volume %d bytes, schedule prices %d (Δ=%d)",
+				p, o.Topology.Name, tier, prim, c.Tier[tier], prim-c.Tier[tier])
+		}
+		if side != c.SideTier[tier] {
+			t.Fatalf("P=%d on %s: metered tier-%d side volume %d bytes, schedule prices %d (Δ=%d)",
+				p, o.Topology.Name, tier, side, c.SideTier[tier], side-c.SideTier[tier])
+		}
+	}
+}
+
+// CheckFlatTopologyBitIdentical trains the same epoch twice — once on
+// the legacy flat fabric, once with an explicit Flat topology attached —
+// and asserts the runs are bit-for-bit indistinguishable: identical
+// makespan, identical per-kind volumes, side volumes and call counts,
+// and every metered byte on tier 0. This is the backward-compatibility
+// contract: attaching a single-tier topology must not change anything.
+func CheckFlatTopologyBitIdentical(t testing.TB, prob *core.Problem, p int, o core.Options) {
+	t.Helper()
+	flat := TrainFabric(p, prob, o, 1)
+	o.Topology = topo.Flat(p, hw.A6000())
+	topod := TrainFabric(p, prob, o, 1)
+	if a, b := flat.MaxClock(), topod.MaxClock(); a != b {
+		t.Fatalf("P=%d: flat makespan %v, Flat-topology makespan %v — not bit-identical", p, a, b)
+	}
+	for k := 0; k < 6; k++ {
+		kind := hw.CollectiveKind(k)
+		if a, b := flat.Volume(kind), topod.Volume(kind); a != b {
+			t.Fatalf("P=%d %s: flat volume %d, Flat-topology volume %d", p, kind, a, b)
+		}
+		if a, b := flat.SideVolume(kind), topod.SideVolume(kind); a != b {
+			t.Fatalf("P=%d %s: flat side volume %d, Flat-topology side volume %d", p, kind, a, b)
+		}
+		if a, b := flat.Calls(kind), topod.Calls(kind); a != b {
+			t.Fatalf("P=%d %s: flat calls %d, Flat-topology calls %d", p, kind, a, b)
+		}
+		if v := topod.TierVolume(kind, topo.TierInter) + topod.SideTierVolume(kind, topo.TierInter); v != 0 {
+			t.Fatalf("P=%d %s: %d bytes metered on the inter-node tier of a flat topology", p, kind, v)
+		}
+		if a, b := topod.TierVolume(kind, topo.TierIntra), topod.Volume(kind); a != b {
+			t.Fatalf("P=%d %s: tier-0 meter %d != volume %d on a flat topology", p, kind, a, b)
+		}
+	}
+}
