@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the summary golden dump")
+
+// TestSummaryGolden locks the default serve summary byte for byte: the
+// whole tier is seeded, so any drift in admission, caching, metering or
+// the closed-form prices shows up as a reviewable diff (CI diffs this
+// golden too).
+func TestSummaryGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	path := filepath.Join("testdata", "serve_summary.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rdmserve -update` to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("summary drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, out.String(), want)
+	}
+}
+
+func TestMeterMatchesModelInSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-p", "2", "-queries", "128", "-topo", "2x1:nvlink,ib"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "meter==model true") {
+		t.Fatalf("summary does not attest meter==model:\n%s", out.String())
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-p", "2", "-queries", "64", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep["queries"].(float64) != 64 {
+		t.Fatalf("report queries = %v, want 64", rep["queries"])
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-zipf", "0.5"}, &out, &errb); code != 1 {
+		t.Fatalf("invalid zipf skew: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-dataset", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown dataset: exit = %d, want 1", code)
+	}
+}

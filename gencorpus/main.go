@@ -164,6 +164,18 @@ func main() {
 	write(ts, "seed-punctuation", `string(":,")`)
 	write(ts, "seed-non-numeric", `string("axb:c,d")`)
 
+	// internal/serve: traffic-spec grammar (parse/String fixed point).
+	// Valid specs across the parameter ranges plus malformed shapes the
+	// parser must reject.
+	tf := "internal/serve/testdata/fuzz/FuzzTrafficSpec"
+	write(tf, "seed-default", `string("traffic q=512 users=1000000 zipf=1.5 rate=2000 seed=7")`)
+	write(tf, "seed-minimal", `string("traffic q=0 users=1 zipf=1.001 rate=0.5 seed=-1")`)
+	write(tf, "seed-extremes", `string("traffic q=1 users=1099511627776 zipf=64 rate=1e12 seed=0")`)
+	write(tf, "seed-scientific", `string("traffic q=64 users=3000000 zipf=2 rate=1e6 seed=42")`)
+	write(tf, "seed-bad-skew", `string("traffic q=8 users=10 zipf=1 rate=100 seed=3")`)
+	write(tf, "seed-missing-field", `string("traffic q=8 users=10 zipf=1.5")`)
+	write(tf, "seed-garbage", `string("traffic q=x users=y zipf=z rate=w seed=v")`)
+
 	fmt.Println("corpora written")
 }
 

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"gnnrdm/internal/serve"
+)
+
+// ServeRow is one (device count, arrival rate, Zipf skew) point of the
+// serving benchmark.
+type ServeRow struct {
+	Dataset string  `json:"dataset"`
+	P       int     `json:"p"`
+	Skew    float64 `json:"zipf_skew"`
+	RateQPS float64 `json:"rate_qps"`
+
+	Queries int     `json:"queries"`
+	Batches int     `json:"batches"`
+	HitRate float64 `json:"hit_rate"`
+
+	BytesTotal    int64   `json:"bytes_total"`
+	BytesPerQuery float64 `json:"bytes_per_query"`
+	PredBytes     int64   `json:"pred_bytes"`
+
+	P50LatencySec float64 `json:"p50_latency_sec"`
+	P99LatencySec float64 `json:"p99_latency_sec"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	SimTimeSec    float64 `json:"sim_time_sec"`
+	PredTimeSec   float64 `json:"pred_time_sec"`
+}
+
+// ServeResult is what `rdmbench serve -json` serializes to
+// BENCH_serve.json.
+type ServeResult struct {
+	Dataset  string  `json:"dataset"`
+	Scale    int     `json:"scale"`
+	Dims     []int   `json:"dims"`
+	Users    int64   `json:"users"`
+	Queries  int     `json:"queries"`
+	MaxBatch int     `json:"max_batch"`
+	Deadline float64 `json:"deadline_sec"`
+	CacheCap int     `json:"cache_cap"`
+
+	Rows []ServeRow `json:"rows"`
+}
+
+// The serving sweep: popularity skews bracketing web-like traffic and
+// two offered loads (a lightly loaded and a saturating arrival rate).
+var (
+	serveSkews = []float64{1.1, 1.5, 2.0}
+	serveRates = []float64{500, 5000}
+)
+
+// RunServe benchmarks the online serving tier on the first configured
+// dataset: an open-loop stream of per-vertex embedding queries from
+// millions of simulated users is coalesced into microbatches and
+// answered by the distributed forward engine behind the LRU answer
+// cache, sweeping device count, arrival rate and Zipf popularity skew.
+// Every run is seeded, so the table — and the BENCH_serve.json it
+// serializes to — is byte-identical run to run.
+//
+// Two invariants are enforced, not just reported: the cache must hit
+// (a stream with Zipf repeats that never hits means caching is not in
+// the serving path), and bytes/query must strictly decrease as skew
+// rises for every (P > 1, rate) pair — hotter popularity concentrates
+// queries on cached vertices, so the per-query wire cost of the
+// distributed tier has to fall.
+func RunServe(cfg Config) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	name := cfg.Datasets[0]
+	w, err := BuildWorkload(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	const layers, hidden = 2, 128
+	dims := w.Dims(layers, hidden)
+	res := &ServeResult{
+		Dataset: name, Scale: cfg.Scale, Dims: dims,
+		Users: 4_000_000, Queries: 2048,
+		MaxBatch: 8, Deadline: 2e-3, CacheCap: 512,
+	}
+
+	cfg.printf("Online serving: dataset=%s scale=1/%d dims=%v users=%d queries=%d batch<=%d deadline=%.0fus cache=%d\n",
+		name, cfg.Scale, dims, res.Users, res.Queries, res.MaxBatch, res.Deadline*1e6, res.CacheCap)
+	cfg.printf("%4s %6s %6s %8s %12s %12s %12s %12s %12s\n",
+		"P", "rate", "zipf", "hit%", "bytes/query", "p50(ms)", "p99(ms)", "qps", "sim(s)")
+
+	for _, p := range cfg.GPUs {
+		for _, rate := range serveRates {
+			prev := -1.0
+			for _, skew := range serveSkews {
+				scfg := serve.Config{
+					HW: cfg.HW, Dims: dims, ConfigID: 0,
+					MaxBatch: res.MaxBatch, Deadline: res.Deadline,
+					CacheCap: res.CacheCap, Seed: 11,
+					Tracer:     cfg.Tracer,
+					TraceLabel: fmt.Sprintf("%s/p%d/serve-z%.1f-r%.0f", name, p, skew, rate),
+				}
+				ts := serve.TrafficSpec{
+					Queries: res.Queries, Users: res.Users,
+					Skew: skew, Rate: rate, Seed: 17,
+				}
+				s := serve.NewSession(w.Prob, scfg)
+				s.Serve(p, ts.Generate(w.Prob.N()))
+				r := s.Report()
+				row := ServeRow{
+					Dataset: name, P: p, Skew: skew, RateQPS: rate,
+					Queries: r.Queries, Batches: r.Batches, HitRate: r.HitRate,
+					BytesTotal: r.BytesTotal, BytesPerQuery: r.BytesPerQuery,
+					PredBytes:     r.PredAllToAll + r.PredAllGather,
+					P50LatencySec: r.P50Latency, P99LatencySec: r.P99Latency,
+					ThroughputQPS: r.ThroughputQPS, SimTimeSec: r.SimTime,
+					PredTimeSec: r.PredTime,
+				}
+				res.Rows = append(res.Rows, row)
+				cfg.printf("%4d %6.0f %6.1f %7.1f%% %12.1f %12.3f %12.3f %12.1f %12.6f\n",
+					p, rate, skew, 100*row.HitRate, row.BytesPerQuery,
+					1e3*row.P50LatencySec, 1e3*row.P99LatencySec, row.ThroughputQPS, row.SimTimeSec)
+
+				if row.HitRate <= 0 {
+					return nil, fmt.Errorf("serve: zero cache hit rate at P=%d rate=%g skew=%g — cache is not in the serving path", p, rate, skew)
+				}
+				if row.BytesTotal != row.PredBytes {
+					return nil, fmt.Errorf("serve: metered %d bytes but model predicts %d at P=%d rate=%g skew=%g",
+						row.BytesTotal, row.PredBytes, p, rate, skew)
+				}
+				if p > 1 {
+					if prev >= 0 && row.BytesPerQuery >= prev {
+						return nil, fmt.Errorf("serve: bytes/query %.1f at skew %g did not decrease from %.1f — hotter popularity must cut wire cost",
+							row.BytesPerQuery, skew, prev)
+					}
+					prev = row.BytesPerQuery
+				}
+			}
+		}
+	}
+	return res, nil
+}

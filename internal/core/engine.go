@@ -181,6 +181,12 @@ type Engine struct {
 	// forward pass's output (pre-loss), for evaluation.
 	lastLogits *dist.Mat
 	lastLoss   float64
+
+	// infRegs is the serving path's retained register file (inference.go):
+	// activations persist across RunInference calls so a staleness policy
+	// can re-run only the sections from the first stale layer.
+	infRegs []*dist.Mat
+	infInit bool
 }
 
 // NewEngine builds the device-local state: the adjacency row panel and

@@ -1,0 +1,79 @@
+package costmodel
+
+import (
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
+)
+
+// Closed-form prices for the serving tier (internal/serve). Unlike
+// PredictEpochTime these are not approximations: each helper mirrors
+// the exact metering of the fabric primitive the serving path uses, so
+// verify.CheckServeMatchesModel can assert meter == prediction to the
+// byte.
+
+// PredictQueryBytes is the exact wire cost of answering remoteRows
+// cache-missed embedding rows of width cols whose owners are not the
+// serving root: dist.Mat.GatherRows moves each such row once
+// (float32, 4 bytes/element), and nothing else.
+func PredictQueryBytes(cols int, remoteRows int64) int64 {
+	return 4 * int64(cols) * remoteRows
+}
+
+// PredictGather prices one dist.Mat.GatherRows call exactly. owned[r]
+// is the number of requested rows owned by rank r (duplicates counted
+// per occurrence, as GatherRows sends them); root is the receiving
+// rank. It returns the metered bytes, their per-tier split (all intra
+// when tp is nil, matching the flat fabric), and the modelled makespan
+// at root — the collective plus root's assembly write of the full
+// result (owned rows included; they ride the self-delivery slot free
+// on the wire but are still written to the assembled answer).
+func PredictGather(h *hw.Model, tp *topo.Topology, p, root, cols int, owned []int64) (bytes int64, tier [topo.NumTiers]int64, time float64) {
+	var total int64
+	for _, n := range owned {
+		total += n
+	}
+	out := 4 * int64(cols) * total
+	if p <= 1 {
+		return 0, tier, h.MemTime(out)
+	}
+	if tp != nil {
+		group := make([]int, p)
+		for i := range group {
+			group[i] = i
+		}
+		_, c := tp.AllToAll(h, topo.Auto, group, func(i, j int) int64 {
+			if i == root || j != root {
+				return 0
+			}
+			return 4 * int64(cols) * owned[i]
+		})
+		return c.Bytes(), c.Tier, c.Time + h.MemTime(out)
+	}
+	var maxInject int64
+	for r, n := range owned {
+		if r == root {
+			continue
+		}
+		b := 4 * int64(cols) * n
+		bytes += b
+		if b > maxInject {
+			maxInject = b
+		}
+	}
+	tier[topo.TierIntra] = bytes
+	return bytes, tier, h.CollectiveTime(hw.OpAllToAll, p, maxInject) + h.MemTime(out)
+}
+
+// PredictMicrobatchTime assembles one microbatch's modelled service
+// time at the serving root: the staleness refresh (per-section
+// schedule price, zero on a full cache hit), the row gather (zero when
+// no rows missed), and the root's read of hitRows cached answer rows —
+// charged, like every memory kernel, only when there is something to
+// read.
+func PredictMicrobatchTime(h *hw.Model, refresh, gather float64, hitRows, cols int) float64 {
+	t := refresh + gather
+	if hitRows > 0 {
+		t += h.MemTime(4 * int64(cols) * int64(hitRows))
+	}
+	return t
+}

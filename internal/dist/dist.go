@@ -463,6 +463,78 @@ func (m *Mat) GatherRoot(root int) *tensor.Dense {
 	return out
 }
 
+// GatherRows collects the given global rows of a vertex-sliced
+// (Horizontal) matrix onto root, assembled in request order; every
+// other device returns nil. This is the serving tier's per-query halo
+// gather: each owner injects exactly the requested rows it holds (an
+// all-to-all where root is the sole receiver), so the metered volume
+// is 4·cols·(requested rows not owned by root) — rows root already
+// holds ride the self-delivery slot for free. Duplicate row requests
+// are sent once per occurrence; callers wanting aggregation-before-
+// communication deduplicate first. Root charges one memory write for
+// the assembled result, mirroring GatherRoot.
+func (m *Mat) GatherRows(root int, rows []int32) *tensor.Dense {
+	dev := m.Dev
+	p := dev.P()
+	src := m.Layout.normalize(p)
+	if src.Kind != Horizontal {
+		panic(fmt.Sprintf("dist: GatherRows needs a vertex-sliced source, have %s", src))
+	}
+	w := m.GlobalCols
+	pick := func(dst *tensor.Dense, i int, r int32, lo int) {
+		if int(r) < 0 || int(r) >= m.GlobalRows {
+			panic(fmt.Sprintf("dist: GatherRows row %d out of range [0, %d)", r, m.GlobalRows))
+		}
+		copy(dst.Row(i), m.Local.Row(int(r)-lo))
+	}
+	if p == 1 {
+		out := tensor.NewDense(len(rows), w)
+		for i, r := range rows {
+			pick(out, i, r, 0)
+		}
+		dev.ChargeMem(out.Bytes())
+		return out
+	}
+	dev.TraceBeginPhase("gather-rows")
+	defer dev.TraceEndPhase()
+	rlo, rhi := RowRange(src, p, dev.Rank, m.GlobalRows)
+	var mine []float32
+	for _, r := range rows {
+		if int(r) < 0 || int(r) >= m.GlobalRows {
+			panic(fmt.Sprintf("dist: GatherRows row %d out of range [0, %d)", r, m.GlobalRows))
+		}
+		if int(r) >= rlo && int(r) < rhi {
+			mine = append(mine, m.Local.Row(int(r)-rlo)...)
+		}
+	}
+	parts := make([][]float32, p)
+	parts[root] = mine
+	recv := dev.AllToAll(dev.World(), parts)
+	if dev.Rank != root {
+		return nil
+	}
+	// Assemble in request order: each owner packed its rows in the order
+	// they appear in the request, so a per-owner cursor walks them back.
+	bounds := make([]int, p+1)
+	for s := 0; s < p; s++ {
+		_, hi := RowRange(src, p, s, m.GlobalRows)
+		bounds[s+1] = hi
+	}
+	cursor := make([]int, p)
+	out := tensor.NewDense(len(rows), w)
+	for i, r := range rows {
+		owner := 0
+		for bounds[owner+1] <= int(r) {
+			owner++
+		}
+		buf := recv[owner]
+		copy(out.Row(i), buf[cursor[owner]*w:(cursor[owner]+1)*w])
+		cursor[owner]++
+	}
+	dev.ChargeMem(out.Bytes())
+	return out
+}
+
 // ScatterRoot distributes a global matrix held only by root into the
 // target layout: root slices out each device's tile and sends it (an
 // all-to-all where root is the sole injector), so the volume is

@@ -94,59 +94,7 @@ func Compile(sp Spec) *Schedule {
 		NumWeights: nw,
 	}
 
-	// Forward pass state: h[l] caches H^l, memo[l] the retained
-	// forward AᵀH^{l-1} (§III-C).
-	h := make([]*val, L+1)
-	memo := make([]Reg, L+1)
-	for i := range memo {
-		memo[i] = None
-	}
-
-	// init: H^0 is free in both layouts — the initial distribution is a
-	// data-loading choice (§IV-A1). When the grid layout folds to H the
-	// two coincide in one register, exactly like the executor's cache.
-	c.section("init", 0)
-	h[0] = c.newVal(sp.N, sp.Dims[0])
-	c.cache(h[0], dist.H, c.input(dist.H, sp.N, sp.Dims[0]))
-	if c.gridL != dist.H {
-		c.cache(h[0], c.gridL, c.input(c.gridL, sp.N, sp.Dims[0]))
-	}
-
-	for l := 1; l <= L; l++ {
-		c.section("fwd", l)
-		in, out := sp.Dims[l-1], sp.Dims[l]
-		var z Reg
-		var zLayout dist.Layout
-		if sp.Config.Fwd[l-1] == costmodel.SparseFirst {
-			x := c.get(h[l-1], c.gridL)
-			t := c.redist(c.spmm(x, true, sp.N, in), c.gridL, dist.H, sp.N, in)
-			c.emit(Op{Kind: KMemWrite, A: t, Rows: sp.N, Cols: in})
-			if sp.Memoize {
-				memo[l] = c.fresh()
-				c.emit(Op{Kind: KMemoize, Dst: memo[l], A: t, Rows: sp.N, Cols: in, Layout: dist.H})
-			}
-			z = c.gemm(t, c.wn(l), false, sp.N, out)
-			zLayout = dist.H
-			if sp.SAGE {
-				self := c.gemm(c.get(h[l-1], dist.H), c.ws(l), false, sp.N, out)
-				c.emit(Op{Kind: KAdd, A: z, B: self, Layout: dist.H, Rows: sp.N, Cols: out})
-			}
-		} else {
-			x := c.get(h[l-1], dist.H)
-			t := c.gemm(x, c.wn(l), false, sp.N, out)
-			z = c.spmm(c.redist(t, dist.H, c.gridL, sp.N, out), true, sp.N, out)
-			zLayout = c.gridL
-			if sp.SAGE {
-				self := c.redist(c.gemm(x, c.ws(l), false, sp.N, out), dist.H, c.gridL, sp.N, out)
-				c.emit(Op{Kind: KAdd, A: z, B: self, Layout: c.gridL, Rows: sp.N, Cols: out})
-			}
-		}
-		if l < L {
-			c.emit(Op{Kind: KReLU, A: z, Layout: zLayout, Rows: sp.N, Cols: out})
-		}
-		h[l] = c.newVal(sp.N, out)
-		c.cache(h[l], zLayout, z)
-	}
+	h, memo := c.forwardPass()
 
 	// Loss: vertex-complete logits required, so a vertical final layer
 	// pays one last redistribution (§IV-A1).

@@ -1,0 +1,106 @@
+package serve
+
+// The admission queue coalesces the open-loop query stream into
+// microbatches under two triggers: a batch dispatches when it reaches
+// MaxBatch queries (size trigger) or when the stream's clock passes
+// the first enqueued query's arrival + Deadline (deadline trigger) —
+// whichever comes first. Because the stream is simulated, "the clock
+// passes" is observed at the next arrival: a query arriving after the
+// open batch's deadline first flushes that batch at its deadline, then
+// opens a new one. Arrivals must be nondecreasing (Generate's are).
+
+// Batch is one dispatched microbatch: the coalesced queries in arrival
+// order and the simulated dispatch time (the deadline or the size-
+// trigger arrival).
+type Batch struct {
+	Queries  []Query
+	Dispatch float64
+}
+
+// Queue is the admission queue's goroutine form: Submit queries in
+// arrival order, Close when the stream ends, and range over Batches
+// for the dispatched microbatches. Closing an empty queue closes
+// Batches immediately — an empty arrival stream never deadlocks the
+// consumer.
+type Queue struct {
+	in       chan Query
+	out      chan Batch
+	maxBatch int
+	deadline float64
+}
+
+// NewQueue starts an admission queue. maxBatch must be >= 1; deadline
+// is in simulated seconds (0 dispatches every batch at its first
+// query's arrival unless the size trigger fires on identical arrival
+// times).
+func NewQueue(maxBatch int, deadline float64) *Queue {
+	if maxBatch < 1 {
+		panic("serve: admission queue needs maxBatch >= 1")
+	}
+	if deadline < 0 {
+		panic("serve: admission queue needs deadline >= 0")
+	}
+	q := &Queue{
+		in:       make(chan Query),
+		out:      make(chan Batch),
+		maxBatch: maxBatch,
+		deadline: deadline,
+	}
+	go q.run()
+	return q
+}
+
+func (q *Queue) run() {
+	defer close(q.out)
+	var cur []Query
+	var dl float64
+	flush := func(at float64) {
+		q.out <- Batch{Queries: cur, Dispatch: at}
+		cur = nil
+	}
+	for query := range q.in {
+		if len(cur) > 0 && query.Arrival > dl {
+			flush(dl)
+		}
+		if len(cur) == 0 {
+			dl = query.Arrival + q.deadline
+		}
+		cur = append(cur, query)
+		if len(cur) == q.maxBatch {
+			flush(query.Arrival)
+		}
+	}
+	if len(cur) > 0 {
+		flush(dl)
+	}
+}
+
+// Submit enqueues one query. Queries must be submitted in
+// nondecreasing arrival order.
+func (q *Queue) Submit(query Query) { q.in <- query }
+
+// Close ends the stream: the partially filled batch (if any) is
+// flushed at its deadline and Batches is closed.
+func (q *Queue) Close() { close(q.in) }
+
+// Batches is the dispatched-microbatch channel; it closes after Close
+// once every batch has been delivered.
+func (q *Queue) Batches() <-chan Batch { return q.out }
+
+// Coalesce runs a whole query stream through an admission queue and
+// collects the dispatched batches — the synchronous form the serving
+// session plans with.
+func Coalesce(queries []Query, maxBatch int, deadline float64) []Batch {
+	q := NewQueue(maxBatch, deadline)
+	go func() {
+		for _, query := range queries {
+			q.Submit(query)
+		}
+		q.Close()
+	}()
+	var out []Batch
+	for b := range q.Batches() {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package serve
+
+import "container/list"
+
+// Cache is the deterministic LRU of historical answers. It stores only
+// vertex membership and an insertion stamp (the microbatch index) —
+// answer values live in the session's store — because hit/miss is a
+// control-plane decision the host makes while planning batches; no
+// float ever depends on it. Eviction order is a pure function of the
+// lookup/insert sequence, which is itself a pure function of the
+// seeded traffic, so two runs of the same stream produce byte-
+// identical hit/miss sequences.
+type Cache struct {
+	cap int
+	ll  *list.List
+	m   map[int32]*list.Element
+}
+
+type cacheEntry struct {
+	v     int32
+	stamp int
+}
+
+// NewCache builds an LRU holding up to cap vertices; cap == 0 disables
+// caching (every lookup misses).
+func NewCache(cap int) *Cache {
+	if cap < 0 {
+		panic("serve: cache capacity must be >= 0")
+	}
+	return &Cache{cap: cap, ll: list.New(), m: make(map[int32]*list.Element)}
+}
+
+// Len returns the number of cached vertices.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Lookup reports whether v's answer is cached and fresh at microbatch
+// index batch: with staleness > 0 an entry inserted at stamp is stale
+// once batch-stamp >= staleness and is evicted on sight (the serving
+// tier's bounded-staleness contract); staleness == 0 never expires.
+// A hit refreshes recency.
+func (c *Cache) Lookup(v int32, batch, staleness int) bool {
+	e, ok := c.m[v]
+	if !ok {
+		return false
+	}
+	ent := e.Value.(*cacheEntry)
+	if staleness > 0 && batch-ent.stamp >= staleness {
+		c.ll.Remove(e)
+		delete(c.m, v)
+		return false
+	}
+	c.ll.MoveToFront(e)
+	return true
+}
+
+// Insert records v's answer as cached at microbatch index batch,
+// evicting the least recently used vertex when full. Re-inserting a
+// cached vertex refreshes its stamp and recency.
+func (c *Cache) Insert(v int32, batch int) {
+	if c.cap == 0 {
+		return
+	}
+	if e, ok := c.m[v]; ok {
+		e.Value.(*cacheEntry).stamp = batch
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[v] = c.ll.PushFront(&cacheEntry{v: v, stamp: batch})
+	if c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.m, old.Value.(*cacheEntry).v)
+	}
+}

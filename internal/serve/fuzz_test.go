@@ -1,0 +1,34 @@
+package serve
+
+import "testing"
+
+// FuzzTrafficSpec drives the traffic grammar's Parse/String fixed
+// point: any spec Parse accepts must re-render to a string Parse
+// accepts again, reaching the identical spec — and must be generable
+// without panicking.
+func FuzzTrafficSpec(f *testing.F) {
+	f.Add("traffic q=512 users=1000000 zipf=1.5 rate=2000 seed=7")
+	f.Add("traffic q=0 users=1 zipf=1.001 rate=0.5 seed=-1")
+	f.Add("traffic q=64 users=3000000 zipf=2 rate=1e6 seed=42")
+	f.Add("traffic q=1 users=1099511627776 zipf=64 rate=1e12 seed=0")
+	f.Fuzz(func(t *testing.T, s string) {
+		ts, err := ParseTrafficSpec(s)
+		if err != nil {
+			return
+		}
+		re, err := ParseTrafficSpec(ts.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", ts.String(), s, err)
+		}
+		if re != ts {
+			t.Fatalf("fixed point violated: %q parsed to %+v, re-parsed to %+v", s, ts, re)
+		}
+		if ts.Queries > 1024 {
+			ts.Queries = 1024 // keep the fuzz executable fast
+		}
+		qs := ts.Generate(17)
+		if len(qs) != ts.Queries {
+			t.Fatalf("Generate returned %d queries, want %d", len(qs), ts.Queries)
+		}
+	})
+}

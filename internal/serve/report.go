@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/topo"
+)
+
+// Report is the session's aggregate scoreboard: load, cache
+// efficacy, exact byte ledgers (metered and predicted), and the
+// simulated latency distribution on the arrival timeline.
+type Report struct {
+	P       int     `json:"p"`
+	Queries int     `json:"queries"`
+	Batches int     `json:"batches"`
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+
+	BytesAllToAll  int64   `json:"bytes_alltoall"`
+	BytesAllGather int64   `json:"bytes_allgather"`
+	BytesTotal     int64   `json:"bytes_total"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+	PredAllToAll   int64   `json:"pred_alltoall"`
+	PredAllGather  int64   `json:"pred_allgather"`
+
+	TierBytes     [topo.NumTiers]int64 `json:"tier_bytes"`
+	PredTierBytes [topo.NumTiers]int64 `json:"pred_tier_bytes"`
+
+	P50Latency    float64 `json:"p50_latency"`
+	P99Latency    float64 `json:"p99_latency"`
+	MeanLatency   float64 `json:"mean_latency"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	SimTime       float64 `json:"sim_time"`
+	PredTime      float64 `json:"pred_time"`
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of xs by the
+// nearest-rank method on a sorted copy; 0 for an empty slice.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}
+
+// Report summarizes everything served so far.
+func (s *Session) Report() Report {
+	r := Report{
+		P:       s.lastP,
+		Queries: s.queries,
+		Batches: s.batches,
+		Hits:    s.hits,
+		Misses:  s.misses,
+
+		BytesAllToAll:  s.metered.AllToAll,
+		BytesAllGather: s.metered.AllGather,
+		BytesTotal:     s.metered.Total(),
+		PredAllToAll:   s.predicted.AllToAll,
+		PredAllGather:  s.predicted.AllGather,
+		TierBytes:      s.metered.Tier,
+		PredTierBytes:  s.predicted.Tier,
+
+		P50Latency: percentile(s.latencies, 0.50),
+		P99Latency: percentile(s.latencies, 0.99),
+		SimTime:    s.simTime,
+		PredTime:   s.predTime,
+	}
+	if s.queries > 0 {
+		r.HitRate = float64(s.hits) / float64(s.queries)
+		r.BytesPerQuery = float64(r.BytesTotal) / float64(s.queries)
+	}
+	var sum float64
+	for _, l := range s.latencies {
+		sum += l
+	}
+	if len(s.latencies) > 0 {
+		r.MeanLatency = sum / float64(len(s.latencies))
+	}
+	if span := s.prevCompletion - s.firstArrival; span > 0 {
+		r.ThroughputQPS = float64(s.queries) / span
+	}
+	return r
+}
+
+// Reference is the differential oracle: a single-device, uncached
+// engine computing the exact final-layer embedding of every requested
+// vertex. The batched, cached, distributed session must agree with it
+// within verify.LogitsTol.
+func Reference(prob *core.Problem, cfg Config, vertices []int32) map[int32][]float32 {
+	cfg = cfg.withDefaults()
+	L := cfg.layers()
+	rows := make(map[int32][]float32, len(vertices))
+	fab := comm.NewFabric(1, cfg.HW)
+	fab.Run(func(d *comm.Device) {
+		eng := core.NewInferenceEngine(d, prob, core.Options{
+			Dims: cfg.Dims, Config: costmodel.ConfigFromID(cfg.ConfigID, L),
+			RA: 1, Seed: cfg.Seed, SAGE: cfg.SAGE,
+		}, cfg.Checkpoint)
+		logits := eng.RunInference(0)
+		for _, v := range vertices {
+			if rows[v] == nil {
+				rows[v] = append([]float32(nil), logits.Local.Row(int(v))...)
+			}
+		}
+	})
+	return rows
+}

@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"fmt"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
+	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/topo"
+	"gnnrdm/internal/trace"
+)
+
+// Config fixes one serving deployment: the model (dims, Table IV
+// ordering, replication, weights), the hardware and optional
+// interconnect topology, and the admission/cache policy.
+type Config struct {
+	// HW is the device model. Default hw.A6000().
+	HW *hw.Model
+	// Topology, when non-nil, routes and prices every collective
+	// through the hierarchical interconnect (per-tier metering).
+	Topology *topo.Topology
+	// Dims is f_0..f_L; ConfigID the Table IV ordering; RA the
+	// adjacency replication factor (0 = full replication); SAGE the
+	// two-weight GraphSAGE form — all as in core.Options.
+	Dims     []int
+	ConfigID int
+	RA       int
+	SAGE     bool
+	// Seed controls weight initialization when Checkpoint is nil (and
+	// must then match the training run being served, or the tier serves
+	// a different model).
+	Seed int64
+	// Checkpoint, when non-nil, supplies trained weights (only the
+	// weight matrices are read; optimizer state is ignored).
+	Checkpoint *core.Checkpoint
+	// MaxBatch and Deadline are the admission queue's size and latency
+	// triggers. Defaults 8 and 1ms.
+	MaxBatch int
+	Deadline float64
+	// CacheCap is the LRU answer-cache capacity in vertices; 0 disables
+	// caching. Staleness, when > 0, expires a cached answer staleness
+	// microbatches after insertion.
+	CacheCap  int
+	Staleness int
+	// LayerStaleness, when non-empty, bounds how many microbatches
+	// layer l's embeddings (l = index+1) may go without recomputation:
+	// a refresh re-runs the forward schedule from the lowest stale
+	// layer before the next miss is gathered. Empty = embeddings are
+	// computed once per engine incarnation (exact for a frozen model).
+	LayerStaleness []int
+	// Tracer, when non-nil, records device timelines plus one
+	// ClassRequest span per microbatch on virtual rank P.
+	Tracer     *trace.Tracer
+	TraceLabel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.HW == nil {
+		c.HW = hw.A6000()
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 1e-3
+	}
+	if c.TraceLabel == "" {
+		c.TraceLabel = "serve"
+	}
+	return c
+}
+
+func (c Config) layers() int { return len(c.Dims) - 1 }
+
+// Meter is a byte ledger: fabric-metered or model-predicted volumes by
+// collective kind, with the per-tier split.
+type Meter struct {
+	AllToAll  int64
+	AllGather int64
+	AllReduce int64
+	Other     int64
+	Side      int64
+	Tier      [topo.NumTiers]int64
+}
+
+// Total returns the primary-channel byte total.
+func (m Meter) Total() int64 { return m.AllToAll + m.AllGather + m.AllReduce + m.Other }
+
+// Session is one serving deployment's accumulated state: the answer
+// cache and value store survive across Serve calls — including calls
+// at different world sizes, the elastic re-formation path — while
+// engines and their registers are rebuilt per call.
+type Session struct {
+	prob *core.Problem
+	cfg  Config
+
+	cache   *Cache
+	answers map[int32][]float32
+
+	batchIdx  int
+	queries   int
+	batches   int
+	hits      int
+	misses    int
+	gathered  int64 // rows moved by GatherRows (deduped misses)
+	hitSeq    []byte
+	latencies []float64
+
+	prevCompletion float64
+	firstArrival   float64
+	haveArrival    bool
+	simTime        float64
+	predTime       float64
+	lastP          int
+
+	metered   Meter
+	predicted Meter
+}
+
+// NewSession builds a serving session over a problem's graph and
+// features. The model is defined by cfg (checkpoint or seeded init).
+func NewSession(prob *core.Problem, cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	if len(cfg.Dims) < 2 {
+		panic("serve: Config.Dims must give at least input and output widths")
+	}
+	if len(cfg.LayerStaleness) != 0 && len(cfg.LayerStaleness) != cfg.layers() {
+		panic(fmt.Sprintf("serve: LayerStaleness has %d entries, model has %d layers",
+			len(cfg.LayerStaleness), cfg.layers()))
+	}
+	return &Session{
+		prob:    prob,
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheCap),
+		answers: make(map[int32][]float32),
+	}
+}
+
+// batchPlan is the host-side decision record for one microbatch: which
+// queries hit, which vertices must be gathered, and whether (and from
+// which layer) the embedding table is refreshed first. It is computed
+// before the fabric runs, so every device executes the same plan in
+// lockstep with zero control-plane communication — the shared-plan
+// trick the trainer's shared-seed sampling uses.
+type batchPlan struct {
+	batch     Batch
+	missVerts []int32 // deduped, first-occurrence order
+	hitRows   int     // hit queries (cache hits + batch-coalesced duplicates)
+	fromLayer int     // -1 = no refresh
+}
+
+// secSums aggregates a priced schedule per section, aligned with
+// plan.Cost.PerOp (which lists ops in section order).
+type secSums struct {
+	phase string
+	layer int
+	Meter
+	time float64
+}
+
+func sectionSums(sched *plan.Schedule, c plan.Cost) []secSums {
+	var out []secSums
+	k := 0
+	for i := range sched.Sections {
+		sec := &sched.Sections[i]
+		ss := secSums{phase: sec.Phase, layer: sec.Layer}
+		for range sec.Ops {
+			oc := c.PerOp[k]
+			k++
+			ss.AllToAll += oc.AllToAll
+			ss.AllGather += oc.AllGather
+			ss.AllReduce += oc.AllReduce
+			ss.Side += oc.Side
+			for t := 0; t < topo.NumTiers; t++ {
+				ss.Tier[t] += oc.Tier[t]
+			}
+			ss.time += oc.Time
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// refreshSums totals the sections a refresh from fromLayer executes:
+// the init section when cold, every fwd section with Layer >= max(1,
+// fromLayer) otherwise (a warm refresh never re-runs init).
+func refreshSums(secs []secSums, fromLayer int, cold bool) (Meter, float64) {
+	var m Meter
+	var t float64
+	for _, ss := range secs {
+		run := false
+		switch ss.phase {
+		case "init":
+			run = cold
+		case "fwd":
+			run = ss.layer >= fromLayer
+		}
+		if !run {
+			continue
+		}
+		m.AllToAll += ss.AllToAll
+		m.AllGather += ss.AllGather
+		m.AllReduce += ss.AllReduce
+		m.Side += ss.Side
+		for i := 0; i < topo.NumTiers; i++ {
+			m.Tier[i] += ss.Tier[i]
+		}
+		t += ss.time
+	}
+	return m, t
+}
+
+// Serve answers one query stream on a world of p devices. Queries must
+// be in nondecreasing arrival order (TrafficSpec.Generate's are).
+// Calling Serve again — with the same or a different p — continues the
+// session: the cache and value store carry over, engines are rebuilt,
+// and the first miss of the new incarnation pays a cold refresh. The
+// hit/miss sequence depends only on the query stream and cache policy,
+// never on p.
+func (s *Session) Serve(p int, queries []Query) {
+	if p < 1 {
+		panic("serve: Serve needs p >= 1")
+	}
+	if len(queries) == 0 {
+		return
+	}
+	cfg := s.cfg
+	s.lastP = p
+	if !s.haveArrival {
+		s.firstArrival = queries[0].Arrival
+		s.haveArrival = true
+	}
+	L := cfg.layers()
+	fL := cfg.Dims[L]
+	ra := cfg.RA
+	if ra <= 0 {
+		ra = p
+	}
+	tblCfg := costmodel.ConfigFromID(cfg.ConfigID, L)
+
+	// Host-side plan: admission, then the cache's hit/miss verdict per
+	// query in arrival order and the refresh decision per microbatch.
+	plans := s.planBatches(Coalesce(queries, cfg.MaxBatch, cfg.Deadline), L)
+
+	// Price the inference schedule once; refreshes and gathers are
+	// summed per batch from the per-section closed forms.
+	sched := plan.CompileInference(plan.Spec{
+		N: s.prob.N(), Dims: cfg.Dims, Config: tblCfg,
+		P: p, RA: ra, SAGE: cfg.SAGE,
+	}).Optimize()
+	secs := sectionSums(sched, sched.PriceOn(s.prob.A.NNZ(), cfg.HW, cfg.Topology))
+	for _, bp := range plans {
+		s.predictBatch(bp, secs, p, fL)
+	}
+
+	// One fabric run executes every microbatch SPMD-lockstep.
+	fab := comm.NewFabric(p, cfg.HW)
+	if cfg.Topology != nil {
+		fab.SetTopology(cfg.Topology)
+	}
+	if cfg.Tracer != nil {
+		fab.SetTracer(cfg.Tracer, cfg.TraceLabel)
+	}
+	gathered := make([]*tensor.Dense, len(plans))
+	svc := make([]float64, len(plans))
+	fab.Run(func(d *comm.Device) {
+		eng := core.NewInferenceEngine(d, s.prob, core.Options{
+			Dims: cfg.Dims, Config: tblCfg, RA: ra, Seed: cfg.Seed, SAGE: cfg.SAGE,
+		}, cfg.Checkpoint)
+		var logits *dist.Mat
+		for i, bp := range plans {
+			c0 := d.Clock()
+			if bp.fromLayer >= 0 {
+				logits = eng.RunInference(bp.fromLayer)
+			}
+			var out *tensor.Dense
+			if len(bp.missVerts) > 0 {
+				out = logits.GatherRows(0, bp.missVerts)
+			}
+			if d.Rank == 0 {
+				if bp.hitRows > 0 {
+					d.ChargeMem(4 * int64(fL) * int64(bp.hitRows))
+				}
+				gathered[i] = out
+				svc[i] = d.Clock() - c0
+			}
+		}
+	})
+	s.simTime += fab.MaxClock()
+	s.meterFabric(fab)
+
+	// Store gathered answers and complete the latency bookkeeping on
+	// the arrival timeline: batches are served in order, each starting
+	// at max(dispatch, previous completion).
+	for i, bp := range plans {
+		for j, v := range bp.missVerts {
+			s.answers[v] = append([]float32(nil), gathered[i].Row(j)...)
+		}
+		start := bp.batch.Dispatch
+		if s.prevCompletion > start {
+			start = s.prevCompletion
+		}
+		completion := start + svc[i]
+		s.prevCompletion = completion
+		for _, q := range bp.batch.Queries {
+			s.latencies = append(s.latencies, completion-q.Arrival)
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(p, trace.Event{
+				Class: trace.ClassRequest,
+				Op:    "microbatch",
+				Bytes: costmodel.PredictQueryBytes(fL, int64(len(bp.missVerts))),
+				Start: start,
+				End:   completion,
+			})
+		}
+	}
+}
+
+// planBatches runs the cache over the coalesced batches in arrival
+// order, producing each microbatch's miss list and refresh decision.
+func (s *Session) planBatches(batches []Batch, L int) []*batchPlan {
+	cfg := s.cfg
+	warm := false
+	lastRefresh := make([]int, L+1)
+	var plans []*batchPlan
+	for _, b := range batches {
+		bp := &batchPlan{batch: b, fromLayer: -1}
+		seen := make(map[int32]bool, len(b.Queries))
+		for _, q := range b.Queries {
+			switch {
+			case seen[q.Vertex]:
+				// Coalesced within the batch: answered by the row the
+				// first occurrence gathers.
+				bp.hitRows++
+				s.hitSeq = append(s.hitSeq, '1')
+			case s.cache.Lookup(q.Vertex, s.batchIdx, cfg.Staleness):
+				bp.hitRows++
+				s.hitSeq = append(s.hitSeq, '1')
+			default:
+				seen[q.Vertex] = true
+				bp.missVerts = append(bp.missVerts, q.Vertex)
+				s.hitSeq = append(s.hitSeq, '0')
+			}
+		}
+		if len(bp.missVerts) > 0 {
+			switch {
+			case !warm:
+				bp.fromLayer = 0
+			default:
+				for l := 1; l <= L; l++ {
+					bound := 0
+					if len(cfg.LayerStaleness) != 0 {
+						bound = cfg.LayerStaleness[l-1]
+					}
+					if bound > 0 && s.batchIdx-lastRefresh[l] >= bound {
+						bp.fromLayer = l
+						break
+					}
+				}
+			}
+			if bp.fromLayer >= 0 {
+				warm = true
+				from := bp.fromLayer
+				if from < 1 {
+					from = 1
+				}
+				for l := from; l <= L; l++ {
+					lastRefresh[l] = s.batchIdx
+				}
+			}
+			for _, v := range bp.missVerts {
+				s.cache.Insert(v, s.batchIdx)
+			}
+		}
+		s.queries += len(b.Queries)
+		s.hits += bp.hitRows
+		s.misses += len(bp.missVerts)
+		s.gathered += int64(len(bp.missVerts))
+		s.batches++
+		s.batchIdx++
+		plans = append(plans, bp)
+	}
+	return plans
+}
+
+// predictBatch adds one microbatch's closed-form price to the
+// session's predicted ledger.
+func (s *Session) predictBatch(bp *batchPlan, secs []secSums, p, fL int) {
+	cfg := s.cfg
+	var refresh Meter
+	var refreshTime float64
+	if bp.fromLayer >= 0 {
+		refresh, refreshTime = refreshSums(secs, bp.fromLayer, bp.fromLayer == 0)
+	}
+	var gatherBytes int64
+	var gatherTier [topo.NumTiers]int64
+	var gatherTime float64
+	if len(bp.missVerts) > 0 {
+		owned := make([]int64, p)
+		for _, v := range bp.missVerts {
+			owned[ownerOf(v, p, s.prob.N())]++
+		}
+		gatherBytes, gatherTier, gatherTime = costmodel.PredictGather(cfg.HW, cfg.Topology, p, 0, fL, owned)
+	}
+	s.predicted.AllToAll += refresh.AllToAll + gatherBytes
+	s.predicted.AllGather += refresh.AllGather
+	s.predicted.AllReduce += refresh.AllReduce
+	s.predicted.Side += refresh.Side
+	if cfg.Topology != nil {
+		for t := 0; t < topo.NumTiers; t++ {
+			s.predicted.Tier[t] += refresh.Tier[t] + gatherTier[t]
+		}
+	} else {
+		// Flat fabric meters everything as intra-tier.
+		s.predicted.Tier[topo.TierIntra] += refresh.AllToAll + refresh.AllGather +
+			refresh.AllReduce + gatherBytes
+	}
+	s.predTime += costmodel.PredictMicrobatchTime(cfg.HW, refreshTime, gatherTime, bp.hitRows, fL)
+}
+
+// ownerOf returns the rank owning global row v under the vertex-sliced
+// (Horizontal) layout over n rows.
+func ownerOf(v int32, p, n int) int {
+	for r := 0; r < p; r++ {
+		if lo, hi := dist.RowRange(dist.H, p, r, n); int(v) >= lo && int(v) < hi {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("serve: vertex %d outside [0, %d)", v, n))
+}
+
+// meterFabric folds one fabric run's meters into the session ledger.
+func (s *Session) meterFabric(fab *comm.Fabric) {
+	kinds := []hw.CollectiveKind{
+		hw.OpBroadcast, hw.OpAllGather, hw.OpAllReduce,
+		hw.OpAllToAll, hw.OpSendRecv, hw.OpReduceScatter,
+	}
+	for _, k := range kinds {
+		v := fab.Volume(k)
+		switch k {
+		case hw.OpAllToAll:
+			s.metered.AllToAll += v
+		case hw.OpAllGather:
+			s.metered.AllGather += v
+		case hw.OpAllReduce:
+			s.metered.AllReduce += v
+		default:
+			s.metered.Other += v
+		}
+		for t := 0; t < topo.NumTiers; t++ {
+			s.metered.Tier[t] += fab.TierVolume(k, t)
+		}
+	}
+	s.metered.Side += fab.TotalSideVolume()
+}
+
+// Metered and Predicted expose the session's byte ledgers for
+// verification (see verify.CheckServeMatchesModel).
+func (s *Session) Metered() Meter   { return s.metered }
+func (s *Session) Predicted() Meter { return s.predicted }
+
+// HitMiss returns the per-query hit/miss sequence in arrival order
+// ('1' hit, '0' miss) — the determinism witness.
+func (s *Session) HitMiss() string { return string(s.hitSeq) }
+
+// Answer returns the served final-layer embedding of v (nil if v was
+// never queried).
+func (s *Session) Answer(v int32) []float32 { return s.answers[v] }

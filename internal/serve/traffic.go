@@ -1,0 +1,109 @@
+// Package serve is the online inference tier: batched, cached,
+// distributed GNN serving over the layouts the trainer produced. A
+// deterministic open-loop traffic generator feeds an admission queue
+// that coalesces per-vertex embedding queries into microbatches; each
+// microbatch is answered by a forward-only distributed engine
+// (plan.CompileInference interpreted by core.RunInference) behind a
+// seeded LRU cache of historical answers, and every byte the serving
+// path moves is metered by the fabric and predicted in closed form by
+// internal/costmodel. The whole tier is bit-reproducible under a seed.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query is one embedding request: user asks for vertex's final-layer
+// embedding at a simulated arrival time (seconds on the open-loop
+// clock; arrivals are nondecreasing within a generated stream).
+type Query struct {
+	Vertex  int32
+	Arrival float64
+	User    int64
+}
+
+// TrafficSpec describes a deterministic open-loop request stream:
+// Queries Poisson arrivals at Rate per second, vertices drawn from a
+// Zipf(Skew) popularity law over a seeded random permutation of the
+// vertex set (so popularity is decorrelated from vertex — and thus
+// owner — order), issued by Users simulated users. Same spec + same
+// vertex count => byte-identical stream.
+type TrafficSpec struct {
+	Queries int
+	Users   int64
+	Skew    float64
+	Rate    float64
+	Seed    int64
+}
+
+// Limits keeping fuzzed specs executable; Generate panics beyond them.
+const (
+	maxQueries = 1 << 22
+	maxUsers   = int64(1) << 40
+)
+
+// Validate reports whether the spec is generable: math/rand's Zipf
+// requires skew > 1, the arrival process a positive rate.
+func (ts TrafficSpec) Validate() error {
+	if ts.Queries < 0 || ts.Queries > maxQueries {
+		return fmt.Errorf("serve: traffic queries %d out of range [0, %d]", ts.Queries, maxQueries)
+	}
+	if ts.Users < 1 || ts.Users > maxUsers {
+		return fmt.Errorf("serve: traffic users %d out of range [1, %d]", ts.Users, maxUsers)
+	}
+	if !(ts.Skew > 1) || ts.Skew > 64 {
+		return fmt.Errorf("serve: traffic zipf skew %v must be in (1, 64]", ts.Skew)
+	}
+	if !(ts.Rate > 0) || ts.Rate > 1e12 {
+		return fmt.Errorf("serve: traffic rate %v must be in (0, 1e12]", ts.Rate)
+	}
+	return nil
+}
+
+// String renders the spec in its canonical one-line form, a fixed
+// point of Parse (Parse(s.String()) == s).
+func (ts TrafficSpec) String() string {
+	return fmt.Sprintf("traffic q=%d users=%d zipf=%g rate=%g seed=%d",
+		ts.Queries, ts.Users, ts.Skew, ts.Rate, ts.Seed)
+}
+
+// ParseTrafficSpec parses the String form back into a validated spec.
+func ParseTrafficSpec(s string) (TrafficSpec, error) {
+	var ts TrafficSpec
+	n, err := fmt.Sscanf(s, "traffic q=%d users=%d zipf=%g rate=%g seed=%d",
+		&ts.Queries, &ts.Users, &ts.Skew, &ts.Rate, &ts.Seed)
+	if err != nil || n != 5 {
+		return ts, fmt.Errorf("serve: malformed traffic spec %q", s)
+	}
+	if err := ts.Validate(); err != nil {
+		return ts, err
+	}
+	return ts, nil
+}
+
+// Generate materializes the spec's query stream over a graph of n
+// vertices. Draw order per query is fixed (arrival gap, vertex, user),
+// so the stream is a pure function of (spec, n).
+func (ts TrafficSpec) Generate(n int) []Query {
+	if err := ts.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if n < 1 {
+		panic("serve: Generate needs at least one vertex")
+	}
+	rng := rand.New(rand.NewSource(ts.Seed))
+	zipf := rand.NewZipf(rng, ts.Skew, 1, uint64(n-1))
+	perm := rng.Perm(n)
+	qs := make([]Query, ts.Queries)
+	t := 0.0
+	for i := range qs {
+		t += rng.ExpFloat64() / ts.Rate
+		qs[i] = Query{
+			Vertex:  int32(perm[int(zipf.Uint64())]),
+			Arrival: t,
+			User:    rng.Int63n(ts.Users),
+		}
+	}
+	return qs
+}

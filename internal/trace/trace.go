@@ -43,6 +43,12 @@ const (
 	// backoff or deadline charge), keeping clocks reconcilable with the
 	// trace even on faulty runs.
 	ClassFault
+	// ClassRequest is a serving-tier request span (internal/serve): one
+	// microbatch from first arrival to completion, emitted on a virtual
+	// front-end row (rank P) rather than a device timeline, so request
+	// latency reads alongside — but never interleaves with — device
+	// work.
+	ClassRequest
 )
 
 func (c Class) String() string {
@@ -55,6 +61,8 @@ func (c Class) String() string {
 		return "phase"
 	case ClassFault:
 		return "fault"
+	case ClassRequest:
+		return "request"
 	}
 	return "unknown"
 }

@@ -1,0 +1,172 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gnnrdm/internal/serve"
+	"gnnrdm/internal/topo"
+)
+
+func serveFixture() (cfg serve.Config, ts serve.TrafficSpec) {
+	cfg = serve.Config{
+		Dims:     []int{16, 16, 4},
+		ConfigID: 0,
+		CacheCap: 64,
+		MaxBatch: 8,
+		Deadline: 1e-3,
+		Seed:     11,
+	}
+	ts = serve.TrafficSpec{Queries: 300, Users: 2_000_000, Skew: 1.5, Rate: 1000, Seed: 5}
+	return cfg, ts
+}
+
+func TestServeMatchesModelFlat(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	r := CheckServeMatchesModel(t, prob, cfg, 4, ts)
+	if r.Misses == 0 || r.Hits == 0 {
+		t.Fatalf("stream should mix hits and misses, got %d/%d", r.Hits, r.Misses)
+	}
+	if r.BytesTotal <= 0 {
+		t.Fatal("distributed serving must move bytes")
+	}
+}
+
+func TestServeMatchesModelGemmFirst(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	// All-GEMM-first forward: the final layer's vertex-completing
+	// redistribution is paid inside the last fwd section.
+	cfg.ConfigID = 10
+	CheckServeMatchesModel(t, prob, cfg, 4, ts)
+}
+
+func TestServeMatchesModelRA(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	cfg.RA = 2 // partial replication: ragged column-group allgathers
+	CheckServeMatchesModel(t, prob, cfg, 4, ts)
+}
+
+func TestServeMatchesModelTopology(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	sp, err := topo.ParseSpec("2x2:nvlink,ib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Topology = sp.MustTopology(4)
+	r := CheckServeMatchesModel(t, prob, cfg, 4, ts)
+	if r.TierBytes[topo.TierInter] == 0 {
+		t.Fatal("a 2x2 topology at P=4 must move inter-node bytes")
+	}
+}
+
+func TestServeMatchesModelLayerStaleness(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	// Refresh layer 1 every 4 microbatches, layer 2 every 2: partial
+	// refreshes re-run only the stale tail of the schedule, and the
+	// meters must still equal the per-section closed forms exactly.
+	cfg.LayerStaleness = []int{4, 2}
+	cfg.Staleness = 3
+	CheckServeMatchesModel(t, prob, cfg, 4, ts)
+}
+
+func TestServeMatchesModelP1(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	r := CheckServeMatchesModel(t, prob, cfg, 1, ts)
+	if r.BytesTotal != 0 {
+		t.Fatalf("single-device serving moved %d bytes; all answers are local", r.BytesTotal)
+	}
+}
+
+// The serving engine's lifecycle — start, serve under load, drain,
+// shut down — must leave no goroutine behind: the fabric's ranks and
+// the admission queue's worker all exit when the session's Serve call
+// returns.
+func TestServeLifecycleNoGoroutineLeak(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	NoGoroutineLeak(t, func() {
+		s := serve.NewSession(prob, cfg)
+		s.Serve(4, ts.Generate(prob.N()))
+		if s.Report().Queries != ts.Queries {
+			t.Errorf("served %d queries, want %d", s.Report().Queries, ts.Queries)
+		}
+	})
+}
+
+// An empty arrival stream must neither deadlock nor leak: Serve
+// returns immediately and the admission queue (exercised directly)
+// closes its output.
+func TestServeEmptyStreamNoDeadlock(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, _ := serveFixture()
+	NoGoroutineLeak(t, func() {
+		NoDeadlock(t, 5*time.Second, func() {
+			s := serve.NewSession(prob, cfg)
+			s.Serve(4, nil)
+			if got := s.Report().Queries; got != 0 {
+				t.Errorf("empty stream served %d queries", got)
+			}
+		})
+	})
+}
+
+// Two sessions over the identical seed and arrival trace must produce
+// byte-identical hit/miss sequences and identical reports — the
+// serving tier is bit-reproducible.
+func TestServeDeterminism(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	queries := ts.Generate(prob.N())
+	run := func() (string, serve.Report) {
+		s := serve.NewSession(prob, cfg)
+		s.Serve(4, queries)
+		return s.HitMiss(), s.Report()
+	}
+	h1, r1 := run()
+	h2, r2 := run()
+	if h1 != h2 {
+		t.Fatal("hit/miss sequences differ between identical runs")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports differ between identical runs:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// Elastic re-formation: serving the same stream split across two
+// worlds (P=2 then P=4) keeps the hit/miss sequence byte-identical to
+// the unsplit run — the cache carries over; only the engines are
+// rebuilt — and stays deterministic run to run.
+func TestServeElasticDeterminism(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	queries := ts.Generate(prob.N())
+	half := len(queries) / 2
+
+	elastic := func() (string, serve.Report) {
+		s := serve.NewSession(prob, cfg)
+		s.Serve(2, queries[:half])
+		s.Serve(4, queries[half:])
+		return s.HitMiss(), s.Report()
+	}
+	h1, r1 := elastic()
+	h2, r2 := elastic()
+	if h1 != h2 {
+		t.Fatal("elastic hit/miss sequences differ between identical runs")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("elastic reports differ between identical runs:\n%+v\n%+v", r1, r2)
+	}
+
+	plain := serve.NewSession(prob, cfg)
+	plain.Serve(4, queries)
+	if plain.HitMiss() != h1 {
+		t.Fatal("hit/miss sequence changed across world re-formation; it must depend only on the stream and cache policy")
+	}
+}
