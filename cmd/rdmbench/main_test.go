@@ -39,6 +39,54 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestOverlapJSON smoke-tests the overlap experiment end to end at a
+// tiny scale: the JSON must decode into rows that each keep the
+// overlapped epoch at or below the sequential one, with at least one
+// strictly faster (the checked-in BENCH_overlap.json is the full-scale
+// run of the same experiment).
+func TestOverlapJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "overlap.json")
+	var out, errb bytes.Buffer
+	args := []string{"-scale", "4096", "-epochs", "2", "-datasets", "OGB-Arxiv",
+		"overlap", "-json", path}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Rows []struct {
+			Topology        string  `json:"topology"`
+			SeqEpochSec     float64 `json:"seq_epoch_sec"`
+			OverlapEpochSec float64 `json:"overlap_epoch_sec"`
+			Efficiency      float64 `json:"efficiency"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("BENCH JSON invalid: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	faster := 0
+	for _, r := range res.Rows {
+		if r.OverlapEpochSec > r.SeqEpochSec {
+			t.Errorf("%s: overlap epoch %v exceeds sequential %v", r.Topology, r.OverlapEpochSec, r.SeqEpochSec)
+		}
+		if r.Efficiency < 0 || r.Efficiency >= 1 {
+			t.Errorf("%s: efficiency %v out of range", r.Topology, r.Efficiency)
+		}
+		if r.OverlapEpochSec < r.SeqEpochSec {
+			faster++
+		}
+	}
+	if faster == 0 {
+		t.Error("no cell trained strictly faster under the overlap executor")
+	}
+}
+
 // TestFig12Trace drives the acceptance path end to end: a tiny fig12 run
 // with flags after the experiment name, emitting a Chrome trace that
 // must be valid JSON and byte-identical across two runs.

@@ -5,7 +5,10 @@
 // communication is proportional to). With -plan it instead prints the
 // compiled op schedule (internal/plan) for a chosen ordering, device
 // count, and replication factor, with per-op priced fabric bytes and a
-// totals line reconciled against the Table IV closed-form prediction.
+// totals line reconciled against the Table IV closed-form prediction;
+// adding -overlap appends the schedule's dependency-DAG critical path
+// against the sequential replay and the Table IV argmin under both
+// pricers (which can disagree — see plan.ChooseOrderingOverlap).
 // With -topo it instead prints an interconnect spec's link-tier
 // structure and the topology-aware cost library's predicted collective
 // times per algorithm (internal/topo).
@@ -24,6 +27,7 @@ import (
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/plan"
+	"gnnrdm/internal/topo"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dimsStr := fs.String("dims", "16,12,8", "comma-separated layer widths f_0..f_L (with -plan)")
 	nnz := fs.Int64("nnz", 0, "stored adjacency entries, 0 = 8n (with -plan)")
 	nomemo := fs.Bool("nomemo", false, "disable forward memoization (with -plan)")
+	overlap := fs.Bool("overlap", false, "also print the dependency-DAG critical path and the overlap-vs-sequential ordering argmins (with -plan)")
 	topoFlag := fs.Bool("topo", false, "print an interconnect spec's link tiers and predicted collective times")
 	specStr := fs.String("spec", "8x4:nvlink,ib", "interconnect spec <nodes>x<perNode>:<intra>[,<inter>] (with -topo)")
 	topoP := fs.Int("topo-p", 0, "device count for -topo predictions, 0 = the spec's full size")
@@ -56,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runTopo(stdout, stderr, *specStr, *topoP, *payload)
 	}
 	if *planFlag {
-		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo)
+		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo, *overlap, *specStr)
 	}
 
 	fmt.Fprintf(stdout, "Dataset recipes (Table V), scale=1/%d\n", *scale)
@@ -89,8 +94,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runPlan compiles, optimizes, and prices the op schedule for one
 // problem shape, printing every op with its fabric byte volumes and a
 // totals line checked byte-for-byte against the closed-form cost model.
-// Exit code 1 signals a planner/model disagreement.
-func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, nomemo bool) int {
+// With overlap it appends the dependency-DAG critical path (flat and on
+// the -spec topology) and the Table IV argmin under both pricers. Exit
+// code 1 signals a planner/model disagreement, or a critical path
+// exceeding the sequential replay.
+func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, nomemo, overlap bool, specStr string) int {
 	dims, err := parseDims(dimsStr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
@@ -160,6 +168,74 @@ func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz 
 			got, want, got-want)
 		return 1
 	}
+	if !overlap {
+		return 0
+	}
+	return runPlanOverlap(stdout, stderr, sp, sched, nnz, specStr)
+}
+
+// runPlanOverlap appends the -overlap section: DAG shape, critical path
+// vs sequential replay on the flat fabric and on the -spec topology,
+// and — pricer by pricer — which Table IV row each would pick. The dump
+// is deterministic and doubles as a CI golden (testdata/plan_overlap.txt)
+// pinning a shape where the two argmins disagree.
+func runPlanOverlap(stdout, stderr io.Writer, sp plan.Spec, sched *plan.Schedule, nnz int64, specStr string) int {
+	ts, err := topo.ParseSpec(specStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 2
+	}
+	tp, err := ts.Topology(sp.P)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 2
+	}
+	dag, err := plan.BuildDAG(sched)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 1
+	}
+	edges := 0
+	for i := range dag.Nodes {
+		edges += len(dag.Nodes[i].Deps)
+	}
+	h := hw.A6000()
+	cen := sched.ApproxCensus(nnz)
+	fmt.Fprintf(stdout, "overlap: dag nodes=%d edges=%d\n", len(dag.Nodes), edges)
+	for _, row := range []struct {
+		name string
+		tp   *topo.Topology
+	}{{"flat", nil}, {specStr, tp}} {
+		c := dag.PriceDAGOn(cen, h, row.tp)
+		fmt.Fprintf(stdout, "overlap: %-14s critical=%.9fs sequential=%.9fs efficiency=%.1f%%\n",
+			row.name, c.Makespan, c.SeqTime, 100*c.Efficiency())
+		if c.Makespan > c.SeqTime {
+			fmt.Fprintf(stderr, "rdminfo: critical path %v exceeds sequential replay %v on %s\n",
+				c.Makespan, c.SeqTime, row.name)
+			return 1
+		}
+	}
+	L := len(sp.Dims) - 1
+	argminSeq, argminOvl := -1, -1
+	var bestSeq, bestOvl float64
+	for id := 0; id < costmodel.NumConfigs(L); id++ {
+		s := sp
+		s.Config = costmodel.ConfigFromID(id, L)
+		cand := plan.Compile(s).Optimize()
+		if t := cand.PriceOn(nnz, h, tp).Time; argminSeq < 0 || t < bestSeq {
+			argminSeq, bestSeq = id, t
+		}
+		d, err := plan.BuildDAG(cand)
+		if err != nil {
+			fmt.Fprintf(stderr, "rdminfo: config %d: %v\n", id, err)
+			return 1
+		}
+		if t := d.PriceDAGOn(cand.ApproxCensus(nnz), h, tp).Makespan; argminOvl < 0 || t < bestOvl {
+			argminOvl, bestOvl = id, t
+		}
+	}
+	fmt.Fprintf(stdout, "overlap argmin (Table IV, %s): sequential=config %d  overlap=config %d\n",
+		specStr, argminSeq, argminOvl)
 	return 0
 }
 

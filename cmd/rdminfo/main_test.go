@@ -70,6 +70,41 @@ func TestPlanGoldens(t *testing.T) {
 	}
 }
 
+// TestPlanOverlapGolden pins the -plan -overlap dump for the shape
+// where sequential and overlap pricing disagree on the best Table IV
+// row (plan.TestChooseOrderingOverlapDisagrees pins the same pair): the
+// checked-in golden shows sequential=config 10 but overlap=config 5 on
+// the 8x4 reference machine, and doubles as a CI golden
+// (.github/workflows/ci.yml diffs it).
+func TestPlanOverlapGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-plan", "-overlap", "-config", "10", "-p", "4",
+		"-n", "512", "-dims", "32,256,8", "-nnz", "65536"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{"sequential=config 10", "overlap=config 5"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-overlap dump lost the argmin disagreement: missing %q in\n%s", want, out.String())
+		}
+	}
+	path := filepath.Join("testdata", "plan_overlap.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-plan -overlap dump differs from %s; rerun with -update if intended\n--- got\n%s--- want\n%s",
+			path, out.String(), want)
+	}
+}
+
 // TestPlanFlagValidation: malformed -plan inputs exit 2 without output.
 func TestPlanFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
@@ -77,6 +112,8 @@ func TestPlanFlagValidation(t *testing.T) {
 		{"-plan", "-dims", "16,x,8"},
 		{"-plan", "-config", "99"},
 		{"-plan", "-p", "4", "-ra", "3"},
+		{"-plan", "-overlap", "-spec", "8x4:warp,ib"},
+		{"-plan", "-overlap", "-p", "64"},
 	} {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code != 2 {

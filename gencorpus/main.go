@@ -142,6 +142,22 @@ func main() {
 	write(pl, "seed-sage-naive", sched(plan.Spec{
 		N: 7, Dims: []int{5, 4, 3, 2}, P: 2, RA: 2, SAGE: true, Memoize: true,
 	}, false))
+	// DAG-bearing seeds: reduced replication (colGroup resources), a
+	// SAGE+grid mix, and a full DAG dump so mutations explore ParseDAG's
+	// edges grammar (the fuzz body round-trips any dump it accepts).
+	write(pl, "seed-cfg6-ra2", sched(plan.Spec{
+		N: 48, Dims: []int{16, 12, 8}, Config: costmodel.ConfigFromID(6, 2),
+		P: 8, RA: 2, Memoize: true, InputGrad: true,
+	}, true))
+	write(pl, "seed-sage-grid", sched(plan.Spec{
+		N: 32, Dims: []int{8, 6, 4}, Config: costmodel.ConfigFromID(9, 2),
+		P: 4, RA: 2, SAGE: true, Memoize: true, InputGrad: true,
+	}, true))
+	dagDump := plan.MustBuildDAG(plan.Compile(plan.Spec{
+		N: 64, Dims: []int{16, 12, 8}, Config: costmodel.ConfigFromID(10, 2),
+		P: 4, RA: 4, Memoize: true, InputGrad: true,
+	}).Optimize()).String()
+	write(pl, "seed-dag-dump", fmt.Sprintf("string(%q)", dagDump))
 
 	// internal/dist: divide/exchange/merge redistribution.
 	rg := "internal/dist/testdata/fuzz/FuzzRegrid"

@@ -593,7 +593,52 @@ type Device struct {
 
 	slow       float64 // straggler multiplier for kernel charges; <= 1 off
 	faultEpoch int     // driver-maintained global epoch tag (SetFaultEpoch)
+	track      int     // trace track (hw.Resource index); 0 on base devices
 }
+
+// Lane returns a view of this device bound to one resource timeline
+// (track follows hw.Resource numbering: 1 = intra-node link, 2 =
+// inter-node link). The overlap executor (core.Options.Overlap) gives
+// each resource its own lane so independent ops advance independent
+// clocks; charges and collectives on a lane work exactly as on the base
+// device but emit trace events on the lane's track. A lane starts at the
+// base device's current clock with zeroed time accumulators — merge it
+// back with MergeLane at a synchronization point. Only one goroutine may
+// drive a given lane, and only one lane per rank may enter any given
+// collective round.
+func (d *Device) Lane(track int) *Device {
+	return &Device{
+		Rank: d.Rank, F: d.F,
+		clock:      d.clock,
+		side:       d.side,
+		slow:       d.slow,
+		faultEpoch: d.faultEpoch,
+		track:      track,
+	}
+}
+
+// MergeLane folds a lane back into this device: the clock advances to
+// the lane's (max), and the lane's accumulated comm/compute time — which
+// started from zero at Lane() — is added on.
+func (d *Device) MergeLane(l *Device) {
+	if l.clock > d.clock {
+		d.clock = l.clock
+	}
+	d.commTime += l.commTime
+	d.computeTime += l.computeTime
+}
+
+// AdvanceClock moves the device's clock forward to t if t is later,
+// modelling a wait on a dependency that finished at t on another lane.
+// The waiting time is idle, so no accumulator is charged.
+func (d *Device) AdvanceClock(t float64) {
+	if t > d.clock {
+		d.clock = t
+	}
+}
+
+// Track returns the trace track this device (or lane) emits on.
+func (d *Device) Track() int { return d.track }
 
 // SetComputeSlowdown makes this device a straggler: subsequent kernel
 // charges take factor× their modelled time. factor <= 1 clears it. Fault
@@ -680,7 +725,7 @@ func (d *Device) chargeKernel(op string, t float64, bytes, flops int64) {
 		tr.Emit(d.Rank, trace.Event{
 			Class: trace.ClassKernel, Op: op,
 			Bytes: bytes, Flops: flops,
-			Start: start, End: d.clock,
+			Start: start, End: d.clock, Track: d.track,
 		})
 	}
 }
@@ -690,7 +735,7 @@ func (d *Device) chargeKernel(op string, t float64, bytes, flops int64) {
 // like every Trace* method below.
 func (d *Device) TraceSetEpoch(epoch int) {
 	if tr := d.F.tracer; tr != nil {
-		tr.SetEpoch(d.Rank, epoch)
+		tr.SetEpochAt(d.Rank, d.track, epoch)
 	}
 }
 
@@ -698,7 +743,7 @@ func (d *Device) TraceSetEpoch(epoch int) {
 // (0 = outside any layer).
 func (d *Device) TraceSetLayer(layer int) {
 	if tr := d.F.tracer; tr != nil {
-		tr.SetLayer(d.Rank, layer)
+		tr.SetLayerAt(d.Rank, d.track, layer)
 	}
 }
 
@@ -706,7 +751,7 @@ func (d *Device) TraceSetLayer(layer int) {
 // ID (0 = outside any scheduled op).
 func (d *Device) TraceSetStep(step int) {
 	if tr := d.F.tracer; tr != nil {
-		tr.SetStep(d.Rank, step)
+		tr.SetStepAt(d.Rank, d.track, step)
 	}
 }
 
@@ -714,7 +759,7 @@ func (d *Device) TraceSetStep(step int) {
 // ("fwd", "bwd", or "").
 func (d *Device) TraceSetDir(dir string) {
 	if tr := d.F.tracer; tr != nil {
-		tr.SetDir(d.Rank, dir)
+		tr.SetDirAt(d.Rank, d.track, dir)
 	}
 }
 
@@ -722,7 +767,7 @@ func (d *Device) TraceSetDir(dir string) {
 // configuration string.
 func (d *Device) TraceSetConfig(cfg string) {
 	if tr := d.F.tracer; tr != nil {
-		tr.SetConfig(d.Rank, cfg)
+		tr.SetConfigAt(d.Rank, d.track, cfg)
 	}
 }
 
@@ -730,7 +775,7 @@ func (d *Device) TraceSetConfig(cfg string) {
 // clock. Phases nest; close with TraceEndPhase.
 func (d *Device) TraceBeginPhase(name string) {
 	if tr := d.F.tracer; tr != nil {
-		tr.BeginPhase(d.Rank, name, d.clock)
+		tr.BeginPhaseAt(d.Rank, d.track, name, d.clock)
 	}
 }
 
@@ -738,7 +783,7 @@ func (d *Device) TraceBeginPhase(name string) {
 // clock.
 func (d *Device) TraceEndPhase() {
 	if tr := d.F.tracer; tr != nil {
-		tr.EndPhase(d.Rank, d.clock)
+		tr.EndPhaseAt(d.Rank, d.track, d.clock)
 	}
 }
 
@@ -845,7 +890,7 @@ func (d *Device) collective(op string, group []int, in any,
 					Class: trace.ClassCollective, Op: op,
 					Group: key, Seq: seq, GroupSize: len(group),
 					Bytes: vol.Bytes, Tier1: vol.Tier1,
-					Start: before, End: newClock,
+					Start: before, End: newClock, Track: d.track,
 				})
 			}
 			return nil
@@ -893,7 +938,7 @@ func (d *Device) emitFault(op, group string, size int, start, end float64) {
 		tr.Emit(d.Rank, trace.Event{
 			Class: trace.ClassFault, Op: op,
 			Group: group, GroupSize: size,
-			Start: start, End: end,
+			Start: start, End: end, Track: d.track,
 		})
 	}
 }

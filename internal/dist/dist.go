@@ -222,6 +222,17 @@ func FromLocal(dev *comm.Device, l Layout, rows, cols int, tile *tensor.Dense) *
 	return &Mat{Dev: dev, GlobalRows: rows, GlobalCols: cols, Layout: l, Local: tile}
 }
 
+// WithDevice returns a shallow copy of the matrix bound to dev (sharing
+// the tile storage). The overlap executor uses it to run an op on a
+// resource lane of the same rank: the Mat's charges and collectives then
+// land on the lane's clock and trace track. dev must have the same Rank
+// and fabric as the original Dev.
+func (m *Mat) WithDevice(dev *comm.Device) *Mat {
+	c := *m
+	c.Dev = dev
+	return &c
+}
+
 // Redistribute converts the matrix to the target layout, returning a new
 // Mat. Supported conversions: any -> Replicated (allgather),
 // Replicated -> any (local slice, free), Horizontal <-> Vertical,

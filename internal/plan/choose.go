@@ -24,13 +24,33 @@ func ChooseOrdering(sp Spec, nnz int64, h *hw.Model) costmodel.Config {
 // by the topology-aware algorithms the fabric would actually run, so
 // the chosen ordering can differ once inter-node links dominate.
 func ChooseOrderingTopo(sp Spec, nnz int64, h *hw.Model, tp *topo.Topology) costmodel.Config {
+	return chooseOrdering(sp, h, tp, func(s Spec) float64 {
+		return Compile(s).Optimize().PriceOn(nnz, h, tp).Time
+	})
+}
+
+// ChooseOrderingOverlap is ChooseOrderingTopo for the overlap executor:
+// candidates are priced by their dependency-DAG critical path
+// (PriceDAGOn's makespan) instead of the sequential replay. The two
+// selectors can disagree — an ordering that serializes more traffic but
+// exposes it earlier can hide the extra bytes behind compute, so its
+// critical path undercuts the sequentially cheaper row
+// (TestChooseOrderingOverlapDisagrees pins one such case).
+func ChooseOrderingOverlap(sp Spec, nnz int64, h *hw.Model, tp *topo.Topology) costmodel.Config {
+	return chooseOrdering(sp, h, tp, func(s Spec) float64 {
+		sched := Compile(s).Optimize()
+		return MustBuildDAG(sched).PriceDAGOn(sched.ApproxCensus(nnz), h, tp).Makespan
+	})
+}
+
+func chooseOrdering(sp Spec, h *hw.Model, tp *topo.Topology, priceSpec func(Spec) float64) costmodel.Config {
 	sp = sp.withDefaults()
 	L := len(sp.Dims) - 1
 	cfg := costmodel.ConfigFromID(0, L) // all SpMM-first
 	price := func(c costmodel.Config) float64 {
 		s := sp
 		s.Config = c
-		return Compile(s).Optimize().PriceOn(nnz, h, tp).Time
+		return priceSpec(s)
 	}
 	best := price(cfg)
 	// A slot flip changes which operands later layers inherit for free,

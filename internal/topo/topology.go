@@ -110,6 +110,12 @@ func (t *Topology) worstTier(group []int) int {
 	return TierIntra
 }
 
+// WorstTier returns the slowest tier any pair in the (sorted) group
+// communicates over: TierInter iff the group spans nodes. The overlap
+// planner (internal/plan) uses it to bind each collective to a per-tier
+// link resource consistently with how the fabric prices the group.
+func (t *Topology) WorstTier(group []int) int { return t.worstTier(group) }
+
 // Degraded returns a copy with every link's latency multiplied by
 // alphaMul and bandwidth divided by betaMul (multipliers < 1 read as
 // 1), mirroring hw.Model.Degraded so fault-degraded topologies price

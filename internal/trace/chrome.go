@@ -95,7 +95,8 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 		// flow pass below is deterministic.
 		occ := map[collKey]*collOccurrence{}
 		var occOrder []collKey
-		for r := 0; r < len(sess.ranks); r++ {
+		rankCount := len(sess.ranks)
+		for r := 0; r < rankCount; r++ {
 			rSort := r
 			file.TraceEvents = append(file.TraceEvents, chromeEvent{
 				Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: pid, Tid: r,
@@ -104,11 +105,29 @@ func WriteChrome(w io.Writer, t *Tracer) error {
 				Name: "thread_sort_index", Cat: "__metadata", Ph: "M", Pid: pid, Tid: r,
 				Args: &chromeArgs{Sort: &rSort},
 			})
+			// Overlapped runs record extra per-resource timelines; give each
+			// non-empty one its own thread row grouped under the device.
+			// Sequential runs have exactly one track, so this emits nothing
+			// and the legacy export stays byte-identical.
+			for track := 1; track < sess.Tracks(r); track++ {
+				if len(sess.TrackEvents(r, track)) == 0 {
+					continue
+				}
+				tid := track*rankCount + r
+				tSort := tid
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: pid, Tid: tid,
+					Args: &chromeArgs{Name: deviceName(r) + " " + trackName(track)},
+				}, chromeEvent{
+					Name: "thread_sort_index", Cat: "__metadata", Ph: "M", Pid: pid, Tid: tid,
+					Args: &chromeArgs{Sort: &tSort},
+				})
+			}
 			for _, ev := range sess.Events(r) {
 				dur := usec(ev.End) - usec(ev.Start)
 				ce := chromeEvent{
 					Name: ev.Op, Cat: ev.Class.String(), Ph: "X",
-					Ts: usec(ev.Start), Dur: &dur, Pid: pid, Tid: r,
+					Ts: usec(ev.Start), Dur: &dur, Pid: pid, Tid: ev.Track*rankCount + r,
 				}
 				args := chromeArgs{
 					Bytes: ev.Bytes, Tier1: ev.Tier1, Flops: ev.Flops,
@@ -205,6 +224,19 @@ func writeJSON(w io.Writer, file *chromeFile) error {
 func deviceName(r int) string {
 	// Avoid fmt for the common case; device counts are small.
 	return "device " + itoa(r)
+}
+
+// trackName labels a device's extra resource timelines in the export.
+// The numbering mirrors hw.Resource (1 = intra-node link, 2 = inter-node
+// link), kept local to avoid an hw dependency from trace.
+func trackName(track int) string {
+	switch track {
+	case 1:
+		return "link:intra"
+	case 2:
+		return "link:inter"
+	}
+	return "track " + itoa(track)
 }
 
 func itoa(n int) string {

@@ -108,6 +108,14 @@ type Event struct {
 	Dir string
 	// Config is the Table IV ordering of the run ("fwd[sd] bwd[ds]").
 	Config string
+	// Track is the device resource timeline the event occupies (the
+	// hw.Resource index under the overlap executor: 0 = compute, 1 =
+	// intra-node link, 2 = inter-node link). Sequential execution emits
+	// everything on track 0, which reproduces the pre-overlap trace
+	// byte-for-byte. Events are ordered within a track, not across
+	// tracks: overlapped spans on different tracks of one rank may
+	// interleave freely.
+	Track int
 }
 
 // Dur returns the event's simulated duration in seconds.
@@ -144,9 +152,17 @@ type Session struct {
 	ranks []*rankState
 }
 
-// rankState is one device's recording state. It is written only by that
-// device's goroutine.
+// rankState is one device's recording state: one trackState per resource
+// timeline. Track 0 always exists; extra tracks materialize lazily when
+// the overlap executor emits on them. Each track is written only by the
+// single goroutine owning that (rank, track) lane.
 type rankState struct {
+	tracks []*trackState
+}
+
+// trackState is one (rank, track) timeline's ring buffer, scope tags and
+// phase stack.
+type trackState struct {
 	buf   []Event // ring storage; len grows to capacity then wraps
 	next  int     // next write slot once len(buf) == capacity
 	total uint64  // events ever emitted (total - len(buf) were dropped)
@@ -172,7 +188,7 @@ type openPhase struct {
 func (t *Tracer) StartSession(label string, p int) *Session {
 	s := &Session{Label: label, P: p, ranks: make([]*rankState, p)}
 	for r := range s.ranks {
-		s.ranks[r] = &rankState{}
+		s.ranks[r] = &rankState{tracks: []*trackState{{}}}
 	}
 	t.sessions = append(t.sessions, s)
 	return s
@@ -197,7 +213,7 @@ func (t *Tracer) cur() *Session {
 func (t *Tracer) rank(r int) *rankState {
 	s := t.cur()
 	for len(s.ranks) <= r {
-		s.ranks = append(s.ranks, &rankState{})
+		s.ranks = append(s.ranks, &rankState{tracks: []*trackState{{}}})
 		if s.P < len(s.ranks) {
 			s.P = len(s.ranks)
 		}
@@ -205,11 +221,25 @@ func (t *Tracer) rank(r int) *rankState {
 	return s.ranks[r]
 }
 
-// Emit records one event on rank r's timeline, stamping it with the
-// rank's current scope tags. Callers must hold the "one writer per rank"
-// invariant; internal/comm guarantees it by construction.
-func (t *Tracer) Emit(r int, ev Event) {
+// state returns the (rank, track) timeline, creating intermediate tracks
+// as needed. New tracks must materialize before concurrent emission on
+// the rank begins: the fabric sets scope tags on each lane from the
+// owning device goroutine before forking lane workers, which creates the
+// track states with a happens-before edge to every later emission.
+func (t *Tracer) state(r, track int) *trackState {
 	rs := t.rank(r)
+	for len(rs.tracks) <= track {
+		rs.tracks = append(rs.tracks, &trackState{})
+	}
+	return rs.tracks[track]
+}
+
+// Emit records one event on rank r's timeline — on the track the event
+// carries (ev.Track) — stamping it with that track's current scope tags.
+// Callers must hold the "one writer per (rank, track)" invariant;
+// internal/comm guarantees it by construction.
+func (t *Tracer) Emit(r int, ev Event) {
+	rs := t.state(r, ev.Track)
 	ev.Epoch, ev.Layer, ev.Step = rs.scope.epoch, rs.scope.layer, rs.scope.step
 	ev.Dir, ev.Config = rs.scope.dir, rs.scope.config
 	rs.total++
@@ -225,49 +255,73 @@ func (t *Tracer) Emit(r int, ev Event) {
 	}
 }
 
-// SetEpoch tags subsequent events on rank r with the epoch number.
-func (t *Tracer) SetEpoch(r, epoch int) { t.rank(r).scope.epoch = epoch }
+// SetEpoch tags subsequent events on rank r's track 0 with the epoch
+// number.
+func (t *Tracer) SetEpoch(r, epoch int) { t.SetEpochAt(r, 0, epoch) }
 
-// SetLayer tags subsequent events on rank r with the layer number
-// (0 = outside any layer).
-func (t *Tracer) SetLayer(r, layer int) { t.rank(r).scope.layer = layer }
+// SetEpochAt is SetEpoch for one track of rank r.
+func (t *Tracer) SetEpochAt(r, track, epoch int) { t.state(r, track).scope.epoch = epoch }
 
-// SetStep tags subsequent events on rank r with a plan-schedule step ID
-// (0 = outside any scheduled op).
-func (t *Tracer) SetStep(r, step int) { t.rank(r).scope.step = step }
+// SetLayer tags subsequent events on rank r's track 0 with the layer
+// number (0 = outside any layer).
+func (t *Tracer) SetLayer(r, layer int) { t.SetLayerAt(r, 0, layer) }
 
-// SetDir tags subsequent events on rank r with the pass direction
-// ("fwd", "bwd", or "").
-func (t *Tracer) SetDir(r int, dir string) { t.rank(r).scope.dir = dir }
+// SetLayerAt is SetLayer for one track of rank r.
+func (t *Tracer) SetLayerAt(r, track, layer int) { t.state(r, track).scope.layer = layer }
 
-// SetConfig tags subsequent events on rank r with the run's ordering
-// configuration string.
-func (t *Tracer) SetConfig(r int, cfg string) { t.rank(r).scope.config = cfg }
+// SetStep tags subsequent events on rank r's track 0 with a plan-schedule
+// step ID (0 = outside any scheduled op).
+func (t *Tracer) SetStep(r, step int) { t.SetStepAt(r, 0, step) }
 
-// BeginPhase opens a named phase on rank r at the given simulated time.
-// Phases nest; each BeginPhase must be matched by EndPhase.
+// SetStepAt is SetStep for one track of rank r.
+func (t *Tracer) SetStepAt(r, track, step int) { t.state(r, track).scope.step = step }
+
+// SetDir tags subsequent events on rank r's track 0 with the pass
+// direction ("fwd", "bwd", or "").
+func (t *Tracer) SetDir(r int, dir string) { t.SetDirAt(r, 0, dir) }
+
+// SetDirAt is SetDir for one track of rank r.
+func (t *Tracer) SetDirAt(r, track int, dir string) { t.state(r, track).scope.dir = dir }
+
+// SetConfig tags subsequent events on rank r's track 0 with the run's
+// ordering configuration string.
+func (t *Tracer) SetConfig(r int, cfg string) { t.SetConfigAt(r, 0, cfg) }
+
+// SetConfigAt is SetConfig for one track of rank r.
+func (t *Tracer) SetConfigAt(r, track int, cfg string) { t.state(r, track).scope.config = cfg }
+
+// BeginPhase opens a named phase on rank r's track 0 at the given
+// simulated time. Phases nest; each BeginPhase must be matched by
+// EndPhase.
 func (t *Tracer) BeginPhase(r int, name string, start float64) {
-	rs := t.rank(r)
+	t.BeginPhaseAt(r, 0, name, start)
+}
+
+// BeginPhaseAt is BeginPhase for one track of rank r.
+func (t *Tracer) BeginPhaseAt(r, track int, name string, start float64) {
+	rs := t.state(r, track)
 	rs.stack = append(rs.stack, openPhase{name: name, start: start})
 }
 
-// EndPhase closes the innermost open phase on rank r, emitting a
-// ClassPhase event spanning [start, end]. Unbalanced EndPhase calls are
-// ignored.
-func (t *Tracer) EndPhase(r int, end float64) {
-	rs := t.rank(r)
+// EndPhase closes the innermost open phase on rank r's track 0, emitting
+// a ClassPhase event spanning [start, end]. Unbalanced EndPhase calls
+// are ignored.
+func (t *Tracer) EndPhase(r int, end float64) { t.EndPhaseAt(r, 0, end) }
+
+// EndPhaseAt is EndPhase for one track of rank r.
+func (t *Tracer) EndPhaseAt(r, track int, end float64) {
+	rs := t.state(r, track)
 	if len(rs.stack) == 0 {
 		return
 	}
 	ph := rs.stack[len(rs.stack)-1]
 	rs.stack = rs.stack[:len(rs.stack)-1]
-	t.Emit(r, Event{Class: ClassPhase, Op: ph.name, Start: ph.start, End: end})
+	t.Emit(r, Event{Class: ClassPhase, Op: ph.name, Start: ph.start, End: end, Track: track})
 }
 
-// Events returns rank r's recorded events in chronological order. When
-// the ring wrapped, only the most recent capacity events remain.
-func (s *Session) Events(r int) []Event {
-	rs := s.ranks[r]
+// chrono returns one track's buffered events in emission order,
+// unrotating a wrapped ring.
+func (rs *trackState) chrono() []Event {
 	if rs.total <= uint64(len(rs.buf)) {
 		return rs.buf
 	}
@@ -277,12 +331,70 @@ func (s *Session) Events(r int) []Event {
 	return out
 }
 
-// Dropped returns how many of rank r's events were overwritten by ring
-// wraparound.
-func (s *Session) Dropped(r int) uint64 {
+// Events returns rank r's recorded events. On a single-track rank (every
+// sequential run) this is the track's buffer in emission order,
+// byte-identical to the pre-overlap tracer. Multi-track ranks get a
+// deterministic merge: tracks are interleaved by ascending event Start,
+// lower track first on ties, preserving each track's own emission order.
+// When a ring wrapped, only its most recent capacity events remain.
+func (s *Session) Events(r int) []Event {
 	rs := s.ranks[r]
-	return rs.total - uint64(len(rs.buf))
+	if len(rs.tracks) == 1 {
+		return rs.tracks[0].chrono()
+	}
+	lists := make([][]Event, len(rs.tracks))
+	total := 0
+	for i, ts := range rs.tracks {
+		lists[i] = ts.chrono()
+		total += len(lists[i])
+	}
+	out := make([]Event, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i := range lists {
+			if heads[i] >= len(lists[i]) {
+				continue
+			}
+			if best < 0 || lists[i][heads[i]].Start < lists[best][heads[best]].Start {
+				best = i
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
 }
 
-// Total returns how many events rank r ever emitted.
-func (s *Session) Total(r int) uint64 { return s.ranks[r].total }
+// Tracks returns how many resource timelines rank r materialized
+// (1 for every sequential run).
+func (s *Session) Tracks(r int) int { return len(s.ranks[r].tracks) }
+
+// TrackEvents returns one (rank, track) timeline's events in emission
+// order, or nil when the track was never materialized.
+func (s *Session) TrackEvents(r, track int) []Event {
+	rs := s.ranks[r]
+	if track >= len(rs.tracks) {
+		return nil
+	}
+	return rs.tracks[track].chrono()
+}
+
+// Dropped returns how many of rank r's events were overwritten by ring
+// wraparound, summed over tracks.
+func (s *Session) Dropped(r int) uint64 {
+	var d uint64
+	for _, ts := range s.ranks[r].tracks {
+		d += ts.total - uint64(len(ts.buf))
+	}
+	return d
+}
+
+// Total returns how many events rank r ever emitted, summed over tracks.
+func (s *Session) Total(r int) uint64 {
+	var n uint64
+	for _, ts := range s.ranks[r].tracks {
+		n += ts.total
+	}
+	return n
+}

@@ -14,8 +14,12 @@ import (
 // fabric run:
 //
 //   - no trace events were dropped (the ring buffers held the run);
-//   - every per-device timeline is monotone: kernels and collectives
-//     neither run backwards nor overlap on a device;
+//   - every per-resource timeline is monotone: kernels and collectives
+//     neither run backwards nor overlap on one device resource track
+//     (compute, intra link, inter link). Events on different tracks of
+//     the same device may interleave freely — that is the overlap
+//     executor working as designed — but a single resource can only do
+//     one thing at a time;
 //   - bytes sent equal bytes received: every collective round
 //     (identified by its (group, seq) pair) was recorded by exactly its
 //     GroupSize participants, all agreeing on the op, the metered bytes,
@@ -23,7 +27,8 @@ import (
 //   - the per-round traced bytes sum exactly to the fabric's volume
 //     meters (primary plus side channel) — per link tier too — and the
 //     round counts to its call counters;
-//   - each device's final clock equals the end of its last traced event.
+//   - each device's final clock equals the latest traced event end
+//     across its tracks (the lane merge takes the max).
 //
 // fab may be nil (e.g. baselines that do not expose their fabric), which
 // skips the meter and clock cross-checks.
@@ -54,7 +59,7 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 		if d := s.Dropped(r); d > 0 {
 			return fmt.Errorf("rank %d dropped %d trace events; raise the tracer capacity", r, d)
 		}
-		prevEnd := 0.0
+		prevEnd := make(map[int]float64)
 		lastEnd := 0.0
 		seenTimed := false
 		for i, ev := range s.Events(r) {
@@ -64,12 +69,14 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 			if ev.End < ev.Start {
 				return fmt.Errorf("rank %d event %d (%s): runs backwards [%v, %v]", r, i, ev.Op, ev.Start, ev.End)
 			}
-			if ev.Start < prevEnd {
-				return fmt.Errorf("rank %d event %d (%s): starts at %v before previous event ended at %v",
-					r, i, ev.Op, ev.Start, prevEnd)
+			if ev.Start < prevEnd[ev.Track] {
+				return fmt.Errorf("rank %d track %d event %d (%s): starts at %v before the track's previous event ended at %v",
+					r, ev.Track, i, ev.Op, ev.Start, prevEnd[ev.Track])
 			}
-			prevEnd = ev.End
-			lastEnd = ev.End
+			prevEnd[ev.Track] = ev.End
+			if ev.End > lastEnd {
+				lastEnd = ev.End
+			}
 			seenTimed = true
 			if ev.Class != trace.ClassCollective {
 				continue
@@ -100,7 +107,7 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 		}
 		if fab != nil && seenTimed {
 			if c := fab.Device(r).Clock(); c != lastEnd {
-				return fmt.Errorf("rank %d clock %v != last traced event end %v", r, c, lastEnd)
+				return fmt.Errorf("rank %d clock %v != latest traced event end %v", r, c, lastEnd)
 			}
 		}
 	}

@@ -57,7 +57,34 @@ func TestCheckSessionHandBuilt(t *testing.T) {
 		s := tr.StartSession("bad", 1)
 		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 0, End: 2})
 		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "spmm", Start: 1, End: 3})
-		wantCheckErr(t, s, "before previous event ended")
+		wantCheckErr(t, s, "before the track's previous event ended")
+	})
+	t.Run("interleaved tracks accepted", func(t *testing.T) {
+		// The overlap executor's signature shape: a link-track collective
+		// spanning two compute-track kernels on the same device. Each
+		// track is monotone, the merged timeline is not — and that is
+		// conservation-legal, because compute and link are distinct
+		// resources.
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("good", 2)
+		for r := 0; r < 2; r++ {
+			tr.Emit(r, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 0, End: 2})
+			tr.Emit(r, trace.Event{Class: trace.ClassCollective, Op: "allreduce", Group: "0,1", Seq: 1,
+				GroupSize: 2, Bytes: 8, Start: 1, End: 3, Track: 1})
+			tr.Emit(r, trace.Event{Class: trace.ClassKernel, Op: "spmm", Start: 2, End: 4})
+		}
+		if err := checkSession(nil, s); err != nil {
+			t.Fatalf("interleaved per-resource tracks must be accepted: %v", err)
+		}
+	})
+	t.Run("interleaved same track rejected", func(t *testing.T) {
+		// The same interleaving on ONE track is still a conservation
+		// violation: a single resource cannot run two things at once.
+		tr := trace.NewTracer(0)
+		s := tr.StartSession("bad", 1)
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "gemm", Start: 0, End: 2, Track: 1})
+		tr.Emit(0, trace.Event{Class: trace.ClassKernel, Op: "spmm", Start: 1, End: 3, Track: 1})
+		wantCheckErr(t, s, "before the track's previous event ended")
 	})
 	t.Run("byte mismatch across ranks", func(t *testing.T) {
 		tr := trace.NewTracer(0)
