@@ -144,3 +144,47 @@ func TestFig12Trace(t *testing.T) {
 		t.Errorf("two identical runs wrote different traces (%d vs %d bytes)", len(b1), len(b2))
 	}
 }
+
+// TestMemberJSON drives the membership experiment end to end and pins
+// the property the checked-in BENCH_member.json certifies: the emitted
+// JSON is byte-identical run to run (the sweep is fully seeded), every
+// row converges within its bound, and meters equal the cost model.
+func TestMemberJSON(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) []byte {
+		var out, errb bytes.Buffer
+		if code := run([]string{"member", "-json", path}, &out, &errb); code != 0 {
+			t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := runOnce(filepath.Join(dir, "a.json"))
+	b := runOnce(filepath.Join(dir, "b.json"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("BENCH_member.json is not byte-identical across runs")
+	}
+	var res struct {
+		Rows []struct {
+			P         int   `json:"p"`
+			Rounds    int   `json:"rounds"`
+			Bound     int   `json:"bound"`
+			Bytes     int64 `json:"bytes"`
+			PredBytes int64 `json:"pred_bytes"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(a, &res); err != nil {
+		t.Fatalf("BENCH JSON invalid: %v", err)
+	}
+	if len(res.Rows) != 8 { // P in {8,64,256,1024} x dead in {1,3}
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Rounds > r.Bound || r.Bytes != r.PredBytes {
+			t.Fatalf("row violates its own invariants: %+v", r)
+		}
+	}
+}

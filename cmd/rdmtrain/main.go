@@ -24,6 +24,7 @@ import (
 	"gnnrdm/internal/fault"
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/member"
 	"gnnrdm/internal/plan"
 	"gnnrdm/internal/saint"
 	"gnnrdm/internal/sparse"
@@ -63,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults    = fs.String("faults", "", "fault schedule to inject, e.g. 'crash@rank2:epoch3,slow@rank0:1.5x' (enables elastic recovery; see RESILIENCE.md)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault injector seed (same seed + schedule reproduces the identical run)")
 		ckEvery   = fs.Int("checkpoint-every", 1, "epochs between durable recovery checkpoints in an elastic run")
+		memberOn  = fs.Bool("member", false, "detect failures by SWIM gossip among survivors instead of the coordinator oracle (see RESILIENCE.md)")
+		memberT   = fs.Float64("member-period", 0, "gossip protocol period in seconds (0 = protocol default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -163,11 +166,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// 4. Train (with optional resume/save through the engine API).
 	if *faults != "" {
-		return runElastic(stdout, fail, prob, opts, faultFlags{
+		ff := faultFlags{
 			faults: *faults, seed: *faultSeed, every: *ckEvery,
 			gpus: *gpus, epochs: *epochs, ra: *ra,
 			resume: *resume, save: *save, traceOut: *traceOut,
-		})
+		}
+		if *memberOn {
+			ff.member = &member.Config{Seed: *faultSeed, Period: *memberT}
+		}
+		return runElastic(stdout, fail, prob, opts, ff)
 	}
 	var cp *core.Checkpoint
 	if *resume != "" {
@@ -233,6 +240,7 @@ type faultFlags struct {
 	gpus, epochs, ra int
 	resume, save     string
 	traceOut         string
+	member           *member.Config
 }
 
 // runElastic trains under an injected fault schedule with elastic
@@ -257,6 +265,7 @@ func runElastic(stdout io.Writer, fail func(error) int, prob *core.Problem, opts
 		Schedule:        sched,
 		FaultSeed:       ff.seed,
 		CheckpointEvery: ff.every,
+		Membership:      ff.member,
 	})
 
 	for i, ep := range el.Epochs {
@@ -269,6 +278,10 @@ func runElastic(stdout io.Writer, fail func(error) int, prob *core.Problem, opts
 		fmt.Fprintf(stdout, "recovery %d: epoch %d fault (failed ranks %v) -> rollback to epoch %d, world %d->%d, reshard %.3fMB (model %.3fMB) at sim %.3fms\n",
 			i, rec.AbortEpoch, rec.Failed, rec.ResumeEpoch, rec.OldP, rec.NewP,
 			float64(rec.ReshardBytes)/(1<<20), float64(rec.PredictedReshardBytes)/(1<<20), rec.SimTime*1e3)
+		if rec.Detection != nil {
+			fmt.Fprintf(stdout, "  gossip detection: %d rounds, latency %.1fms, control plane %d bytes (model %d)\n",
+				rec.Detection.Rounds, rec.Detection.Latency*1e3, rec.ControlBytes, rec.PredictedControlBytes)
+		}
 	}
 	fmt.Fprintf(stdout, "finished on %d/%d devices (survivors %v)  train accuracy: %.4f\n",
 		el.FinalP, ff.gpus, el.FinalSurvivors, el.Accuracy(prob.Labels, nil))

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -111,5 +112,46 @@ func TestElasticRejectsBadCombos(t *testing.T) {
 				t.Errorf("stderr = %q, want substring %q", errb.String(), c.want)
 			}
 		})
+	}
+}
+
+func TestElasticGossipFlagRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-synthetic", "-n", "128", "-classes", "4", "-features", "8",
+		"-hidden", "16", "-gpus", "4", "-epochs", "5",
+		"-faults", "crash@rank2:epoch2", "-fault-seed", "7", "-member"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{
+		"recovery 0: epoch 2 fault (failed ranks [2])",
+		"gossip detection:",
+		"finished on 3/4 devices (survivors [0 1 3])",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	// The detection summary must be meter-equal: "N bytes (model N)".
+	line := out.String()[strings.Index(out.String(), "gossip detection:"):]
+	line = line[:strings.Index(line, "\n")]
+	var rounds, bytes_, model int
+	var lat float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(line),
+		"gossip detection: %d rounds, latency %fms, control plane %d bytes (model %d)",
+		&rounds, &lat, &bytes_, &model); err != nil {
+		t.Fatalf("unparseable summary %q: %v", line, err)
+	}
+	if rounds <= 0 || lat <= 0 || bytes_ == 0 || bytes_ != model {
+		t.Fatalf("implausible detection summary: %q", line)
+	}
+
+	// Oracle detection: same fault, no -member -> no gossip line.
+	var out2, errb2 bytes.Buffer
+	if code := run(args[:len(args)-1], &out2, &errb2); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb2.String())
+	}
+	if strings.Contains(out2.String(), "gossip detection:") {
+		t.Error("coordinator-oracle run printed a gossip summary")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"gnnrdm/internal/core"
 	"gnnrdm/internal/costmodel"
 	"gnnrdm/internal/graph"
+	"gnnrdm/internal/member"
 	"gnnrdm/internal/plan"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
@@ -112,6 +113,35 @@ func main() {
 	write(fz, "seed-simultaneous", `string("crash@rank1:epoch2,crash@rank3:epoch2,crash@rank5:epoch2,crash@rank7:epoch2")`)
 	write(fz, "seed-spaces", `string(" crash@rank2:epoch3 , flip@rank0:epoch0 ")`)
 	write(fz, "seed-bad-verb", `string("boom@rank0:epoch1")`)
+	write(fz, "seed-partition", `string("partition@0+1|2+3:epoch2")`)
+	write(fz, "seed-partition-lopsided", `string("partition@0|1+2+3+4+5+6+7:epoch1")`)
+	write(fz, "seed-partition-noncanonical", `string("partition@3+1|0+2:epoch4")`)
+	write(fz, "seed-partition-mixed", `string("crash@rank5:epoch3,partition@0+1|2+3:epoch1")`)
+	write(fz, "seed-partition-overlap", `string("partition@0+1|1+2:epoch1")`)
+	write(fz, "seed-partition-empty-side", `string("partition@|0+1:epoch1")`)
+	write(fz, "seed-partition-missing-bar", `string("partition@0+1+2+3:epoch1")`)
+
+	// internal/member: gossip wire format (strict Encode/Decode round
+	// trip). Well-formed frames of each message type plus the classified
+	// rejects: truncation, trailing garbage, and a count/payload mismatch.
+	mm := "internal/member/testdata/fuzz/FuzzMemberMsg"
+	ping := member.Msg{Type: member.MsgPing, From: 2, To: 5, Seq: 9, Updates: []member.Update{
+		{Rank: 3, State: member.Suspect, Inc: 1},
+		{Rank: 7, State: member.Dead, Inc: 0},
+	}}
+	ack := member.Msg{Type: member.MsgAck, From: 5, To: 2, Seq: 9, Updates: []member.Update{
+		{Rank: 5, State: member.Alive, Inc: 2},
+	}}
+	pingReq := member.Msg{Type: member.MsgPingReq, From: 0, To: 4, Seq: 17, Target: 6}
+	write(mm, "seed-ping", bs(ping.Encode()))
+	write(mm, "seed-ack", bs(ack.Encode()))
+	write(mm, "seed-ping-req", bs(pingReq.Encode()))
+	enc := ping.Encode()
+	write(mm, "seed-truncated", bs(enc[:len(enc)-3]))
+	write(mm, "seed-trailing", bs(append(append([]byte(nil), enc...), 0)))
+	bad := append([]byte(nil), enc...)
+	bad[0] = 9 // no such message type
+	write(mm, "seed-bad-type", bs(bad))
 
 	// internal/sparse: COO→CSR construction.
 	fc := "internal/sparse/testdata/fuzz/FuzzFromCoords"

@@ -350,3 +350,39 @@ func TestSpMMKernelsShape(t *testing.T) {
 		t.Fatalf("1.5D volume %d should beat 1D %d", r.C15DBytes, r.C1DBytes)
 	}
 }
+
+func TestMemberBenchShape(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunMember(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(memberPs)*len(memberDeads) {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Rounds <= 0 || r.Rounds > r.Bound {
+			t.Fatalf("P=%d dead=%d: rounds %d outside (0, %d]", r.P, r.Dead, r.Rounds, r.Bound)
+		}
+		if r.Bytes != r.PredBytes {
+			t.Fatalf("P=%d dead=%d: metered %d != predicted %d", r.P, r.Dead, r.Bytes, r.PredBytes)
+		}
+	}
+	// The decentralization claim in one line: per-rank control traffic
+	// at P=1024 stays within an order of magnitude of P=8, while a
+	// coordinator's inbound load would have grown 128x.
+	per := map[int]float64{}
+	for _, r := range res.Rows {
+		if r.Dead == 1 {
+			per[r.P] = r.BytesPerRank
+		}
+	}
+	if per[1024] > 10*per[8] {
+		t.Fatalf("per-rank bytes blow up with P: %.1f at P=8 vs %.1f at P=1024", per[8], per[1024])
+	}
+	if !strings.Contains(buf.String(), "bytes/rank") {
+		t.Fatal("output rendering missing")
+	}
+}

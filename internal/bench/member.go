@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/member"
+)
+
+// MemberRow is one (world size, crash count) point of the membership
+// benchmark: a full SWIM detection episode from crash to converged
+// survivor views.
+type MemberRow struct {
+	P    int `json:"p"`
+	Dead int `json:"dead"`
+
+	Rounds     int     `json:"rounds"`
+	Bound      int     `json:"bound"`
+	LatencySec float64 `json:"latency_sec"`
+
+	Msgs      int   `json:"msgs"`
+	Updates   int   `json:"updates"`
+	Bytes     int64 `json:"bytes"`
+	PredBytes int64 `json:"pred_bytes"`
+	// BytesPerRank is the control-plane cost normalized by world size —
+	// the per-member price of decentralized detection.
+	BytesPerRank float64 `json:"bytes_per_rank"`
+}
+
+// MemberResult is what `rdmbench member -json` serializes to
+// BENCH_member.json.
+type MemberResult struct {
+	PeriodSec        float64 `json:"period_sec"`
+	K                int     `json:"k"`
+	SuspicionPeriods int     `json:"suspicion_periods"`
+	Lambda           int     `json:"lambda"`
+	Seed             int64   `json:"seed"`
+
+	Rows []MemberRow `json:"rows"`
+}
+
+// The membership sweep: the P range of the roadmap's "P >= 1024" goal
+// and single- vs multi-crash episodes.
+var (
+	memberPs    = []int{8, 64, 256, 1024}
+	memberDeads = []int{1, 3}
+)
+
+// RunMember benchmarks the gossip membership layer: for each world size
+// it runs seeded detection episodes (one and three simultaneous
+// crashes) to convergence and reports rounds, simulated detection
+// latency, and the control-plane byte census. Every run is seeded, so
+// BENCH_member.json is byte-identical run to run.
+//
+// Three invariants are enforced, not just reported: every episode's
+// metered bytes must equal costmodel.GossipRoundBytes applied to its
+// census (meter-equal); every episode must converge within the
+// closed-form epidemic bound; and detection latency must grow no faster
+// than log P across the sweep (the O(log P) dissemination claim) while
+// per-rank control-plane bytes stay within the priced per-round budget.
+func RunMember(cfg Config) (*MemberResult, error) {
+	cfg = cfg.withDefaults()
+	mc := member.Config{Seed: 1}.WithDefaults()
+	res := &MemberResult{
+		PeriodSec: mc.Period, K: mc.K,
+		SuspicionPeriods: mc.SuspicionPeriods, Lambda: mc.Lambda, Seed: mc.Seed,
+	}
+
+	cfg.printf("Gossip membership: period=%.0fms k=%d suspicion=%d lambda=%d seed=%d\n",
+		mc.Period*1e3, mc.K, mc.SuspicionPeriods, mc.Lambda, mc.Seed)
+	cfg.printf("%6s %5s %7s %7s %12s %10s %12s %12s\n",
+		"P", "dead", "rounds", "bound", "latency(ms)", "msgs", "bytes", "bytes/rank")
+
+	type key struct{ p, dead int }
+	latency := map[key]float64{}
+	for _, p := range memberPs {
+		for _, nd := range memberDeads {
+			dead := make([]int, nd)
+			for i := range dead {
+				dead[i] = (i*p/nd + p/2) % p
+			}
+			rep := member.Detect(p, dead, mc)
+			if !rep.Converged {
+				return nil, fmt.Errorf("member: P=%d dead=%v did not converge in %d rounds", p, dead, rep.Rounds)
+			}
+			bound := costmodel.GossipConvergenceBound(p, mc.SuspicionPeriods)
+			if rep.Rounds > bound {
+				return nil, fmt.Errorf("member: P=%d dead=%v took %d rounds, epidemic bound is %d",
+					p, dead, rep.Rounds, bound)
+			}
+			var pred int64
+			for _, rc := range rep.PerRound {
+				rb := costmodel.GossipRoundBytes(rc.Msgs, rc.Updates)
+				if rc.Bytes != rb {
+					return nil, fmt.Errorf("member: P=%d round %d metered %d bytes, model prices %d",
+						p, rc.Round, rc.Bytes, rb)
+				}
+				pred += rb
+			}
+			if rep.Bytes != pred {
+				return nil, fmt.Errorf("member: P=%d episode metered %d bytes, model prices %d", p, rep.Bytes, pred)
+			}
+			row := MemberRow{
+				P: p, Dead: nd,
+				Rounds: rep.Rounds, Bound: bound, LatencySec: rep.Latency,
+				Msgs: rep.Msgs, Updates: rep.Updates,
+				Bytes: rep.Bytes, PredBytes: pred,
+				BytesPerRank: float64(rep.Bytes) / float64(p),
+			}
+			res.Rows = append(res.Rows, row)
+			latency[key{p, nd}] = rep.Latency
+			cfg.printf("%6d %5d %7d %7d %12.1f %10d %12d %12.1f\n",
+				p, nd, row.Rounds, row.Bound, 1e3*row.LatencySec, row.Msgs, row.Bytes, row.BytesPerRank)
+
+			// Per-rank control-plane traffic is bounded by the priced
+			// per-round budget: every member sends at most 1 ping, k
+			// ping-reqs (each forwarded), and the acks, every message
+			// carrying at most MaxPiggyback updates, for `bound` rounds.
+			perRoundCap := costmodel.GossipMsgBytes(mc.MaxPiggyback) * int64(2+3*mc.K)
+			if budget := float64(perRoundCap) * float64(bound); row.BytesPerRank > budget {
+				return nil, fmt.Errorf("member: P=%d bytes/rank %.1f exceeds priced budget %.1f",
+					p, row.BytesPerRank, budget)
+			}
+		}
+	}
+
+	// Detection latency must grow no faster than the epidemic O(log P):
+	// between consecutive sweep points, latency may rise at most by the
+	// ratio of their log2 P (with the smallest world as baseline).
+	base := memberPs[0]
+	for _, nd := range memberDeads {
+		for _, p := range memberPs[1:] {
+			allowed := costmodel.GossipDetectLatency(
+				costmodel.GossipConvergenceBound(p, mc.SuspicionPeriods), mc.Period)
+			lp, lb := latency[key{p, nd}], latency[key{base, nd}]
+			growth := float64(member.CeilLog2(p)) / float64(member.CeilLog2(base))
+			if lp > lb*growth && lp > allowed {
+				return nil, fmt.Errorf("member: latency at P=%d dead=%d is %.3fs, more than log-P growth from P=%d (%.3fs * %.2f)",
+					p, nd, lp, base, lb, growth)
+			}
+		}
+	}
+	return res, nil
+}

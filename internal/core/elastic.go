@@ -11,8 +11,10 @@ import (
 	"gnnrdm/internal/dist"
 	"gnnrdm/internal/fault"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/member"
 	"gnnrdm/internal/sparse"
 	"gnnrdm/internal/tensor"
+	"gnnrdm/internal/trace"
 )
 
 // ElasticOptions configures fault injection and recovery for
@@ -40,6 +42,21 @@ type ElasticOptions struct {
 	// MaxRecoveries bounds world re-formations before the driver gives
 	// up (default: scheduled crashes + 2).
 	MaxRecoveries int
+	// Membership switches crash detection from the coordinator-driven
+	// path (survivors learn the dead set instantly from the fabric) to
+	// the decentralized gossip control plane (internal/member): each
+	// crash triggers a SWIM detection episode in which the survivors
+	// independently converge on the identical membership view before
+	// re-forming the world. The episode's simulated latency is charged
+	// to every survivor's clock, its per-round censuses are recorded on
+	// the Recovery (priced closed-form by costmodel.GossipRoundBytes),
+	// and its rounds are traced as ClassGossip spans. The re-formed
+	// world — survivors, reshard traffic, final weights — is
+	// byte-identical to the coordinator-driven path; only detection
+	// latency and control-plane traffic differ from zero. The config's
+	// Seed composes with FaultSeed and the world index so distinct
+	// recoveries run distinct (but reproducible) episodes.
+	Membership *member.Config
 }
 
 // Recovery records one world re-formation: which ranks were lost, where
@@ -66,8 +83,19 @@ type Recovery struct {
 	// redistribution (costmodel.ShrinkTrafficDense + ShrinkTrafficCSR).
 	PredictedReshardBytes int64
 	// SimTime is the simulated clock at which the new world started
-	// (max surviving clock, deadline charges included).
+	// (max surviving clock, deadline charges included, plus the gossip
+	// detection latency when membership is enabled).
 	SimTime float64
+	// Detection is the gossip detection episode that triggered this
+	// re-formation (nil on the coordinator-driven path and for
+	// re-formations with no crash). Its Latency is included in SimTime.
+	Detection *member.Report
+	// ControlBytes is the control-plane traffic the detection episode
+	// metered (sum of encoded gossip message lengths); zero without
+	// membership. PredictedControlBytes is the cost model's closed-form
+	// price for the same episode census — the two must agree exactly.
+	ControlBytes          int64
+	PredictedControlBytes int64
 }
 
 // ElasticResult is a Result plus the recovery history of an elastic run.
@@ -357,6 +385,46 @@ func TrainElastic(p int, model *hw.Model, prob *Problem, opts Options, epochs in
 			newOrig[i] = orig[fr]
 			maxClock = math.Max(maxClock, fabric.Device(fr).Clock())
 		}
+
+		// Decentralized detection: before the survivors may re-form, each
+		// must independently learn the dead set through the gossip control
+		// plane. The episode starts at the last survivor's clock and its
+		// latency is charged to every survivor (re-formation synchronizes
+		// them at maxClock + detection latency).
+		var det *member.Report
+		if len(failed) > 0 && eo.Membership != nil && curP >= 2 {
+			var failedFab []int
+			for fr, dead := range crashed {
+				if dead {
+					failedFab = append(failedFab, fr)
+				}
+			}
+			cfg := eo.Membership.WithDefaults()
+			cfg.Seed = cfg.Seed ^ (eo.FaultSeed+1)*0x1000003 ^ int64(world+1)
+			det = member.Detect(curP, failedFab, cfg)
+			if !det.Converged {
+				panic(fmt.Sprintf("core: gossip detection did not converge at P=%d (dead %v)", curP, failedFab))
+			}
+			if opts.Tracer != nil {
+				// Gossip rounds trace on a virtual row (rank curP) like
+				// serve's request spans: control-plane time reads alongside
+				// — but never interleaves with — device timelines.
+				for _, rc := range det.PerRound {
+					start := maxClock + float64(rc.Round)*cfg.Period
+					opts.Tracer.Emit(curP, trace.Event{
+						Class:     trace.ClassGossip,
+						Op:        "gossip-round",
+						Seq:       uint64(rc.Round),
+						GroupSize: curP,
+						Bytes:     rc.Bytes,
+						Start:     start,
+						End:       start + cfg.Period,
+					})
+				}
+			}
+			maxClock += det.Latency
+		}
+
 		recNew := Recovery{
 			AbortEpoch:  startEpoch + completed,
 			ResumeEpoch: ckEpoch,
@@ -365,6 +433,13 @@ func TrainElastic(p int, model *hw.Model, prob *Problem, opts Options, epochs in
 			Failed:      failed,
 			Survivors:   newOrig,
 			SimTime:     maxClock,
+		}
+		if det != nil {
+			recNew.Detection = det
+			recNew.ControlBytes = det.Bytes
+			for _, rc := range det.PerRound {
+				recNew.PredictedControlBytes += costmodel.GossipRoundBytes(rc.Msgs, rc.Updates)
+			}
 		}
 		if len(failed) > 0 {
 			recNew.PredictedReshardBytes = costmodel.ShrinkTrafficDense(n, f0, curP, survFab) +

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"gnnrdm/internal/fault"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/member"
+	"gnnrdm/internal/tensor"
+)
+
+// weightsEqual reports bit-equality of two weight stacks.
+func weightsEqual(a, b []*tensor.Dense) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if tensor.MaxAbsDiff(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestElasticGossipMatchesCoordinator is the tentpole equivalence
+// criterion: under the same crash schedule, gossip-triggered
+// re-formation reaches the identical world — same survivors, same
+// reshard traffic, final weights bit-equal to the coordinator-driven
+// path. Only detection latency and control-plane traffic differ from
+// zero.
+func TestElasticGossipMatchesCoordinator(t *testing.T) {
+	prob := testProblem(t, 48, 12, 6)
+	opts := testOpts([]int{12, 10, 6}, 0)
+	coord := TrainElastic(4, hw.A6000(), prob, opts, 6, elasticOpts(t, "crash@rank1:epoch3"))
+	eo := elasticOpts(t, "crash@rank1:epoch3")
+	eo.Membership = &member.Config{}
+	gossip := TrainElastic(4, hw.A6000(), prob, opts, 6, eo)
+
+	if gossip.FinalP != coord.FinalP || !reflect.DeepEqual(gossip.FinalSurvivors, coord.FinalSurvivors) {
+		t.Fatalf("worlds diverge: gossip P=%d %v, coordinator P=%d %v",
+			gossip.FinalP, gossip.FinalSurvivors, coord.FinalP, coord.FinalSurvivors)
+	}
+	if !weightsEqual(gossip.Weights, coord.Weights) {
+		t.Fatal("final weights not bit-equal across detection paths")
+	}
+	if tensor.MaxAbsDiff(gossip.Logits, coord.Logits) != 0 {
+		t.Fatal("final logits not bit-equal across detection paths")
+	}
+	if len(gossip.Recoveries) != 1 || len(coord.Recoveries) != 1 {
+		t.Fatalf("want one recovery each, got %d and %d", len(gossip.Recoveries), len(coord.Recoveries))
+	}
+	g, c := gossip.Recoveries[0], coord.Recoveries[0]
+	if g.ReshardBytes != c.ReshardBytes || g.PredictedReshardBytes != c.PredictedReshardBytes {
+		t.Fatalf("reshard traffic diverges: gossip %d/%d, coordinator %d/%d",
+			g.ReshardBytes, g.PredictedReshardBytes, c.ReshardBytes, c.PredictedReshardBytes)
+	}
+	if !reflect.DeepEqual(g.Failed, c.Failed) || !reflect.DeepEqual(g.Survivors, c.Survivors) {
+		t.Fatalf("membership outcome diverges: %+v vs %+v", g, c)
+	}
+
+	if c.Detection != nil || c.ControlBytes != 0 {
+		t.Fatal("coordinator path charged control-plane traffic")
+	}
+	if g.Detection == nil {
+		t.Fatal("gossip recovery carries no detection report")
+	}
+	if !g.Detection.Converged {
+		t.Fatal("detection episode did not converge")
+	}
+	if g.ControlBytes == 0 || g.ControlBytes != g.PredictedControlBytes {
+		t.Fatalf("control-plane meter %d != closed-form prediction %d", g.ControlBytes, g.PredictedControlBytes)
+	}
+	if g.ControlBytes != g.Detection.Bytes {
+		t.Fatalf("Recovery.ControlBytes %d != Detection.Bytes %d", g.ControlBytes, g.Detection.Bytes)
+	}
+	// Detection latency is charged to the survivors' synchronized clocks.
+	if got, want := g.SimTime, c.SimTime+g.Detection.Latency; got != want {
+		t.Fatalf("SimTime %v, want coordinator %v + detection latency %v = %v",
+			got, c.SimTime, g.Detection.Latency, want)
+	}
+	if g.Detection.Latency <= 0 {
+		t.Fatal("detection episode charged no simulated latency")
+	}
+}
+
+// TestElasticGossipDeterministic: the same crash schedule and seed
+// reproduce the identical membership event log, control-plane census,
+// and bit-equal weights.
+func TestElasticGossipDeterministic(t *testing.T) {
+	prob := testProblem(t, 48, 12, 6)
+	opts := testOpts([]int{12, 10, 6}, 0)
+	run := func() *ElasticResult {
+		eo := elasticOpts(t, "crash@rank1:epoch2,crash@rank3:epoch4")
+		eo.Membership = &member.Config{Seed: 5}
+		return TrainElastic(4, hw.A6000(), prob, opts, 6, eo)
+	}
+	a, b := run(), run()
+	if len(a.Recoveries) != 2 {
+		t.Fatalf("want two recoveries, got %d", len(a.Recoveries))
+	}
+	for i := range a.Recoveries {
+		ra, rb := a.Recoveries[i], b.Recoveries[i]
+		if ra.Detection.EventLog() != rb.Detection.EventLog() {
+			t.Fatalf("recovery %d: event logs differ:\n%s\n%s", i,
+				ra.Detection.EventLog(), rb.Detection.EventLog())
+		}
+		if ra.ControlBytes != rb.ControlBytes || ra.SimTime != rb.SimTime {
+			t.Fatalf("recovery %d: census diverges: %d/%v vs %d/%v", i,
+				ra.ControlBytes, ra.SimTime, rb.ControlBytes, rb.SimTime)
+		}
+	}
+	// Distinct recoveries run distinct episodes (seed composes with the
+	// world index), yet each is individually reproducible.
+	if a.Recoveries[0].Detection.EventLog() == a.Recoveries[1].Detection.EventLog() &&
+		a.Recoveries[0].ControlBytes == a.Recoveries[1].ControlBytes {
+		t.Fatal("both recoveries ran byte-identical episodes; per-world seed derivation is inert")
+	}
+	if !weightsEqual(a.Weights, b.Weights) {
+		t.Fatal("weights not bit-equal across identical gossip runs")
+	}
+}
+
+// TestElasticScheduleRankErrorTyped: a schedule addressing ranks outside
+// the world surfaces fault.RankError at TrainElastic entry instead of
+// being silently inert.
+func TestElasticScheduleRankErrorTyped(t *testing.T) {
+	prob := testProblem(t, 48, 12, 6)
+	opts := testOpts([]int{12, 10, 6}, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("TrainElastic accepted a schedule addressing rank 9 of a 4-rank world")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v is not an error", r)
+		}
+		var re *fault.RankError
+		if !errors.As(err, &re) {
+			t.Fatalf("panic error %v is not a *fault.RankError", err)
+		}
+		if re.Rank != 9 || re.P != 4 {
+			t.Fatalf("RankError{Rank: %d, P: %d}, want {9, 4}", re.Rank, re.P)
+		}
+	}()
+	TrainElastic(4, hw.A6000(), prob, opts, 4, elasticOpts(t, "crash@rank9:epoch1"))
+}

@@ -1,0 +1,58 @@
+package costmodel
+
+import "math"
+
+// Gossip control-plane model: the SWIM membership layer
+// (internal/member) probes, escalates through proxies, and piggybacks
+// membership updates on every message. Its wire format is fixed-width —
+// a 13-byte header plus 7 bytes per piggybacked update — so a round's
+// byte volume is exact given the round's message and update census,
+// the same data-dependent discipline as the nnz-census sparse models.
+// internal/verify asserts the simulator's metered bytes (summed encoded
+// message lengths) equal these predictions exactly, and that detection
+// episodes converge within the closed-form epidemic bound below.
+
+// Wire sizes, mirrored from internal/member's encoder independently so
+// drift between the two fails the meter-equal assertions.
+const (
+	gossipHeaderBytes = 13
+	gossipUpdateBytes = 7
+)
+
+// GossipMsgBytes returns the wire length of one gossip message
+// carrying the given number of piggybacked updates.
+func GossipMsgBytes(updates int) int64 {
+	return gossipHeaderBytes + gossipUpdateBytes*int64(updates)
+}
+
+// GossipRoundBytes prices a protocol round from its census: msgs
+// messages carrying updates piggybacked entries in total.
+func GossipRoundBytes(msgs, updates int) int64 {
+	return gossipHeaderBytes*int64(msgs) + gossipUpdateBytes*int64(updates)
+}
+
+// GossipConvergenceBound is the closed-form epidemic bound on detection
+// episodes: the number of protocol periods within which a crash must be
+// noticed by a probe (O(1) expected, a few periods for the round-robin
+// orders to reach it), survive the suspicion window (suspicionPeriods),
+// and disseminate to every survivor (piggyback infection doubles the
+// informed set per period: ceil(log2 P) periods, with a constant-factor
+// epidemic margin). internal/verify asserts every detection episode's
+// round count stays at or below this; the 3log2(P)+4 structure keeps
+// it O(log P), the claim BENCH_member.json tracks at P up to 1024.
+func GossipConvergenceBound(p, suspicionPeriods int) int {
+	return suspicionPeriods + 3*ceilLog2(p) + 4
+}
+
+// GossipDetectLatency converts a detection episode's round count into
+// simulated seconds at the given protocol period.
+func GossipDetectLatency(rounds int, period float64) float64 {
+	return float64(rounds) * period
+}
+
+func ceilLog2(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(p))))
+}

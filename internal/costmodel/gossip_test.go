@@ -1,0 +1,40 @@
+package costmodel
+
+import "testing"
+
+func TestGossipBytes(t *testing.T) {
+	if got := GossipMsgBytes(0); got != 13 {
+		t.Fatalf("empty message prices %d, want the 13-byte header", got)
+	}
+	if got := GossipMsgBytes(3); got != 13+21 {
+		t.Fatalf("3-update message prices %d, want 34", got)
+	}
+	if got := GossipRoundBytes(10, 25); got != 13*10+7*25 {
+		t.Fatalf("round census prices %d, want %d", got, 13*10+7*25)
+	}
+}
+
+func TestGossipConvergenceBound(t *testing.T) {
+	// suspicionPeriods + 3*ceil(log2 p) + 4, monotone in both arguments.
+	cases := []struct {
+		p, susp, want int
+	}{
+		{8, 3, 16},
+		{64, 3, 25},
+		{256, 3, 31},
+		{1024, 3, 37},
+		{8, 5, 18},
+		{2, 3, 10},
+	}
+	for _, c := range cases {
+		if got := GossipConvergenceBound(c.p, c.susp); got != c.want {
+			t.Errorf("GossipConvergenceBound(%d,%d) = %d, want %d", c.p, c.susp, got, c.want)
+		}
+	}
+}
+
+func TestGossipDetectLatency(t *testing.T) {
+	if got := GossipDetectLatency(12, 0.01); got != 0.12 {
+		t.Fatalf("12 rounds at 10ms = %v, want 0.12", got)
+	}
+}

@@ -63,6 +63,15 @@ func (in *Injector) Remap(orig []int) {
 func (in *Injector) Arm(f *comm.Fabric) {
 	hookNeeded := false
 	for i, ev := range in.sched.Events {
+		if ev.Kind == Partition {
+			// A cut is pending while unfired and both sides still
+			// have live members; Rank alone (GroupA[0]) may be dead
+			// without deactivating the event.
+			if in.fired[i] < fireLimit(ev) && in.groupsLive(ev) {
+				hookNeeded = true
+			}
+			continue
+		}
 		fr, live := in.fab[ev.Rank]
 		if !live {
 			continue
@@ -92,6 +101,20 @@ func fireLimit(ev Event) int {
 	return 1
 }
 
+// groupsLive reports whether both sides of a partition still hold at
+// least one live member; a cut whose side is entirely dead is inert.
+func (in *Injector) groupsLive(ev Event) bool {
+	side := func(g []int) bool {
+		for _, r := range g {
+			if _, live := in.fab[r]; live {
+				return true
+			}
+		}
+		return false
+	}
+	return side(ev.GroupA) && side(ev.GroupB)
+}
+
 // AtEpochStart fires epoch-triggered crashes: a device whose original
 // rank is scheduled to crash at this epoch panics with comm.Killed,
 // which Fabric.Run contains (peers see ErrPeerDead). Drivers call it on
@@ -116,9 +139,9 @@ func (in *Injector) BeforeCollective(d *comm.Device, op string) {
 	}
 }
 
-// OnRound executes flip and drop events on world-group rounds. Drops
-// take precedence: a dropped round carries no corruption, so a pending
-// flip waits for the next round. Flips mutate the scheduled rank's
+// OnRound executes flip, drop, and partition events on world-group
+// rounds. Drops and partitions take precedence: a failed round carries
+// no corruption, so a pending flip waits for the next round. Flips mutate the scheduled rank's
 // deposited payload in place; with the CRC side-channel enabled the
 // fabric detects and rolls the flip back (a retried round), without it
 // the corruption propagates into training.
@@ -133,10 +156,14 @@ func (in *Injector) OnRound(d *comm.Device, op string, group []int, seq uint64, 
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for i, ev := range in.sched.Events {
-		if ev.Kind != Drop || ev.Epoch != epoch || in.fired[i] >= ev.Count {
+		if (ev.Kind != Drop && ev.Kind != Partition) || ev.Epoch != epoch || in.fired[i] >= fireLimit(ev) {
 			continue
 		}
-		if _, live := in.fab[ev.Rank]; !live {
+		if ev.Kind == Partition {
+			if !in.groupsLive(ev) {
+				continue
+			}
+		} else if _, live := in.fab[ev.Rank]; !live {
 			continue
 		}
 		in.fired[i]++

@@ -120,6 +120,57 @@ func TestDropWithoutRetryBudgetSurfacesFaultError(t *testing.T) {
 	})
 }
 
+func TestPartitionFailsOneRoundThenHeals(t *testing.T) {
+	inj := NewInjector(mustParse(t, "partition@0+1|2+3:epoch1"), 1, 4)
+	f := comm.NewFabric(4, hw.A6000())
+	f.SetRetryPolicy(comm.RetryPolicy{Max: 3, Backoff: 10e-6, Multiplier: 2})
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		for ep := 0; ep < 3; ep++ {
+			d.SetFaultEpoch(ep)
+			out, err := d.TryAllReduceSum(d.World(), []float32{1})
+			if err != nil {
+				t.Errorf("rank %d epoch %d: partition not healed by retry: %v", d.Rank, ep, err)
+				return
+			}
+			if out[0] != 4 {
+				t.Errorf("rank %d epoch %d: wrong sum %v", d.Rank, ep, out)
+			}
+		}
+	})
+	// The cut costs exactly one failed round plus backoff at epoch 1.
+	clean := hw.A6000().CollectiveTime(hw.OpAllReduce, 4, 4) * 3
+	if f.Device(0).CommTime() <= clean {
+		t.Fatal("partition charged no retry time")
+	}
+}
+
+func TestPartitionWithoutRetrySurfacesTransient(t *testing.T) {
+	inj := NewInjector(mustParse(t, "partition@0|1:epoch0"), 1, 2)
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(0)
+		_, err := d.TryAllReduceSum(d.World(), []float32{1})
+		if !errors.Is(err, comm.ErrTransient) {
+			t.Errorf("rank %d: got %v, want ErrTransient", d.Rank, err)
+		}
+	})
+}
+
+func TestPartitionInertWhenSideDead(t *testing.T) {
+	inj := NewInjector(mustParse(t, "crash@rank2:epoch0,partition@0+1|2:epoch1"), 1, 3)
+	inj.Remap([]int{0, 1}) // rank 2 died: GroupB has no live member
+	f := comm.NewFabric(2, hw.A6000())
+	inj.Arm(f)
+	runBounded(t, f, func(d *comm.Device) {
+		d.SetFaultEpoch(1)
+		if _, err := d.TryAllReduceSum(d.World(), []float32{1}); err != nil {
+			t.Errorf("rank %d: dead-sided partition still fired: %v", d.Rank, err)
+		}
+	})
+}
+
 func TestFlipIsDeterministicPerSeed(t *testing.T) {
 	run := func(seed int64) []float32 {
 		inj := NewInjector(mustParse(t, "flip@rank1:epoch0"), seed, 2)

@@ -38,6 +38,13 @@ const (
 	// a transient error (drop@rankR:epochE[:nK], default n1), exercising
 	// the fabric's retry/backoff path.
 	Drop
+	// Partition symmetrically cuts the links between two disjoint rank
+	// groups at the first world-group round of an epoch
+	// (partition@A+B|C+D:epochE): both sides observe one transient
+	// failure, healed by the fabric's retry path once the cut lifts. A
+	// persistent cut would deadlock a bulk-synchronous world by design,
+	// so the grammar models the transient healable case.
+	Partition
 )
 
 func (k Kind) String() string {
@@ -52,6 +59,8 @@ func (k Kind) String() string {
 		return "flip"
 	case Drop:
 		return "drop"
+	case Partition:
+		return "partition"
 	}
 	return "unknown"
 }
@@ -69,6 +78,12 @@ type Event struct {
 	Alpha  float64 // Degrade latency multiplier (>= 1)
 	Beta   float64 // Degrade bandwidth divisor (>= 1)
 	Count  int     // Drop round count (>= 1)
+	// GroupA and GroupB are the two sides of a Partition, each sorted
+	// ascending with the group holding the smallest rank first (the
+	// canonical form String emits); Rank mirrors GroupA[0]. Nil for
+	// every other kind.
+	GroupA []int
+	GroupB []int
 }
 
 // Schedule is an ordered list of fault events, parsed from the -faults
@@ -107,6 +122,21 @@ func parseEvent(tok string) (Event, error) {
 		return fail("missing '@'")
 	}
 	fields := strings.Split(rest, ":")
+	if kind == "partition" {
+		if len(fields) != 2 {
+			return fail("partition takes A+B|C+D:epochN")
+		}
+		ev := Event{Kind: Partition}
+		var err error
+		if ev.GroupA, ev.GroupB, err = parseGroups(fields[0]); err != nil {
+			return fail("%v", err)
+		}
+		ev.Rank = ev.GroupA[0]
+		if ev.Epoch, err = prefixedInt(fields[1], "epoch"); err != nil {
+			return fail("%v", err)
+		}
+		return ev, nil
+	}
 	rank, err := prefixedInt(fields[0], "rank")
 	if err != nil {
 		return fail("%v", err)
@@ -190,6 +220,64 @@ func parseEvent(tok string) (Event, error) {
 	return ev, nil
 }
 
+// parseGroups parses the A+B|C+D side spec of a partition event into
+// its canonical form: both groups sorted ascending, the group holding
+// the overall smallest rank first, no empty groups, no rank named
+// twice.
+func parseGroups(s string) (a, b []int, err error) {
+	left, right, ok := strings.Cut(s, "|")
+	if !ok {
+		return nil, nil, fmt.Errorf("expected two '|'-separated rank groups, got %q", s)
+	}
+	parseGroup := func(g string) ([]int, error) {
+		var out []int
+		for _, f := range strings.Split(g, "+") {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad rank %q in group %q", f, g)
+			}
+			out = append(out, v)
+		}
+		sortInts(out)
+		return out, nil
+	}
+	if a, err = parseGroup(left); err != nil {
+		return nil, nil, err
+	}
+	if b, err = parseGroup(right); err != nil {
+		return nil, nil, err
+	}
+	seen := map[int]bool{}
+	for _, g := range [][]int{a, b} {
+		for _, r := range g {
+			if seen[r] {
+				return nil, nil, fmt.Errorf("rank %d appears twice across the partition groups", r)
+			}
+			seen[r] = true
+		}
+	}
+	if b[0] < a[0] {
+		a, b = b, a
+	}
+	return a, b, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func joinRanks(v []int) string {
+	parts := make([]string, len(v))
+	for i, r := range v {
+		parts[i] = strconv.Itoa(r)
+	}
+	return strings.Join(parts, "+")
+}
+
 func prefixedInt(s, prefix string) (int, error) {
 	body, ok := strings.CutPrefix(s, prefix)
 	if !ok {
@@ -243,20 +331,48 @@ func (ev Event) String() string {
 		return fmt.Sprintf("flip@rank%d:epoch%d", ev.Rank, ev.Epoch)
 	case Drop:
 		return fmt.Sprintf("drop@rank%d:epoch%d:n%d", ev.Rank, ev.Epoch, ev.Count)
+	case Partition:
+		return fmt.Sprintf("partition@%s|%s:epoch%d", joinRanks(ev.GroupA), joinRanks(ev.GroupB), ev.Epoch)
 	}
 	return "?"
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// RankError reports a schedule event addressing a rank that does not
+// exist in the world the schedule was validated against. Train and
+// TrainElastic surface it from their entry validation so callers can
+// distinguish a misaddressed schedule from runtime faults with
+// errors.As.
+type RankError struct {
+	Event Event // the offending event
+	Rank  int   // the out-of-world rank it addresses
+	P     int   // the world size validated against
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("fault: event %s addresses rank %d of a %d-rank world", e.Event, e.Rank, e.P)
+}
+
 // Validate checks the schedule against a world of p ranks: every event
-// must address an existing rank and the crash set must leave at least
-// one survivor.
+// must address only existing ranks (a *RankError otherwise — for a
+// partition, every member of both groups) and the crash set must leave
+// at least one survivor.
 func (s *Schedule) Validate(p int) error {
 	crashed := map[int]bool{}
 	for _, ev := range s.Events {
+		if ev.Kind == Partition {
+			for _, g := range [][]int{ev.GroupA, ev.GroupB} {
+				for _, r := range g {
+					if r >= p {
+						return &RankError{Event: ev, Rank: r, P: p}
+					}
+				}
+			}
+			continue
+		}
 		if ev.Rank >= p {
-			return fmt.Errorf("fault: event %s addresses rank %d of a %d-rank world", ev, ev.Rank, p)
+			return &RankError{Event: ev, Rank: ev.Rank, P: p}
 		}
 		if ev.Kind == Crash {
 			crashed[ev.Rank] = true

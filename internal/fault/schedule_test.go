@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -20,6 +21,13 @@ func TestParseScheduleGrammar(t *testing.T) {
 		{"flip@rank3:epoch1", []Event{{Kind: Flip, Rank: 3, Epoch: 1}}},
 		{"drop@rank0:epoch2", []Event{{Kind: Drop, Rank: 0, Epoch: 2, Count: 1}}},
 		{"drop@rank0:epoch2:n3", []Event{{Kind: Drop, Rank: 0, Epoch: 2, Count: 3}}},
+		{"partition@0+1|2+3:epoch2", []Event{{Kind: Partition, Rank: 0, Epoch: 2,
+			GroupA: []int{0, 1}, GroupB: []int{2, 3}}}},
+		// Non-canonical group spec: members sort, smallest-min group first.
+		{"partition@3+2|1+0:epoch1", []Event{{Kind: Partition, Rank: 0, Epoch: 1,
+			GroupA: []int{0, 1}, GroupB: []int{2, 3}}}},
+		{"partition@5|4:epoch0", []Event{{Kind: Partition, Rank: 4, Epoch: 0,
+			GroupA: []int{4}, GroupB: []int{5}}}},
 		{
 			"crash@rank2:epoch3, slow@rank0:1.5x",
 			[]Event{{Kind: Crash, Rank: 2, Epoch: 3}, {Kind: Slow, Rank: 0, Epoch: -1, Factor: 1.5}},
@@ -55,6 +63,14 @@ func TestParseScheduleRejects(t *testing.T) {
 		"flip@rank0:epochx",          // bad epoch
 		"drop@rank0:epoch1:n0",       // count < 1
 		"crash@rank0:epoch1,,",       // empty event
+		"partition@0+1:epoch1",       // no '|'
+		"partition@0+1|2+3",          // no epoch
+		"partition@|0:epoch1",        // empty group
+		"partition@0+0|1:epoch1",     // duplicate within a group
+		"partition@0+1|1+2:epoch1",   // groups overlap
+		"partition@0+x|1:epoch1",     // bad rank
+		"partition@-1|0:epoch1",      // negative rank
+		"partition@0|1|2:epoch1",     // three groups
 	}
 	for _, s := range bad {
 		if _, err := ParseSchedule(s); err == nil {
@@ -65,7 +81,8 @@ func TestParseScheduleRejects(t *testing.T) {
 
 func TestScheduleStringRoundTrip(t *testing.T) {
 	in := "crash@rank2:epoch3,crash@rank5:t0.25,slow@rank0:1.5x," +
-		"degrade@rank1:alpha2:beta4.5,flip@rank3:epoch1,drop@rank0:epoch2:n2"
+		"degrade@rank1:alpha2:beta4.5,flip@rank3:epoch1,drop@rank0:epoch2:n2," +
+		"partition@0+1|2+3:epoch2"
 	s, err := ParseSchedule(in)
 	if err != nil {
 		t.Fatal(err)
@@ -82,20 +99,58 @@ func TestScheduleStringRoundTrip(t *testing.T) {
 	}
 }
 
-func TestScheduleValidate(t *testing.T) {
-	s, err := ParseSchedule("crash@rank7:epoch1")
-	if err != nil {
-		t.Fatal(err)
+// TestScheduleValidateRankErrors: every event kind addressing a rank
+// outside the world surfaces a typed *RankError naming the event, the
+// offending rank, and the world size — the entry-validation contract
+// Train and TrainElastic expose.
+func TestScheduleValidateRankErrors(t *testing.T) {
+	cases := []struct {
+		sched string
+		p     int
+		rank  int // offending rank; -1 means the schedule is valid
+	}{
+		{"crash@rank7:epoch1", 8, -1},
+		{"crash@rank7:epoch1", 4, 7},
+		{"crash@rank7:t0.5", 4, 7},
+		{"slow@rank4:2x", 4, 4},
+		{"degrade@rank9:alpha2:beta2", 8, 9},
+		{"flip@rank8:epoch0", 8, 8},
+		{"drop@rank100:epoch1:n2", 16, 100},
+		{"partition@0+1|2+3:epoch1", 4, -1},
+		{"partition@0+1|2+5:epoch1", 4, 5}, // group member out of world
+		{"partition@0+9|1:epoch1", 4, 9},   // GroupA member beyond Rank
+		{"crash@rank0:epoch1,partition@0|1:epoch2", 2, -1},
 	}
-	if err := s.Validate(8); err != nil {
-		t.Fatalf("valid schedule rejected: %v", err)
-	}
-	if err := s.Validate(4); err == nil {
-		t.Fatal("rank 7 accepted in a 4-rank world")
+	for _, c := range cases {
+		s, err := ParseSchedule(c.sched)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", c.sched, err)
+		}
+		err = s.Validate(c.p)
+		if c.rank < 0 {
+			if err != nil {
+				t.Errorf("Validate(%q, %d): unexpected error %v", c.sched, c.p, err)
+			}
+			continue
+		}
+		var re *RankError
+		if !errors.As(err, &re) {
+			t.Errorf("Validate(%q, %d) = %v, want *RankError", c.sched, c.p, err)
+			continue
+		}
+		if re.Rank != c.rank || re.P != c.p {
+			t.Errorf("Validate(%q, %d): RankError{Rank: %d, P: %d}, want rank %d",
+				c.sched, c.p, re.Rank, re.P, c.rank)
+		}
 	}
 	all, _ := ParseSchedule("crash@rank0:epoch1,crash@rank1:epoch1")
-	if err := all.Validate(2); err == nil {
+	err := all.Validate(2)
+	if err == nil {
 		t.Fatal("schedule crashing every rank accepted")
+	}
+	var re *RankError
+	if errors.As(err, &re) {
+		t.Fatalf("crash-all error misreported as RankError: %v", err)
 	}
 }
 

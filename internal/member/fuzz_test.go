@@ -1,0 +1,36 @@
+package member
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMemberMsg drives DecodeMsg with arbitrary bytes: it must never
+// panic, and every input it accepts must re-encode byte-identically
+// (the wire format has exactly one representation per message).
+func FuzzMemberMsg(f *testing.F) {
+	seeds := []*Msg{
+		{Type: MsgPing, From: 0, To: 1, Seq: 1},
+		{Type: MsgAck, From: 1, To: 0, Seq: 1,
+			Updates: []Update{{Rank: 2, State: Suspect, Inc: 1}}},
+		{Type: MsgPingReq, From: 3, To: 5, Seq: 42, Target: 7,
+			Updates: []Update{{Rank: 7, State: Dead, Inc: 0}, {Rank: 3, State: Alive, Inc: 9}}},
+	}
+	for _, m := range seeds {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMsg(b)
+		if err != nil {
+			return
+		}
+		if got := m.Encode(); !bytes.Equal(got, b) {
+			t.Fatalf("accepted %x but re-encoded %x", b, got)
+		}
+		if m.Bytes() != len(b) {
+			t.Fatalf("Bytes() %d != wire length %d", m.Bytes(), len(b))
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package member
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgType enumerates the three SWIM message kinds.
+type MsgType uint8
+
+const (
+	// MsgPing is a direct liveness probe (also sent by proxies on
+	// behalf of a ping-req origin).
+	MsgPing MsgType = 1
+	// MsgAck answers a ping.
+	MsgAck MsgType = 2
+	// MsgPingReq asks a proxy to probe Target on the sender's behalf.
+	MsgPingReq MsgType = 3
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgAck:
+		return "ack"
+	case MsgPingReq:
+		return "ping-req"
+	}
+	return "unknown"
+}
+
+// Update is one piggybacked membership assertion: rank is in State at
+// the given incarnation.
+type Update struct {
+	Rank  uint16
+	State State
+	Inc   uint32
+}
+
+// Wire-format sizes. costmodel.GossipRoundBytes prices rounds from
+// these independently (13*msgs + 7*updates); drift between the encoder
+// and the cost model fails the meter-equal assertions.
+const (
+	// MsgHeaderBytes is the fixed prefix: type(1) from(2) to(2) seq(4)
+	// target(2) count(2).
+	MsgHeaderBytes = 13
+	// UpdateBytes is one piggybacked update: rank(2) state(1) inc(4).
+	UpdateBytes = 7
+)
+
+// Msg is one gossip wire message. Every message the simulator sends is
+// encoded through this format, and its encoded length is what the
+// byte meters accumulate.
+type Msg struct {
+	Type MsgType
+	// From and To are fabric ranks.
+	From, To uint16
+	// Seq is the sender's probe sequence number.
+	Seq uint32
+	// Target is the rank a MsgPingReq asks the proxy to probe (0 and
+	// unused for other types).
+	Target uint16
+	// Updates is the piggybacked gossip payload.
+	Updates []Update
+}
+
+// Bytes returns the encoded length without encoding.
+func (m *Msg) Bytes() int { return MsgHeaderBytes + UpdateBytes*len(m.Updates) }
+
+// Encode serializes the message (little-endian, fixed-width fields).
+func (m *Msg) Encode() []byte {
+	b := make([]byte, m.Bytes())
+	b[0] = byte(m.Type)
+	binary.LittleEndian.PutUint16(b[1:], m.From)
+	binary.LittleEndian.PutUint16(b[3:], m.To)
+	binary.LittleEndian.PutUint32(b[5:], m.Seq)
+	binary.LittleEndian.PutUint16(b[9:], m.Target)
+	binary.LittleEndian.PutUint16(b[11:], uint16(len(m.Updates)))
+	off := MsgHeaderBytes
+	for _, u := range m.Updates {
+		binary.LittleEndian.PutUint16(b[off:], u.Rank)
+		b[off+2] = byte(u.State)
+		binary.LittleEndian.PutUint32(b[off+3:], u.Inc)
+		off += UpdateBytes
+	}
+	return b
+}
+
+// DecodeMsg parses an encoded message. It rejects truncated or trailing
+// bytes, unknown message types, oversized update counts, and invalid
+// states, and never panics; Encode(DecodeMsg(b)) == b for every
+// accepted b.
+func DecodeMsg(b []byte) (*Msg, error) {
+	if len(b) < MsgHeaderBytes {
+		return nil, fmt.Errorf("member: message truncated at %d of %d header bytes", len(b), MsgHeaderBytes)
+	}
+	m := &Msg{
+		Type:   MsgType(b[0]),
+		From:   binary.LittleEndian.Uint16(b[1:]),
+		To:     binary.LittleEndian.Uint16(b[3:]),
+		Seq:    binary.LittleEndian.Uint32(b[5:]),
+		Target: binary.LittleEndian.Uint16(b[9:]),
+	}
+	switch m.Type {
+	case MsgPing, MsgAck, MsgPingReq:
+	default:
+		return nil, fmt.Errorf("member: unknown message type %d", b[0])
+	}
+	count := int(binary.LittleEndian.Uint16(b[11:]))
+	if want := MsgHeaderBytes + UpdateBytes*count; len(b) != want {
+		return nil, fmt.Errorf("member: %d updates need %d bytes, got %d", count, want, len(b))
+	}
+	for off := MsgHeaderBytes; count > 0; count-- {
+		u := Update{
+			Rank:  binary.LittleEndian.Uint16(b[off:]),
+			State: State(b[off+2]),
+			Inc:   binary.LittleEndian.Uint32(b[off+3:]),
+		}
+		if u.State > Dead {
+			return nil, fmt.Errorf("member: invalid state %d in update for rank %d", b[off+2], u.Rank)
+		}
+		m.Updates = append(m.Updates, u)
+		off += UpdateBytes
+	}
+	return m, nil
+}

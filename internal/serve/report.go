@@ -21,6 +21,12 @@ type Report struct {
 	Misses  int     `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
 
+	// Degraded-window tallies: queries answered stale from the store
+	// while the world was re-forming, and queries deferred for
+	// resubmission (see Session.ServeDegraded).
+	StaleServed int `json:"stale_served"`
+	Deferred    int `json:"deferred"`
+
 	BytesAllToAll  int64   `json:"bytes_alltoall"`
 	BytesAllGather int64   `json:"bytes_allgather"`
 	BytesTotal     int64   `json:"bytes_total"`
@@ -62,6 +68,9 @@ func (s *Session) Report() Report {
 		Batches: s.batches,
 		Hits:    s.hits,
 		Misses:  s.misses,
+
+		StaleServed: s.staleServed,
+		Deferred:    s.deferred,
 
 		BytesAllToAll:  s.metered.AllToAll,
 		BytesAllGather: s.metered.AllGather,

@@ -119,6 +119,12 @@ type Session struct {
 
 	metered   Meter
 	predicted Meter
+
+	// Degraded-window counters (see degraded.go): queries answered
+	// stale from the store and queries deferred for resubmission. The
+	// degraded path never touches the meters above.
+	staleServed int
+	deferred    int
 }
 
 // NewSession builds a serving session over a problem's graph and

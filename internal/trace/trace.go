@@ -49,6 +49,13 @@ const (
 	// latency reads alongside — but never interleaves with — device
 	// work.
 	ClassRequest
+	// ClassGossip is a membership control-plane span (internal/member):
+	// one gossip protocol round of a failure-detection episode, emitted
+	// on a virtual row (rank P of the world being probed) like
+	// ClassRequest, carrying the round's exact metered control-plane
+	// bytes. Gossip rounds occupy simulated detection time between a
+	// crash and the re-formation it triggers.
+	ClassGossip
 )
 
 func (c Class) String() string {
@@ -63,6 +70,8 @@ func (c Class) String() string {
 		return "fault"
 	case ClassRequest:
 		return "request"
+	case ClassGossip:
+		return "gossip"
 	}
 	return "unknown"
 }

@@ -63,8 +63,8 @@ func checkSession(fab *comm.Fabric, s *trace.Session) error {
 		lastEnd := 0.0
 		seenTimed := false
 		for i, ev := range s.Events(r) {
-			if ev.Class == trace.ClassPhase || ev.Class == trace.ClassRequest {
-				continue // phases and request spans nest and overlap by design
+			if ev.Class == trace.ClassPhase || ev.Class == trace.ClassRequest || ev.Class == trace.ClassGossip {
+				continue // phase, request, and gossip spans nest and overlap by design
 			}
 			if ev.End < ev.Start {
 				return fmt.Errorf("rank %d event %d (%s): runs backwards [%v, %v]", r, i, ev.Op, ev.Start, ev.End)

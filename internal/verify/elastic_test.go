@@ -8,6 +8,7 @@ import (
 	"gnnrdm/internal/core"
 	"gnnrdm/internal/fault"
 	"gnnrdm/internal/hw"
+	"gnnrdm/internal/member"
 )
 
 // The ISSUE's acceptance sweep: crashes at P=8 shrinking to P' ∈ {7, 4}
@@ -41,6 +42,61 @@ func TestElasticTraceByteDeterminism(t *testing.T) {
 	CheckElasticTraceDeterminism(t, 4, prob, []int{12, 8, 4}, 4, "", 7)
 	CheckElasticTraceDeterminism(t, 4, prob, []int{12, 8, 4}, 4,
 		"crash@rank2:epoch2,flip@rank0:epoch1", 7)
+}
+
+// Elastic recovery must be executor-independent: the overlap DAG
+// executor and the sequential interpreter take the identical recovery
+// path with bit-identical numerics and exactly equal meters — through a
+// single crash, through crash-plus-noise (drops and a partition cut on
+// the retry path), and through gossip-triggered re-formation.
+func TestElasticOverlapEquivalence(t *testing.T) {
+	prob := DefaultProblem(3, 64, 12, 4)
+	dims := []int{12, 10, 4}
+	t.Run("crash", func(t *testing.T) {
+		CheckElasticOverlapEquivalence(t, 4, prob, dims, 6, "crash@rank2:epoch3",
+			core.ElasticOptions{FaultSeed: 1})
+	})
+	t.Run("crash-noise", func(t *testing.T) {
+		CheckElasticOverlapEquivalence(t, 4, prob, dims, 6,
+			"crash@rank1:epoch2,drop@rank0:epoch1,partition@0+1|2+3:epoch4",
+			core.ElasticOptions{FaultSeed: 3})
+	})
+	t.Run("gossip", func(t *testing.T) {
+		CheckElasticOverlapEquivalence(t, 4, prob, dims, 6, "crash@rank3:epoch2",
+			core.ElasticOptions{FaultSeed: 1, Membership: &member.Config{}})
+	})
+}
+
+// A partition cut is absorbed by the retry path without re-formation
+// and without disturbing convergence.
+func TestElasticPartitionAbsorbed(t *testing.T) {
+	prob := DefaultProblem(3, 64, 12, 4)
+	opts := DiffSpec{Dims: []int{12, 10, 4}}.opts(0)
+	sched, err := fault.ParseSchedule("partition@0+1|2+3:epoch1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el *core.ElasticResult
+	NoGoroutineLeak(t, func() {
+		el = core.TrainElastic(4, hw.A6000(), prob, opts, 4,
+			core.ElasticOptions{Schedule: sched, FaultSeed: 1})
+	})
+	if len(el.Recoveries) != 0 || el.FinalP != 4 {
+		t.Fatalf("transient partition forced a re-formation: %+v", el.Recoveries)
+	}
+	clean := core.TrainElastic(4, hw.A6000(), prob, opts, 4, core.ElasticOptions{})
+	for ep := range clean.Epochs {
+		if el.Epochs[ep].Loss != clean.Epochs[ep].Loss {
+			t.Fatalf("epoch %d: partitioned loss %v != clean %v", ep, el.Epochs[ep].Loss, clean.Epochs[ep].Loss)
+		}
+	}
+	// The retried round costs simulated time, not extra primary bytes.
+	if el.Epochs[1].CommBytes != clean.Epochs[1].CommBytes {
+		t.Fatalf("partition changed epoch 1 volume: %d vs %d", el.Epochs[1].CommBytes, clean.Epochs[1].CommBytes)
+	}
+	if el.Epochs[1].CommTime <= clean.Epochs[1].CommTime {
+		t.Fatal("partition retry charged no extra simulated comm time")
+	}
 }
 
 // Chaos sweep: randomized but seed-deterministic schedules (CI runs a

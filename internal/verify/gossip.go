@@ -1,0 +1,63 @@
+package verify
+
+import (
+	"fmt"
+	"reflect"
+
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/member"
+)
+
+// CheckGossipConvergence runs one membership detection episode and
+// asserts the tentpole invariants of the gossip control plane:
+//
+//   - the episode converges (every survivor independently holds the
+//     identical dead set) within the closed-form epidemic bound
+//     costmodel.GossipConvergenceBound(p, suspicionPeriods);
+//   - every protocol round's metered bytes (sum of actual encoded
+//     message lengths) equal costmodel.GossipRoundBytes applied to that
+//     round's message/update census, and the episode totals equal the
+//     per-round sums — the meter-equal discipline;
+//   - the episode is seed-deterministic: a second run with the same
+//     inputs yields a byte-identical event log and census.
+//
+// It returns the first run's report for further inspection.
+func CheckGossipConvergence(p int, dead []int, cfg member.Config) (*member.Report, error) {
+	cfg = cfg.WithDefaults()
+	rep := member.Detect(p, dead, cfg)
+	if !rep.Converged {
+		return rep, fmt.Errorf("gossip: P=%d dead=%v seed=%d did not converge within %d rounds",
+			p, dead, cfg.Seed, rep.Rounds)
+	}
+	bound := costmodel.GossipConvergenceBound(p, cfg.SuspicionPeriods)
+	if rep.Rounds > bound {
+		return rep, fmt.Errorf("gossip: P=%d dead=%v seed=%d converged in %d rounds, epidemic bound is %d",
+			p, dead, cfg.Seed, rep.Rounds, bound)
+	}
+	var msgs, updates int
+	var bytes int64
+	for _, rc := range rep.PerRound {
+		if want := costmodel.GossipRoundBytes(rc.Msgs, rc.Updates); rc.Bytes != want {
+			return rep, fmt.Errorf("gossip: P=%d round %d metered %d bytes, cost model prices %d (%d msgs, %d updates)",
+				p, rc.Round, rc.Bytes, want, rc.Msgs, rc.Updates)
+		}
+		msgs += rc.Msgs
+		updates += rc.Updates
+		bytes += rc.Bytes
+	}
+	if msgs != rep.Msgs || updates != rep.Updates || bytes != rep.Bytes {
+		return rep, fmt.Errorf("gossip: episode totals %d msgs/%d updates/%d bytes drift from per-round sums %d/%d/%d",
+			rep.Msgs, rep.Updates, rep.Bytes, msgs, updates, bytes)
+	}
+	if want := costmodel.GossipDetectLatency(rep.Rounds, cfg.Period); rep.Latency != want {
+		return rep, fmt.Errorf("gossip: latency %v != %d rounds at period %v", rep.Latency, rep.Rounds, cfg.Period)
+	}
+	again := member.Detect(p, dead, cfg)
+	if rep.EventLog() != again.EventLog() {
+		return rep, fmt.Errorf("gossip: event log not deterministic:\n%s\n%s", rep.EventLog(), again.EventLog())
+	}
+	if !reflect.DeepEqual(rep.PerRound, again.PerRound) {
+		return rep, fmt.Errorf("gossip: per-round census not deterministic at P=%d seed=%d", p, cfg.Seed)
+	}
+	return rep, nil
+}

@@ -117,6 +117,64 @@ func TestServeEmptyStreamNoDeadlock(t *testing.T) {
 	})
 }
 
+// Graceful degradation: during an elastic re-formation window the tier
+// answers from its store with a staleness flag instead of erroring,
+// defers what it cannot answer, and the deferred queries resume
+// normally — at a different world size — once the fabric is back.
+func TestServeDegradedWindow(t *testing.T) {
+	prob := DefaultProblem(1, 96, 16, 4)
+	cfg, ts := serveFixture()
+	queries := ts.Generate(prob.N())
+	cut := len(queries) / 2
+	s := serve.NewSession(prob, cfg)
+	s.Serve(4, queries[:cut])
+	preMeter := s.Metered()
+	preWitness := s.HitMiss()
+
+	// The world goes down: the second half of the stream hits the
+	// degraded path.
+	dr := s.ServeDegraded(queries[cut:])
+	if dr.Served == 0 {
+		t.Fatal("Zipf stream re-queries served vertices; the store must answer some stale")
+	}
+	if dr.Deferred == nil {
+		t.Fatal("fresh vertices must be deferred, not dropped")
+	}
+	if dr.Served+len(dr.Deferred) != len(queries[cut:]) {
+		t.Fatalf("degraded window lost queries: %d + %d != %d", dr.Served, len(dr.Deferred), len(queries[cut:]))
+	}
+	for _, a := range dr.Answers {
+		if !a.Stale {
+			t.Fatalf("degraded answer for vertex %d not flagged stale", a.Vertex)
+		}
+		if !reflect.DeepEqual(a.Embedding, s.Answer(a.Vertex)) {
+			t.Fatalf("stale answer for vertex %d diverges from the store", a.Vertex)
+		}
+	}
+	if s.Metered() != preMeter {
+		t.Fatal("degraded path moved fabric bytes")
+	}
+	if s.HitMiss() != preWitness {
+		t.Fatal("degraded path perturbed the cache determinism witness")
+	}
+	r := s.Report()
+	if r.StaleServed != dr.Served || r.Deferred != len(dr.Deferred) {
+		t.Fatalf("report tallies %d/%d, want %d/%d", r.StaleServed, r.Deferred, dr.Served, len(dr.Deferred))
+	}
+
+	// The world re-forms smaller; deferred queries replay through the
+	// normal path and every one must now have an answer.
+	s.Serve(3, dr.Deferred)
+	for _, q := range dr.Deferred {
+		if s.Answer(q.Vertex) == nil {
+			t.Fatalf("deferred vertex %d still unanswered after resumption", q.Vertex)
+		}
+	}
+	if s.Report().Queries != cut+len(dr.Deferred) {
+		t.Fatalf("normal-path query count %d, want %d", s.Report().Queries, cut+len(dr.Deferred))
+	}
+}
+
 // Two sessions over the identical seed and arrival trace must produce
 // byte-identical hit/miss sequences and identical reports — the
 // serving tier is bit-reproducible.
