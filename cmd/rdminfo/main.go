@@ -27,6 +27,7 @@ import (
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
 	"gnnrdm/internal/plan"
+	"gnnrdm/internal/sim"
 	"gnnrdm/internal/topo"
 )
 
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	nnz := fs.Int64("nnz", 0, "stored adjacency entries, 0 = 8n (with -plan)")
 	nomemo := fs.Bool("nomemo", false, "disable forward memoization (with -plan)")
 	overlap := fs.Bool("overlap", false, "also print the dependency-DAG critical path and the overlap-vs-sequential ordering argmins (with -plan)")
+	engine := fs.String("engine", "fabric", "execution backend for -plan: fabric prints the priced schedule only; sim also replays it on the discrete-event engine and reconciles clocks against plan.PriceDAGEpochs")
 	topoFlag := fs.Bool("topo", false, "print an interconnect spec's link tiers and predicted collective times")
 	specStr := fs.String("spec", "8x4:nvlink,ib", "interconnect spec <nodes>x<perNode>:<intra>[,<inter>] (with -topo)")
 	topoP := fs.Int("topo-p", 0, "device count for -topo predictions, 0 = the spec's full size")
@@ -60,8 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *topoFlag {
 		return runTopo(stdout, stderr, *specStr, *topoP, *payload)
 	}
+	if *engine != "fabric" && *engine != "sim" {
+		fmt.Fprintf(stderr, "rdminfo: unknown -engine %q (want fabric or sim)\n", *engine)
+		return 2
+	}
 	if *planFlag {
-		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo, *overlap, *specStr)
+		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo, *overlap, *specStr, *engine)
 	}
 
 	fmt.Fprintf(stdout, "Dataset recipes (Table V), scale=1/%d\n", *scale)
@@ -98,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // the -spec topology) and the Table IV argmin under both pricers. Exit
 // code 1 signals a planner/model disagreement, or a critical path
 // exceeding the sequential replay.
-func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, nomemo, overlap bool, specStr string) int {
+func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, nomemo, overlap bool, specStr, engine string) int {
 	dims, err := parseDims(dimsStr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
@@ -168,10 +174,71 @@ func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz 
 			got, want, got-want)
 		return 1
 	}
+	if engine == "sim" {
+		if code := runPlanSim(stdout, stderr, sched, nnz); code != 0 {
+			return code
+		}
+	}
 	if !overlap {
 		return 0
 	}
 	return runPlanOverlap(stdout, stderr, sp, sched, nnz, specStr)
+}
+
+// runPlanSim replays the compiled schedule on the discrete-event
+// backend (-engine sim) for two epochs under both executors, printing
+// the simulated clocks and meter census, and exits non-zero unless
+// every device clock equals plan.PriceDAGEpochs bit-for-bit. The dump
+// is deterministic and doubles as a CI golden (testdata/plan_sim.txt).
+func runPlanSim(stdout, stderr io.Writer, sched *plan.Schedule, nnz int64) int {
+	const epochs = 2
+	dag, err := plan.BuildDAG(sched)
+	if err != nil {
+		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
+		return 1
+	}
+	h := hw.A6000()
+	cen := sched.ApproxCensus(nnz)
+	cost := dag.PriceDAGEpochs(cen, h, nil, epochs)
+	for _, mode := range []struct {
+		name    string
+		overlap bool
+		want    []float64
+	}{{"sequential", false, cost.PerDeviceSeq}, {"overlap", true, cost.PerDevice}} {
+		res := sim.MustRun(sim.Config{
+			DAG: dag, Census: cen, HW: h, Epochs: epochs, Overlap: mode.overlap,
+		})
+		var comm, comp float64
+		for r := range res.Clocks {
+			if res.Clocks[r] != mode.want[r] {
+				fmt.Fprintf(stderr, "rdminfo: sim %s clock[%d]=%.17g != plan.PriceDAGEpochs %.17g\n",
+					mode.name, r, res.Clocks[r], mode.want[r])
+				return 1
+			}
+			comm = maxf(comm, res.CommTime[r])
+			comp = maxf(comp, res.ComputeTime[r])
+		}
+		if mode.overlap {
+			fmt.Fprintf(stdout, "engine sim: %-10s epochs=%d clock=%.9fs\n",
+				mode.name, epochs, res.MaxClock())
+			continue
+		}
+		m := &res.Meters
+		fmt.Fprintf(stdout, "engine sim: %-10s epochs=%d clock=%.9fs comm=%.9fs compute=%.9fs\n",
+			mode.name, epochs, res.MaxClock(), comm, comp)
+		fmt.Fprintf(stdout, "engine sim: meters alltoall=%dB allgather=%dB allreduce=%dB side=%dB total=%dB\n",
+			m.Volume[hw.OpAllToAll], m.Volume[hw.OpAllGather], m.Volume[hw.OpAllReduce],
+			m.TotalSideVolume(), m.TotalVolume())
+	}
+	fmt.Fprintln(stdout, "engine sim: clocks == plan.PriceDAGEpochs bit-exact (sequential + overlap)")
+	return 0
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // runPlanOverlap appends the -overlap section: DAG shape, critical path

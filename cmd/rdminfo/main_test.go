@@ -170,3 +170,43 @@ func TestTopoFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanSimGolden pins the -engine sim replay dump: the discrete-event
+// backend re-executes the priced schedule and must reconcile every
+// device clock against plan.PriceDAGEpochs before printing; the output
+// doubles as a CI golden (.github/workflows/ci.yml diffs it).
+func TestPlanSimGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-plan", "-config", "10", "-engine", "sim"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "clocks == plan.PriceDAGEpochs bit-exact") {
+		t.Errorf("sim dump missing the reconciliation line:\n%s", out.String())
+	}
+	path := filepath.Join("testdata", "plan_sim.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-engine sim dump differs from %s; rerun with -update if intended\n--- got\n%s--- want\n%s",
+			path, out.String(), want)
+	}
+}
+
+// TestEngineFlagValidation: an unknown backend name exits 2.
+func TestEngineFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-plan", "-engine", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -engine") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}

@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults    = fs.String("faults", "", "fault schedule to inject, e.g. 'crash@rank2:epoch3,slow@rank0:1.5x' (enables elastic recovery; see RESILIENCE.md)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault injector seed (same seed + schedule reproduces the identical run)")
 		ckEvery   = fs.Int("checkpoint-every", 1, "epochs between durable recovery checkpoints in an elastic run")
+		engine    = fs.String("engine", "fabric", "execution backend: fabric (live devices, full numerics) or sim (discrete-event pricing; timing and traffic only)")
 		memberOn  = fs.Bool("member", false, "detect failures by SWIM gossip among survivors instead of the coordinator oracle (see RESILIENCE.md)")
 		memberT   = fs.Float64("member-period", 0, "gossip protocol period in seconds (0 = protocol default)")
 	)
@@ -164,7 +165,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Tracer = trace.NewTracer(0)
 	}
 
-	// 4. Train (with optional resume/save through the engine API).
+	// 4. Train (with optional resume/save through the engine API). The
+	// sim backend replays the identical compiled schedule on the
+	// discrete-event engine — same clocks and metered bytes, zero
+	// payloads — so it reports timing only and carries no weights.
+	ex, err := core.ExecutorFor(*engine)
+	if err != nil {
+		return fail(err)
+	}
+	if ex.Name() == "sim" {
+		switch {
+		case *faults != "":
+			return fail(fmt.Errorf("-engine sim prices the fault-free schedule; drop -faults"))
+		case *save != "" || *resume != "":
+			return fail(fmt.Errorf("-engine sim carries no weights; drop -save/-resume"))
+		case *fanout > 0:
+			return fail(fmt.Errorf("-engine sim cannot apply sampled masks; drop -fanout"))
+		}
+		res := ex.Train(*gpus, hw.A6000(), prob, opts, *epochs)
+		for i, ep := range res.Epochs {
+			if i%5 == 0 || i == len(res.Epochs)-1 {
+				fmt.Fprintf(stdout, "epoch %3d  sim %.3fms  comm %.3fms  %.2fMB\n",
+					i, ep.Time*1e3, ep.CommTime*1e3, float64(ep.CommBytes)/(1<<20))
+			}
+		}
+		fmt.Fprintf(stdout, "discrete-event engine: mean epoch %.3fms  throughput %.1f epochs/s (simulated %d GPUs, timing only)\n",
+			res.MeanEpochTime()*1e3, res.EpochsPerSecond(), *gpus)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fail(err)
+			}
+			if err := trace.WriteChrome(f, opts.Tracer); err != nil {
+				f.Close()
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "trace written to %s (open in Perfetto / chrome://tracing)\n", *traceOut)
+		}
+		return 0
+	}
 	if *faults != "" {
 		ff := faultFlags{
 			faults: *faults, seed: *faultSeed, every: *ckEvery,

@@ -155,3 +155,65 @@ func TestElasticGossipFlagRun(t *testing.T) {
 		t.Error("coordinator-oracle run printed a gossip summary")
 	}
 }
+
+// TestSimEngineRun drives -engine sim end to end: the discrete-event
+// backend prints timing-only epoch lines (no loss, no accuracy — it
+// never materializes payloads) and still supports trace export.
+func TestSimEngineRun(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "sim.json")
+	var out, errb bytes.Buffer
+	args := []string{"-synthetic", "-n", "128", "-classes", "4", "-features", "8",
+		"-hidden", "16", "-gpus", "2", "-epochs", "3", "-config", "3",
+		"-engine", "sim", "-trace", tracePath}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{"discrete-event engine", "timing only", "trace written to"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q: %q", want, out.String())
+		}
+	}
+	for _, reject := range []string{"loss", "accuracy"} {
+		if strings.Contains(out.String(), reject) {
+			t.Errorf("sim engine printed numerics it cannot have: %q in %q", reject, out.String())
+		}
+	}
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Errorf("trace has no events")
+	}
+}
+
+// TestSimEngineRejectsBadCombos: flags that need payloads or weights
+// fail fast under -engine sim, and unknown engine names fail outright.
+func TestSimEngineRejectsBadCombos(t *testing.T) {
+	base := []string{"-synthetic", "-n", "64", "-classes", "4", "-features", "8",
+		"-hidden", "8", "-gpus", "2", "-epochs", "1", "-config", "0"}
+	for _, tc := range []struct {
+		extra []string
+		want  string
+	}{
+		{[]string{"-engine", "warp"}, "unknown engine"},
+		{[]string{"-engine", "sim", "-faults", "crash@rank1:epoch1"}, "drop -faults"},
+		{[]string{"-engine", "sim", "-save", "x.ckpt"}, "drop -save"},
+		{[]string{"-engine", "sim", "-fanout", "2"}, "drop -fanout"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, base...), tc.extra...), &out, &errb); code != 1 {
+			t.Fatalf("%v: exit = %d, want 1", tc.extra, code)
+		}
+		if !strings.Contains(errb.String(), tc.want) {
+			t.Errorf("%v: stderr %q missing %q", tc.extra, errb.String(), tc.want)
+		}
+	}
+}

@@ -222,6 +222,16 @@ func main() {
 	write(tf, "seed-missing-field", `string("traffic q=8 users=10 zipf=1.5")`)
 	write(tf, "seed-garbage", `string("traffic q=x users=y zipf=z rate=w seed=v")`)
 
+	// internal/bench: the rdmbench scale sweep grammar
+	// (P[@topoSpec|@flat], ";"-separated).
+	sc := "internal/bench/testdata/fuzz/FuzzScaleSpec"
+	write(sc, "seed-default", `string("256;1024;4096")`)
+	write(sc, "seed-explicit", `string("8@flat;32@4x8:nvlink,ib")`)
+	write(sc, "seed-spaces", `string(" 16 ; 16@2x8:nvlink,eth ")`)
+	write(sc, "seed-max", `string("65536")`)
+	write(sc, "seed-too-small-topo", `string("16@1x8:nvlink,ib")`)
+	write(sc, "seed-garbage", `string("0;;@;x@y")`)
+
 	fmt.Println("corpora written")
 }
 

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseScaleSpec(t *testing.T) {
+	pts, err := ParseScaleSpec("16; 4@flat ;32@4x8:nvlink,ib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ScalePoint{
+		{P: 16, Topo: "flat"},
+		{P: 16, Topo: "2x8:nvlink,ib"},
+		{P: 4, Topo: "flat"},
+		{P: 32, Topo: "4x8:nvlink,ib"},
+	}
+	if !reflect.DeepEqual(pts, want) {
+		t.Fatalf("points = %+v, want %+v", pts, want)
+	}
+	if _, err := ParseScaleSpec(DefaultScaleSpec); err != nil {
+		t.Fatalf("default spec rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"", ";", "0", "-4", "x", "8@", "8@2x2", "8@nonsense:x", "16@1x8:nvlink,ib",
+	} {
+		if _, err := ParseScaleSpec(bad); err == nil {
+			t.Errorf("ParseScaleSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunScaleSmall drives the experiment end to end at tiny P and
+// checks the invariants the runner enforces plus the row/summary shape.
+// The full-scale record lives in BENCH_scale.json (see EXPERIMENTS.md).
+func TestRunScaleSmall(t *testing.T) {
+	var sb strings.Builder
+	res, err := RunScale(Config{Out: &sb}, "8@flat;8@2x4:nvlink,ib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*16 || len(res.Cells) != 2 || len(res.Curves) != 2 {
+		t.Fatalf("shape: %d rows, %d cells, %d curves", len(res.Rows), len(res.Cells), len(res.Curves))
+	}
+	for _, row := range res.Rows {
+		if row.SeqEpochSec <= 0 || row.OverlapEpochSec <= 0 {
+			t.Fatalf("degenerate epoch time: %+v", row)
+		}
+		if row.OverlapEpochSec > row.SeqEpochSec {
+			t.Errorf("overlap epoch exceeds sequential: %+v", row)
+		}
+		if row.CommSec <= 0 || row.ComputeSec <= 0 || row.IntraBytes <= 0 {
+			t.Fatalf("degenerate decomposition: %+v", row)
+		}
+		if row.Topology == "flat" && row.InterBytes != 0 {
+			t.Errorf("flat run metered inter-node bytes: %+v", row)
+		}
+		if row.Topology != "flat" && row.InterBytes <= 0 {
+			t.Errorf("hierarchical run metered no inter-node bytes: %+v", row)
+		}
+	}
+	for _, c := range res.Cells {
+		if c.BestConfig < 0 || c.SeqBest < 0 || c.WallSec > c.BudgetSec {
+			t.Fatalf("cell invariants: %+v", c)
+		}
+	}
+	if !strings.Contains(sb.String(), "crossover") {
+		t.Errorf("rendering missing crossover lines:\n%s", sb.String())
+	}
+}
+
+// FuzzScaleSpec pins the grammar's round trip: any accepted spec
+// reformats canonically (FormatScaleSpec) and reparses to the same
+// points.
+func FuzzScaleSpec(f *testing.F) {
+	f.Add(DefaultScaleSpec)
+	f.Add("8@flat")
+	f.Add("32@4x8:nvlink,ib;1024")
+	f.Add(" 16 ; 16@2x8:nvlink,eth ")
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := ParseScaleSpec(s)
+		if err != nil {
+			return
+		}
+		canon := FormatScaleSpec(pts)
+		pts2, err := ParseScaleSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", canon, err)
+		}
+		if !reflect.DeepEqual(pts, pts2) {
+			t.Fatalf("round trip changed points: %q -> %+v -> %q -> %+v", s, pts, canon, pts2)
+		}
+	})
+}

@@ -56,28 +56,28 @@ type Fabric struct {
 	mu     sync.Mutex
 	groups map[string]*groupComm
 
-	volumes [6]atomic.Int64 // bytes moved, indexed by hw.CollectiveKind
-	calls   [6]atomic.Int64
+	volumes [hw.NumCollectiveKinds]atomic.Int64 // bytes moved, indexed by hw.CollectiveKind
+	calls   [hw.NumCollectiveKinds]atomic.Int64
 	// sideVolumes meters collectives issued while a device's side-channel
 	// flag is set (Device.SetSideChannel): mechanical traffic such as
 	// byte-packed ReLU masks that the paper's §IV cost model deliberately
 	// omits. Keeping it out of `volumes` lets model-versus-meter
 	// comparisons stay byte-exact.
-	sideVolumes [6]atomic.Int64
+	sideVolumes [hw.NumCollectiveKinds]atomic.Int64
 
 	// tierVol/tierSide split the same bytes by link tier when a topology
 	// is attached (SetTopology): tierVol[topo.TierInter] is the share
 	// that crossed inter-node links. Without a topology everything
 	// meters on tier 0, so tierVol[0] == volumes for every kind.
-	tierVol  [topo.NumTiers][6]atomic.Int64
-	tierSide [topo.NumTiers][6]atomic.Int64
+	tierVol  [topo.NumTiers][hw.NumCollectiveKinds]atomic.Int64
+	tierSide [topo.NumTiers][hw.NumCollectiveKinds]atomic.Int64
 
 	// topology, when non-nil, switches every collective's time and byte
 	// accounting from the flat linkModel path to the topology-aware
 	// algorithm library (internal/topo); algs holds the per-kind
 	// algorithm selection (default topo.Auto). Set before Run.
 	topology *topo.Topology
-	algs     [6]topo.Algorithm
+	algs     [hw.NumCollectiveKinds]topo.Algorithm
 
 	// tracer, when non-nil, records every kernel charge and collective
 	// as a trace event. Set before Run via SetTracer; nil keeps tracing
@@ -567,6 +567,9 @@ func (g *groupComm) exchange(idx int, clock float64, in any,
 		for i := range g.slots {
 			g.slots[i] = nil
 		}
+		if s, ok := g.aux.(scratch); ok {
+			putScratch(s) // pooled reduction scratch, fully drained
+		}
 		g.aux, g.err = nil, nil
 		g.cond.Broadcast()
 	} else {
@@ -1055,16 +1058,7 @@ func (d *Device) TryBroadcast(group []int, root int, data []float32) ([]float32,
 	err := d.collective(op, group, contribution,
 		func(slots []any, clocks []float64) (float64, any, Volume, error) {
 			buf := slots[rootIdx].([]float32)
-			bytes := int64(len(buf)) * 4
-			var t float64
-			var vol Volume
-			if tp := f.topoFor(group); tp != nil {
-				c := tp.Broadcast(f.HW, group, rootIdx, bytes)
-				t, vol = c.Time, volumeOf(c)
-			} else {
-				t = f.linkModel(group).CollectiveTime(hw.OpBroadcast, len(group), bytes)
-				vol = Volume{Bytes: bytes * int64(len(group)-1)}
-			}
+			t, vol := f.MeterFor(group).Broadcast(group, rootIdx, int64(len(buf))*4)
 			f.addVolume(hw.OpBroadcast, vol, d.side)
 			return maxClock(clocks) + t, nil, vol, nil
 		},
@@ -1113,31 +1107,12 @@ func (d *Device) TryAllGather(group []int, local []float32) ([][]float32, error)
 		return d.hierAllGather(group, local, nodes)
 	}
 	out := make([][]float32, len(group))
-	f := d.F
 	var contribution any = local
 	if local == nil {
 		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
 	}
 	cerr := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, Volume, error) {
-			chunks := make([]int64, len(slots))
-			var total int64
-			for i, s := range slots {
-				chunks[i] = int64(len(s.([]float32))) * 4
-				total += chunks[i]
-			}
-			var t float64
-			var vol Volume
-			if tp := f.topoFor(group); tp != nil {
-				_, c := tp.AllGather(f.HW, f.algs[hw.OpAllGather], group, chunks)
-				t, vol = c.Time, volumeOf(c)
-			} else {
-				t = f.linkModel(group).CollectiveTime(hw.OpAllGather, len(group), total)
-				vol = Volume{Bytes: total * int64(len(group)-1)}
-			}
-			f.addVolume(hw.OpAllGather, vol, d.side)
-			return maxClock(clocks) + t, nil, vol, nil
-		},
+		d.allGatherFinalize(group),
 		func(slots []any, _ any) {
 			for i, s := range slots {
 				src := s.([]float32)
@@ -1152,6 +1127,90 @@ func (d *Device) TryAllGather(group []int, local []float32) ([][]float32, error)
 		return nil, cerr
 	}
 	return out, nil
+}
+
+// allGatherFinalize is the shared rendezvous finalizer of TryAllGather
+// and TryAllGatherFlat: price + meter the round from the deposited
+// chunk lengths.
+func (d *Device) allGatherFinalize(group []int) func(slots []any, clocks []float64) (float64, any, Volume, error) {
+	f := d.F
+	return func(slots []any, clocks []float64) (float64, any, Volume, error) {
+		chunks := make([]int64, len(slots))
+		for i, s := range slots {
+			chunks[i] = int64(len(s.([]float32))) * 4
+		}
+		t, vol := f.MeterFor(group).AllGather(group, chunks)
+		f.addVolume(hw.OpAllGather, vol, d.side)
+		return maxClock(clocks) + t, nil, vol, nil
+	}
+}
+
+// TryAllGatherFlat gathers every member's buffer concatenated in group
+// order into dst (grown as needed, so steady-state callers re-use one
+// buffer and the gather allocates nothing), returning dst[:total].
+// This is the copy-eliminating fast path of the engine's column-group
+// feature gather: the per-member private copies TryAllGather hands out
+// are skipped entirely — each member's bytes are written once, at
+// their final offset. Time, metering and error behavior are identical
+// to TryAllGather.
+func (d *Device) TryAllGatherFlat(group []int, local, dst []float32) ([]float32, error) {
+	const op = "allgather"
+	if _, err := d.groupPos(op, group); err != nil {
+		return nil, err
+	}
+	if len(group) == 1 {
+		if local == nil {
+			return nil, &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("local buffer: %w", ErrNilBuffer)}
+		}
+		return append(dst[:0], local...), nil
+	}
+	if nodes, ok := d.F.stagedHier(hw.OpAllGather, group); ok {
+		parts, err := d.hierAllGather(group, local, nodes)
+		if err != nil {
+			return nil, err
+		}
+		dst = dst[:0]
+		for _, part := range parts {
+			dst = append(dst, part...)
+		}
+		return dst, nil
+	}
+	var contribution any = local
+	if local == nil {
+		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
+	}
+	cerr := d.collective(op, group, contribution,
+		d.allGatherFinalize(group),
+		func(slots []any, _ any) {
+			total := 0
+			for _, s := range slots {
+				total += len(s.([]float32))
+			}
+			if cap(dst) < total {
+				dst = make([]float32, total)
+			}
+			dst = dst[:total]
+			at := 0
+			for _, s := range slots {
+				src := s.([]float32)
+				copy(dst[at:], src)
+				at += len(src)
+			}
+		})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return dst, nil
+}
+
+// AllGatherFlat is TryAllGatherFlat panicking on failure.
+func (d *Device) AllGatherFlat(group []int, local, dst []float32) []float32 {
+	out, err := d.TryAllGatherFlat(group, local, dst)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // AllGather is TryAllGather panicking on failure.
@@ -1183,44 +1242,8 @@ func (d *Device) TryAllReduceSum(group []int, local []float32) ([]float32, error
 		return d.hierAllReduceSum(group, local, nodes)
 	}
 	out := make([]float32, len(local))
-	f := d.F
-	var contribution any = local
-	if local == nil {
-		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
-	}
-	cerr := d.collective(op, group, contribution,
-		func(slots []any, clocks []float64) (float64, any, Volume, error) {
-			first := slots[0].([]float32)
-			sum := make([]float32, len(first))
-			for i, s := range slots {
-				buf := s.([]float32)
-				if len(buf) != len(sum) {
-					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
-						"group position 0 has %d elements, position %d has %d: %w",
-						len(sum), i, len(buf), ErrLengthMismatch)
-				}
-				for j, v := range buf {
-					sum[j] += v
-				}
-			}
-			bytes := int64(len(sum)) * 4
-			var t float64
-			var vol Volume
-			if tp := f.topoFor(group); tp != nil {
-				_, c := tp.AllReduce(f.HW, f.algs[hw.OpAllReduce], group, bytes)
-				t, vol = c.Time, volumeOf(c)
-			} else {
-				t = f.linkModel(group).CollectiveTime(hw.OpAllReduce, len(group), bytes)
-				vol = Volume{Bytes: 2 * bytes * int64(len(group)-1)}
-			}
-			f.addVolume(hw.OpAllReduce, vol, d.side)
-			return maxClock(clocks) + t, sum, vol, nil
-		},
-		func(slots []any, aux any) {
-			copy(out, aux.([]float32))
-		})
-	if cerr != nil {
-		return nil, cerr
+	if err := d.allReduceSumInto(group, local, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -1232,6 +1255,84 @@ func (d *Device) AllReduceSum(group []int, local []float32) []float32 {
 		panic(err)
 	}
 	return out
+}
+
+// TryAllReduceSumInto is TryAllReduceSum writing the sum into dst
+// (len(dst) must equal len(local)) instead of allocating a result —
+// the copy-eliminating path for steady-state consumers that hold a
+// persistent destination (the engine's gradient buffers). Time,
+// metering and error behavior are identical to TryAllReduceSum.
+func (d *Device) TryAllReduceSumInto(group []int, local, dst []float32) error {
+	const op = "allreduce"
+	if _, err := d.groupPos(op, group); err != nil {
+		return err
+	}
+	if local != nil && len(dst) != len(local) {
+		return &CollectiveError{Op: op, Rank: d.Rank,
+			Err: fmt.Errorf("dst has %d elements for a %d-element reduce: %w",
+				len(dst), len(local), ErrLengthMismatch)}
+	}
+	if len(group) == 1 {
+		if local == nil {
+			return &CollectiveError{Op: op, Rank: d.Rank,
+				Err: fmt.Errorf("local buffer: %w", ErrNilBuffer)}
+		}
+		copy(dst, local)
+		return nil
+	}
+	if nodes, ok := d.F.stagedHier(hw.OpAllReduce, group); ok {
+		sum, err := d.hierAllReduceSum(group, local, nodes)
+		if err != nil {
+			return err
+		}
+		copy(dst, sum)
+		return nil
+	}
+	return d.allReduceSumInto(group, local, dst)
+}
+
+// AllReduceSumInto is TryAllReduceSumInto panicking on failure.
+func (d *Device) AllReduceSumInto(group []int, local, dst []float32) {
+	if err := d.TryAllReduceSumInto(group, local, dst); err != nil {
+		panic(err)
+	}
+}
+
+// allReduceSumInto runs the single-rendezvous allreduce round shared by
+// TryAllReduceSum and TryAllReduceSumInto. The reduction scratch is a
+// pooled buffer: the finalizer sums every deposit into it, each member
+// copies its private result out during extract, and the drain of the
+// round (exchange's last reader) releases it back to the pool.
+func (d *Device) allReduceSumInto(group []int, local, dst []float32) error {
+	const op = "allreduce"
+	f := d.F
+	var contribution any = local
+	if local == nil {
+		contribution = collErr{fmt.Errorf("local buffer on rank %d: %w", d.Rank, ErrNilBuffer)}
+	}
+	return d.collective(op, group, contribution,
+		func(slots []any, clocks []float64) (float64, any, Volume, error) {
+			first := slots[0].([]float32)
+			sum := getScratch(len(first))
+			for i, s := range slots {
+				buf := s.([]float32)
+				if len(buf) != len(sum) {
+					putScratch(sum)
+					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
+						"group position 0 has %d elements, position %d has %d: %w",
+						len(sum), i, len(buf), ErrLengthMismatch)
+				}
+				for j, v := range buf {
+					sum[j] += v
+				}
+			}
+			t, vol := f.MeterFor(group).AllReduce(group, int64(len(sum))*4)
+			f.addVolume(hw.OpAllReduce, vol, d.side)
+			return maxClock(clocks) + t, sum, vol, nil
+		},
+		func(slots []any, aux any) {
+			copy(dst, aux.(scratch))
+		})
 }
 
 // TryAllToAll performs personalized exchange: parts[j] is sent to
@@ -1281,17 +1382,9 @@ func (d *Device) TryAllToAll(group []int, parts [][]float32) ([][]float32, error
 					maxInject = inject
 				}
 			}
-			var t float64
-			var vol Volume
-			if tp := f.topoFor(group); tp != nil {
-				_, c := tp.AllToAll(f.HW, f.algs[hw.OpAllToAll], group, func(i, j int) int64 {
-					return int64(len(slots[i].([][]float32)[j])) * 4
-				})
-				t, vol = c.Time, volumeOf(c)
-			} else {
-				t = f.linkModel(group).CollectiveTime(hw.OpAllToAll, len(group), maxInject)
-				vol = Volume{Bytes: total}
-			}
+			t, vol := f.MeterFor(group).AllToAll(group, func(i, j int) int64 {
+				return int64(len(slots[i].([][]float32)[j])) * 4
+			}, maxInject, total)
 			f.addVolume(hw.OpAllToAll, vol, d.side)
 			return maxClock(clocks) + t, nil, vol, nil
 		},
@@ -1373,10 +1466,11 @@ func (d *Device) TryReduceScatterSum(group []int, local []float32, counts []int)
 	}
 	cerr := d.collective(op, group, contribution,
 		func(slots []any, clocks []float64) (float64, any, Volume, error) {
-			sum := make([]float32, total)
+			sum := getScratch(total)
 			for i, s := range slots {
 				buf := s.([]float32)
 				if len(buf) != total {
+					putScratch(sum)
 					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
 						"counts sum to %d but group position %d has %d elements: %w",
 						total, i, len(buf), ErrLengthMismatch)
@@ -1385,25 +1479,16 @@ func (d *Device) TryReduceScatterSum(group []int, local []float32, counts []int)
 					sum[j] += v
 				}
 			}
-			bytes := int64(total) * 4
-			var t float64
-			var vol Volume
-			if tp := f.topoFor(group); tp != nil {
-				cb := make([]int64, len(counts))
-				for i, n := range counts {
-					cb[i] = int64(n) * 4
-				}
-				_, c := tp.ReduceScatter(f.HW, f.algs[hw.OpReduceScatter], group, cb)
-				t, vol = c.Time, volumeOf(c)
-			} else {
-				t = f.linkModel(group).CollectiveTime(hw.OpReduceScatter, len(group), bytes)
-				vol = Volume{Bytes: bytes * int64(len(group)-1)}
+			cb := make([]int64, len(counts))
+			for i, n := range counts {
+				cb[i] = int64(n) * 4
 			}
+			t, vol := f.MeterFor(group).ReduceScatter(group, cb, int64(total)*4)
 			f.addVolume(hw.OpReduceScatter, vol, d.side)
 			return maxClock(clocks) + t, sum, vol, nil
 		},
 		func(slots []any, aux any) {
-			copy(out, aux.([]float32)[offset:offset+counts[myIdx]])
+			copy(out, aux.(scratch)[offset:offset+counts[myIdx]])
 		})
 	if cerr != nil {
 		return nil, cerr
@@ -1432,10 +1517,7 @@ func (d *Device) TryBarrier(group []int) error {
 	f := d.F
 	return d.collective(op, group, nil,
 		func(slots []any, clocks []float64) (float64, any, Volume, error) {
-			if tp := f.topoFor(group); tp != nil {
-				return maxClock(clocks) + tp.Barrier(f.HW, group), nil, Volume{}, nil
-			}
-			return maxClock(clocks) + f.linkModel(group).LinkLatency, nil, Volume{}, nil
+			return maxClock(clocks) + f.MeterFor(group).Barrier(group), nil, Volume{}, nil
 		}, nil)
 }
 

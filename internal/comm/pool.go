@@ -1,0 +1,38 @@
+// Buffer pooling for the fabric hot path. Collective finalizers need a
+// round-scoped reduction scratch (the element-wise sum every member
+// copies its result from); allocating it per round dominated the
+// allocation profile of allreduce-heavy training. The scratch now
+// comes from a sync.Pool and is released when the round drains — the
+// last reader of groupComm.exchange returns it before recycling the
+// slots, so no participant can still be copying from it.
+//
+// Pooled buffers are zeroed on checkout rather than copy-initialized:
+// the finalizers' sum loops add every deposit into a zero buffer,
+// which keeps the float arithmetic (and therefore the bit-exact
+// differential suites) identical to the pre-pooling `make` path.
+package comm
+
+import "sync"
+
+// scratch is a pooled float32 buffer used as a rendezvous round's aux
+// value. The distinct type is what lets exchange's drain recognize and
+// release pooled aux values while leaving caller-owned ones alone.
+type scratch []float32
+
+var scratchPool sync.Pool // holds *[]float32
+
+// getScratch returns a zeroed length-n pooled buffer.
+func getScratch(n int) scratch {
+	if p, ok := scratchPool.Get().(*[]float32); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float32, n)
+}
+
+// putScratch releases a buffer obtained from getScratch.
+func putScratch(s scratch) {
+	buf := []float32(s)
+	scratchPool.Put(&buf)
+}

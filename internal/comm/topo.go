@@ -133,10 +133,11 @@ func (d *Device) hierAllReduceSum(group []int, local []float32, nodes [][]int) (
 		out := make([]float32, ce[myPos])
 		err := d.collective(op, nd, contribution,
 			func(slots []any, clocks []float64) (float64, any, Volume, error) {
-				sum := make([]float32, n)
+				sum := getScratch(n)
 				for i, s := range slots {
 					buf := s.([]float32)
 					if len(buf) != n {
+						putScratch(sum)
 						return maxClock(clocks), nil, Volume{}, fmt.Errorf(
 							"group position 0 has %d elements, position %d has %d: %w",
 							n, i, len(buf), ErrLengthMismatch)
@@ -152,7 +153,7 @@ func (d *Device) hierAllReduceSum(group []int, local []float32, nodes [][]int) (
 				return maxClock(clocks) + c.Time, sum, vol, nil
 			},
 			func(slots []any, aux any) {
-				copy(out, aux.([]float32)[off[myPos]:off[myPos+1]])
+				copy(out, aux.(scratch)[off[myPos]:off[myPos+1]])
 			})
 		if err != nil {
 			return nil, err
@@ -173,10 +174,11 @@ func (d *Device) hierAllReduceSum(group []int, local []float32, nodes [][]int) (
 	reduced := make([]float32, len(shard))
 	err := d.collective(op, plane, shard,
 		func(slots []any, clocks []float64) (float64, any, Volume, error) {
-			sum := make([]float32, len(shard))
+			sum := getScratch(len(shard))
 			for i, s := range slots {
 				buf := s.([]float32)
 				if len(buf) != len(sum) {
+					putScratch(sum)
 					return maxClock(clocks), nil, Volume{}, fmt.Errorf(
 						"group position 0 has %d elements, position %d has %d: %w",
 						len(sum), i, len(buf), ErrLengthMismatch)
@@ -192,7 +194,7 @@ func (d *Device) hierAllReduceSum(group []int, local []float32, nodes [][]int) (
 			return maxClock(clocks) + c.Time, sum, vol, nil
 		},
 		func(slots []any, aux any) {
-			copy(reduced, aux.([]float32))
+			copy(reduced, aux.(scratch))
 		})
 	if err != nil {
 		return nil, err

@@ -188,6 +188,17 @@ type Engine struct {
 	weights []*tensor.Dense
 	adam    *nn.Adam
 
+	// gatherBuf is the persistent destination of the column-group
+	// feature gather (AllGatherFlat) and gradBufs the per-weight
+	// destinations of the gradient all-reduces (AllReduceSumInto):
+	// steady-state epochs reuse them, so the hot comm path allocates
+	// nothing per round. Safe without locks — every op touching a
+	// buffer classifies to the same overlap lane (KSpMM to the column
+	// group's link resource, KAllReduceGrad to the world's), so uses
+	// are serialized even under the concurrent executor.
+	gatherBuf []float32
+	gradBufs  [][]float32
+
 	// sched is the epoch's compiled, optimized op schedule (internal/plan):
 	// compiled once in NewEngine and interpreted every epoch. Shapes in the
 	// schedule are advisory — the executor reads live matrix shapes, so a
@@ -243,6 +254,7 @@ func NewEngine(dev *comm.Device, prob *Problem, opts Options) *Engine {
 		}
 	}
 	e.adam = nn.NewAdam(opts.LR, e.weights)
+	e.gradBufs = make([][]float32, len(e.weights))
 	e.sched = plan.Compile(plan.Spec{
 		N: prob.N(), Dims: opts.Dims, Config: opts.Config,
 		P: p, RA: opts.RA, SAGE: opts.SAGE, Memoize: opts.Memoize,
@@ -301,13 +313,12 @@ func (e *Engine) spmm(dev *comm.Device, m *dist.Mat, forward bool) *dist.Mat {
 	if len(e.colGroup) == 1 {
 		full = m.Local
 	} else {
-		bufs := dev.AllGather(e.colGroup, m.Local.Data)
-		full = tensor.NewDense(m.GlobalRows, w)
-		at := 0
-		for _, buf := range bufs {
-			copy(full.Data[at:], buf)
-			at += len(buf)
-		}
+		// Flat gather straight into the persistent buffer: each member's
+		// bytes are written once at their final offset, skipping the
+		// per-member private copies AllGather would hand out. full wraps
+		// the buffer (no copy); it is only read within this call.
+		e.gatherBuf = dev.AllGatherFlat(e.colGroup, m.Local.Data, e.gatherBuf)
+		full = tensor.FromRowMajor(m.GlobalRows, w, e.gatherBuf)
 		dev.ChargeMem(full.Bytes())
 	}
 	var out *tensor.Dense
@@ -428,8 +439,16 @@ func (e *Engine) execOp(dev *comm.Device, op *plan.Op, regs []*dist.Mat, grads [
 		dev.ChargeGemm(a.Local.Cols, a.Local.Rows, b.Local.Cols)
 		regs[op.Dst] = dist.FromLocal(dev, dist.R, partial.Rows, partial.Cols, partial)
 	case plan.KAllReduceGrad:
-		sum := dev.AllReduceSum(dev.World(), regs[op.A].Local.Data)
-		grads[op.Weight] = tensor.FromRowMajor(op.Rows, op.Cols, sum)
+		// Reduce into this weight's persistent gradient buffer; the
+		// result is consumed by the update before the next epoch's
+		// reduce rewrites it.
+		buf := e.gradBufs[op.Weight]
+		if len(buf) != op.Rows*op.Cols {
+			buf = make([]float32, op.Rows*op.Cols)
+			e.gradBufs[op.Weight] = buf
+		}
+		dev.AllReduceSumInto(dev.World(), regs[op.A].Local.Data, buf)
+		grads[op.Weight] = tensor.FromRowMajor(op.Rows, op.Cols, buf)
 	case plan.KReLU:
 		regs[op.A].Local.ReLU()
 		dev.ChargeMem(regs[op.A].Local.Bytes())

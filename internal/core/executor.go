@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
+	"gnnrdm/internal/sim"
+	"gnnrdm/internal/tensor"
+)
+
+// Executor abstracts how a training run executes. The live fabric is
+// the oracle: payload-moving devices whose numerics (losses, logits,
+// weights) are what every differential suite checks against. The
+// discrete-event backend (internal/sim) prices the identical run —
+// same clocks, same comm/compute time, same metered bytes, pinned
+// bit-exact by verify.CheckSimMatchesFabric — without moving a byte of
+// payload, which is what makes P=4096 sweeps interactive. Performance
+// studies (rdmbench) choose by name via ExecutorFor; numerics
+// consumers stay on the fabric.
+type Executor interface {
+	// Name is the stable CLI name ("fabric", "sim").
+	Name() string
+	// Train runs epochs of distributed RDM training. Fabric results
+	// carry full numerics; sim results carry timing and traffic only
+	// (Loss/EvalAcc zero, empty Logits, nil Weights).
+	Train(p int, model *hw.Model, prob *Problem, opts Options, epochs int) *Result
+}
+
+// FabricExecutor executes on the live fabric (core.Train).
+type FabricExecutor struct{}
+
+// Name implements Executor.
+func (FabricExecutor) Name() string { return "fabric" }
+
+// Train implements Executor.
+func (FabricExecutor) Train(p int, model *hw.Model, prob *Problem, opts Options, epochs int) *Result {
+	return Train(p, model, prob, opts, epochs)
+}
+
+// SimExecutor executes on the discrete-event engine. It compiles the
+// exact schedule NewEngine would run, prices it with the engine's real
+// panel census, and replays TrainResumable's barrier/snapshot protocol,
+// so every timing and traffic field of the Result is bit-identical to
+// the fabric executor's.
+type SimExecutor struct {
+	// Cache, when non-nil, shares redistribution censuses across runs
+	// of one (P, model, topology) context — a sweep passes one cache
+	// per context.
+	Cache *plan.PriceCache
+}
+
+// Name implements Executor.
+func (SimExecutor) Name() string { return "sim" }
+
+// Train implements Executor. Options requesting live numerics
+// (EvalMask, MaskProvider) panic: accuracy needs payloads, which the
+// sim deliberately never materializes.
+func (x SimExecutor) Train(p int, model *hw.Model, prob *Problem, opts Options, epochs int) *Result {
+	opts = opts.withDefaults(p)
+	opts.validate(p, prob)
+	if opts.EvalMask != nil {
+		panic("core: SimExecutor cannot evaluate accuracy (EvalMask needs payloads)")
+	}
+	if opts.MaskProvider != nil {
+		panic("core: SimExecutor cannot train with sampled masks (MaskProvider needs payloads)")
+	}
+	sched := plan.Compile(plan.Spec{
+		N: prob.N(), Dims: opts.Dims, Config: opts.Config,
+		P: p, RA: opts.RA, SAGE: opts.SAGE, Memoize: opts.Memoize,
+		InputGrad: opts.ComputeInputGrad,
+	}).Optimize()
+	sr := sim.MustRun(sim.Config{
+		Sched:  sched,
+		Census: PanelCensus(prob, p, opts.RA),
+		HW:     model, Topology: opts.Topology,
+		Epochs: epochs, Overlap: opts.Overlap,
+		EpochBarriers: 2, // TrainResumable's protocol
+		Tracer:        opts.Tracer, TraceLabel: opts.TraceLabel,
+		Cache: x.Cache,
+	})
+	res := &Result{}
+	prevT := make([]float64, p)
+	prevC := make([]float64, p)
+	prevK := make([]float64, p)
+	var prevB int64
+	for ep := 0; ep < epochs; ep++ {
+		var es EpochStats
+		for r := 0; r < p; r++ {
+			es.Time = max(es.Time, sr.EpochClock[ep][r]-prevT[r])
+			es.CommTime = max(es.CommTime, sr.EpochComm[ep][r]-prevC[r])
+			es.ComputeTime = max(es.ComputeTime, sr.EpochCompute[ep][r]-prevK[r])
+		}
+		es.CommBytes = sr.EpochBytes[ep] - prevB
+		prevB = sr.EpochBytes[ep]
+		copy(prevT, sr.EpochClock[ep])
+		copy(prevC, sr.EpochComm[ep])
+		copy(prevK, sr.EpochCompute[ep])
+		res.Epochs = append(res.Epochs, es)
+	}
+	res.Logits = tensor.NewDense(0, 0)
+	return res
+}
+
+// ExecutorFor resolves a CLI -engine name. Empty selects the fabric.
+func ExecutorFor(name string) (Executor, error) {
+	switch name {
+	case "", "fabric":
+		return FabricExecutor{}, nil
+	case "sim":
+		return SimExecutor{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown engine %q (want fabric or sim)", name)
+}

@@ -127,6 +127,8 @@ const (
 	OpSendRecv
 	// OpReduceScatter sums and leaves each device with one shard.
 	OpReduceScatter
+	// NumCollectiveKinds sizes per-kind meter arrays.
+	NumCollectiveKinds
 )
 
 func (k CollectiveKind) String() string {

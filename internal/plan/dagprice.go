@@ -93,8 +93,21 @@ func (d *DAG) PriceDAGOn(cen Census, h *hw.Model, tp *topo.Topology) DAGCost {
 // clocks exactly as the live fabric does). The result equals the live
 // device clocks after E epochs, overlapped and sequential.
 func (d *DAG) PriceDAGEpochs(cen Census, h *hw.Model, tp *topo.Topology, epochs int) DAGCost {
-	over := d.simulate(cen, h, tp, true, epochs)
-	seq := d.simulate(cen, h, tp, false, epochs)
+	return d.PriceDAGEpochsCached(cen, h, tp, epochs, nil)
+}
+
+// PriceDAGEpochsCached is PriceDAGEpochs sharing a PriceCache across
+// calls (nil prices with a private cache): a sweep that prices many
+// schedules on one (P, hardware, topology) context — or differentially
+// checks the sim engine against this pricer — computes each regrid's
+// quadratic byte census and topology routing once. Cached and uncached
+// pricing are bit-identical.
+func (d *DAG) PriceDAGEpochsCached(cen Census, h *hw.Model, tp *topo.Topology, epochs int, pc *PriceCache) DAGCost {
+	if pc == nil {
+		pc = NewPriceCache()
+	}
+	over := d.simulate(cen, h, tp, true, epochs, pc)
+	seq := d.simulate(cen, h, tp, false, epochs, pc)
 	c := DAGCost{PerDevice: over, PerDeviceSeq: seq}
 	for r := range over {
 		c.Makespan = max(c.Makespan, over[r])
@@ -117,14 +130,19 @@ type regShape struct {
 // executor's lane merge); with overlap=false ops run in schedule order
 // on a single joined timeline per device (resource cursors all advance
 // together), reproducing the sequential interpreter.
-func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool, epochs int) []float64 {
+func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool, epochs int, pc *PriceCache) []float64 {
 	s := d.Sched
 	p := s.P
+	pc.Bind(p, h, tp)
 	occ := make([]hw.Occupancy, p)
 	finish := make([][]float64, len(d.Nodes))
 	regs := make(map[Reg]regShape, s.NumRegs)
 	clk := make([]float64, p)
 	world := s.world()
+	var resTab *ResourceTable
+	if overlap {
+		resTab = d.Resources(tp)
+	}
 
 	kernel := func(r int, t float64) {
 		if cen.Slow != nil && r < len(cen.Slow) && cen.Slow[r] > 1 {
@@ -152,43 +170,17 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 		tr, tc := dist.TileShape(l, p, r, rows, cols)
 		return int64(tr) * int64(tc) * 4
 	}
-	// exchangeBytes is the per-rank census of a from->to regrid: what
-	// rank r packs for others (divide) and unpacks from others (merge),
-	// self excluded, plus the busiest injector for the flat time
-	// formula. packed applies the mask byte-packing (4 elements per
-	// float32).
-	exchangeBytes := func(from, to dist.Layout, rows, cols int, packed bool) (div, mer []int64, maxInj int64) {
-		div = make([]int64, p)
-		mer = make([]int64, p)
-		for r := 0; r < p; r++ {
-			for q := 0; q < p; q++ {
-				if q == r {
-					continue
-				}
-				n := dist.TileOverlap(from, r, to, q, p, rows, cols)
-				if n == 0 {
-					continue
-				}
-				b := 4 * int64(n)
-				if packed {
-					b = 4 * int64((n+3)/4)
-				}
-				div[r] += b
-				mer[q] += b
-			}
-		}
-		for r := 0; r < p; r++ {
-			maxInj = max(maxInj, div[r])
-		}
-		return div, mer, maxInj
-	}
+	// The per-rank census of a from->to regrid — what rank r packs for
+	// others (divide) and unpacks from others (merge), self excluded,
+	// plus the busiest injector for the flat time formula — comes from
+	// the PriceCache, which runs dist.TileOverlap's arithmetic over
+	// precomputed range tables (bit-identical, memoized per shape).
 	alltoallTime := func(from, to dist.Layout, rows, cols int, packed bool, maxInj int64) float64 {
 		if p < 2 {
 			return 0
 		}
 		if tp != nil {
-			_, cst := tp.AllToAll(h, topo.Auto, world, s.pairFn(from, to, rows, cols, packed))
-			return cst.Time
+			return pc.AllToAllCost(from, to, rows, cols, packed).Time
 		}
 		return h.CollectiveTime(hw.OpAllToAll, p, maxInj)
 	}
@@ -196,13 +188,13 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 	// memcpy, all-to-all rendezvous, merge memcpy. The memcpy charges
 	// are unconditional (ChargeMem(0) still costs a kernel launch).
 	regrid := func(from, to dist.Layout, rows, cols int, packed bool) {
-		div, mer, maxInj := exchangeBytes(from, to, rows, cols, packed)
+		x := pc.Exchange(from, to, rows, cols, packed)
 		for _, r := range world {
-			mem(r, div[r])
+			mem(r, x.Div[r])
 		}
-		rendezvous(world, alltoallTime(from, to, rows, cols, packed, maxInj))
+		rendezvous(world, alltoallTime(from, to, rows, cols, packed, x.MaxInj))
 		for _, r := range world {
-			mem(r, mer[r])
+			mem(r, x.Mer[r])
 		}
 	}
 	allgatherTime := func(group []int, chunks []int64) float64 {
@@ -245,7 +237,7 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 			// Position each rank's clock where the op starts on it.
 			if overlap {
 				for r := 0; r < p; r++ {
-					res := s.OpResource(op, r, tp)
+					res := resTab.At(i, r)
 					start := occ[r].Free(res)
 					for _, m := range n.Deps {
 						start = max(start, finish[m][r])
@@ -379,7 +371,7 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 			finish[i] = fin
 			if overlap {
 				for r := 0; r < p; r++ {
-					occ[r].Advance(s.OpResource(op, r, tp), clk[r])
+					occ[r].Advance(resTab.At(i, r), clk[r])
 				}
 			} else {
 				for r := 0; r < p; r++ {

@@ -1,0 +1,533 @@
+package sim
+
+import (
+	"strconv"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/dist"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
+	"gnnrdm/internal/topo"
+	"gnnrdm/internal/trace"
+)
+
+// engine is one run's state: per-device occupancy cursors, the clock
+// scratch the rendezvous rule operates on, per-resource time
+// accumulators (index 0 is the base device; 1 and 2 are the overlap
+// executor's link lanes, folded into the base at each epoch join in
+// the executor's merge order), the byte meters, and per-group round
+// counters for trace attribution. Everything is allocated once in
+// newEngine; the walk itself allocates nothing.
+type engine struct {
+	d   *plan.DAG
+	s   *plan.Schedule
+	cen plan.Census
+	h   *hw.Model
+	tp  *topo.Topology
+	pc  *plan.PriceCache
+
+	p       int
+	epochs  int
+	overlap bool
+	nbarr   int
+
+	meter  comm.Meter
+	occ    []hw.Occupancy
+	clk    []float64
+	finish [][]float64 // [node][rank] finish times, rewritten each epoch
+	regs   map[plan.Reg]regShape
+
+	// comm/compute accumulators per resource lane. Seq mode charges
+	// everything to lane 0; overlap mode charges each op to its
+	// resource's lane and folds lanes 1..N-1 into 0 at the epoch join,
+	// replicating Device.MergeLane's accumulation order bit-for-bit.
+	comm    [hw.NumResources][]float64
+	compute [hw.NumResources][]float64
+	resCur  []hw.Resource // current op's resource per rank (ResCompute in seq mode)
+	resTab  *plan.ResourceTable
+
+	meters Meters
+
+	world     []int
+	colGroups [][]int
+	chunkBuf  []int64
+	wBytes    int64
+
+	// Per-group rendezvous round counters (the fabric's groupComm.gen):
+	// index 0 is the world group, 1+j is column group j.
+	gens []uint64
+
+	// Trace state (nil tracer disables all of it).
+	tr                               *trace.Tracer
+	cfgStr                           string
+	grpKeys                          []string // group keys by gen index, built only when tracing
+	epoch                            int
+	snapClock, snapComm, snapCompute [][]float64
+	snapBytes                        []int64
+}
+
+// regShape mirrors the executor's live matrix shapes during the walk.
+type regShape struct {
+	layout     dist.Layout
+	rows, cols int
+}
+
+// Gen-counter indices: world is 0, column group j is 1+j.
+const gidWorld = 0
+
+func gidCol(j int) int { return 1 + j }
+
+func newEngine(d *plan.DAG, cfg Config, epochs int, pc *plan.PriceCache) *engine {
+	s := d.Sched
+	p := s.P
+	pc.Bind(p, cfg.HW, cfg.Topology)
+	e := &engine{
+		d: d, s: s, cen: cfg.Census, h: cfg.HW, tp: cfg.Topology, pc: pc,
+		p: p, epochs: epochs, overlap: cfg.Overlap, nbarr: cfg.EpochBarriers,
+		meter:  comm.Meter{HW: cfg.HW, Topo: cfg.Topology},
+		occ:    make([]hw.Occupancy, p),
+		clk:    make([]float64, p),
+		finish: make([][]float64, len(d.Nodes)),
+		regs:   make(map[plan.Reg]regShape, s.NumRegs),
+		resCur: make([]hw.Resource, p),
+		world:  s.World(),
+		gens:   make([]uint64, 1+s.RA),
+		tr:     cfg.Tracer,
+		cfgStr: s.Config.String(),
+	}
+	for i := range e.finish {
+		e.finish[i] = make([]float64, p)
+	}
+	for res := range e.comm {
+		e.comm[res] = make([]float64, p)
+		e.compute[res] = make([]float64, p)
+	}
+	e.colGroups = make([][]int, s.RA)
+	for j := 0; j < s.RA; j++ {
+		e.colGroups[j] = s.ColGroup(j)
+	}
+	e.chunkBuf = make([]int64, p)
+	if e.overlap {
+		e.resTab = d.Resources(e.tp)
+	}
+	for l := 1; l < len(s.Dims); l++ {
+		e.wBytes += int64(s.Dims[l-1]) * int64(s.Dims[l]) * 4
+	}
+	if s.SAGE {
+		e.wBytes *= 2
+	}
+	e.snapClock = make([][]float64, epochs)
+	e.snapComm = make([][]float64, epochs)
+	e.snapCompute = make([][]float64, epochs)
+	e.snapBytes = make([]int64, epochs)
+	for ep := range e.snapClock {
+		e.snapClock[ep] = make([]float64, p)
+		e.snapComm[ep] = make([]float64, p)
+		e.snapCompute[ep] = make([]float64, p)
+	}
+	if e.tr != nil {
+		label := cfg.TraceLabel
+		if label == "" {
+			label = "sim"
+		}
+		e.tr.StartVirtualSession(label, p)
+		e.grpKeys = make([]string, 1+s.RA)
+		e.grpKeys[gidWorld] = groupKey(e.world)
+		for j := 0; j < s.RA; j++ {
+			e.grpKeys[gidCol(j)] = groupKey(e.colGroups[j])
+		}
+	}
+	return e
+}
+
+// groupKey renders a sorted rank list the way the fabric names its
+// rendezvous groups ("0,2,4"), so (Group, Seq) pairs in virtual traces
+// line up with live ones.
+func groupKey(ranks []int) string {
+	b := make([]byte, 0, 4*len(ranks))
+	for i, r := range ranks {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(r), 10)
+	}
+	return string(b)
+}
+
+func (e *engine) run() {
+	for ep := 0; ep < e.epochs; ep++ {
+		e.epoch = ep
+		if e.tr != nil {
+			for r := 0; r < e.p; r++ {
+				e.tr.SetEpochAt(r, 0, ep)
+				e.tr.BeginPhaseAt(r, 0, "epoch", e.occ[r].Makespan())
+			}
+		}
+		for i := range e.d.Nodes {
+			n := &e.d.Nodes[i]
+			e.position(n, i)
+			e.execNode(n)
+			copy(e.finish[i], e.clk)
+			if e.overlap {
+				for r := 0; r < e.p; r++ {
+					e.occ[r].Advance(e.resCur[r], e.clk[r])
+				}
+			} else {
+				for r := 0; r < e.p; r++ {
+					e.occ[r].Advance(hw.ResCompute, e.clk[r])
+					e.occ[r].Join()
+				}
+			}
+		}
+		if e.overlap {
+			// Epoch boundary: the executor merges its lanes back into the
+			// base device (occupancy Join; clock = max over lanes) and
+			// adds each lane's accumulated comm/compute time onto the
+			// base's, link lanes in resource order.
+			for r := 0; r < e.p; r++ {
+				e.occ[r].Join()
+			}
+			for res := hw.ResCompute + 1; res < hw.NumResources; res++ {
+				bc, bk := e.comm[hw.ResCompute], e.compute[hw.ResCompute]
+				lc, lk := e.comm[res], e.compute[res]
+				for r := 0; r < e.p; r++ {
+					bc[r] += lc[r]
+					bk[r] += lk[r]
+					lc[r], lk[r] = 0, 0
+				}
+			}
+		}
+		// TrainResumable's protocol: barrier, stats snapshot, barrier.
+		// With no barriers (a bare Epoch loop) the snapshot lands at the
+		// epoch join.
+		if e.nbarr == 0 {
+			e.snapshot(ep)
+		}
+		for b := 0; b < e.nbarr; b++ {
+			e.barrier()
+			if b == 0 {
+				e.snapshot(ep)
+			}
+		}
+		if e.tr != nil {
+			for r := 0; r < e.p; r++ {
+				e.tr.EndPhaseAt(r, 0, e.occ[r].Makespan())
+			}
+		}
+	}
+}
+
+// position places each rank's clock where the op starts on it and
+// records the op's resource per rank: overlapped ops start at max(their
+// resource's cursor, their DAG dependencies' finishes); sequential ops
+// run back to back on the joined compute timeline.
+func (e *engine) position(n *plan.DAGNode, i int) {
+	if !e.overlap {
+		for r := 0; r < e.p; r++ {
+			e.clk[r] = e.occ[r].Free(hw.ResCompute)
+		}
+		return
+	}
+	for r := 0; r < e.p; r++ {
+		res := e.resTab.At(i, r)
+		e.resCur[r] = res
+		start := e.occ[r].Free(res)
+		for _, m := range n.Deps {
+			start = max(start, e.finish[m][r])
+		}
+		e.clk[r] = start
+	}
+}
+
+func (e *engine) result() *Result {
+	res := &Result{
+		P:            e.p,
+		Clocks:       make([]float64, e.p),
+		CommTime:     e.comm[hw.ResCompute],
+		ComputeTime:  e.compute[hw.ResCompute],
+		Meters:       e.meters,
+		EpochClock:   e.snapClock,
+		EpochComm:    e.snapComm,
+		EpochCompute: e.snapCompute,
+		EpochBytes:   e.snapBytes,
+	}
+	for r := 0; r < e.p; r++ {
+		res.Clocks[r] = e.occ[r].Makespan()
+	}
+	return res
+}
+
+func (e *engine) snapshot(ep int) {
+	for r := 0; r < e.p; r++ {
+		e.snapClock[ep][r] = e.occ[r].Makespan()
+	}
+	copy(e.snapComm[ep], e.comm[hw.ResCompute])
+	copy(e.snapCompute[ep], e.compute[hw.ResCompute])
+	e.snapBytes[ep] = e.meters.TotalVolume()
+}
+
+// setScope stamps the (rank, track) timeline's scope tags the way the
+// live engine's Trace* setters would before this op's events.
+func (e *engine) setScope(r, track int, n *plan.DAGNode) {
+	layer, step := 0, 0
+	dir := ""
+	if n != nil {
+		step = n.Op.Step
+		switch n.Phase {
+		case "init", "loss":
+			dir = "fwd"
+		case "fwd":
+			dir, layer = "fwd", n.Layer
+		case "bwd":
+			dir, layer = "bwd", n.Layer
+		}
+	}
+	e.tr.SetEpochAt(r, track, e.epoch)
+	e.tr.SetLayerAt(r, track, layer)
+	e.tr.SetDirAt(r, track, dir)
+	e.tr.SetStepAt(r, track, step)
+	e.tr.SetConfigAt(r, track, e.cfgStr)
+}
+
+// kernel charges one compute kernel on rank r: clock and the current
+// lane's compute accumulator advance by t (straggler-multiplied),
+// exactly Device.chargeKernel.
+func (e *engine) kernel(n *plan.DAGNode, r int, opName string, t float64, bytes, flops int64) {
+	if e.cen.Slow != nil && r < len(e.cen.Slow) && e.cen.Slow[r] > 1 {
+		t *= e.cen.Slow[r]
+	}
+	start := e.clk[r]
+	e.clk[r] += t
+	res := e.resCur[r]
+	e.compute[res][r] += t
+	if e.tr != nil {
+		e.setScope(r, int(res), n)
+		e.tr.Emit(r, trace.Event{
+			Class: trace.ClassKernel, Op: opName,
+			Bytes: bytes, Flops: flops,
+			Start: start, End: e.clk[r], Track: int(res),
+		})
+	}
+}
+
+func (e *engine) mem(n *plan.DAGNode, r int, bytes int64) {
+	e.kernel(n, r, "mem", e.h.MemTime(bytes), bytes, 0)
+}
+
+// collective synchronizes the group at max(member clocks) + t — the
+// fabric's rendezvous rule — charging each member's comm accumulator
+// with its own skew-inclusive delta and metering the round once.
+// Callers guarantee len(group) >= 2 (smaller groups never reach the
+// live fabric either).
+func (e *engine) collective(n *plan.DAGNode, group []int, gid int, opName string, kind hw.CollectiveKind, t float64, vol comm.Volume, metered, side bool) {
+	var m float64
+	for _, r := range group {
+		m = max(m, e.clk[r])
+	}
+	nc := m + t
+	e.gens[gid]++
+	seq := e.gens[gid]
+	for _, r := range group {
+		before := e.clk[r]
+		res := e.resCur[r]
+		e.comm[res][r] += nc - before
+		if e.tr != nil {
+			e.setScope(r, int(res), n)
+			e.tr.Emit(r, trace.Event{
+				Class: trace.ClassCollective, Op: opName,
+				Group: e.grpKeys[gid], Seq: seq, GroupSize: len(group),
+				Bytes: vol.Bytes, Tier1: vol.Tier1,
+				Start: before, End: nc, Track: int(res),
+			})
+		}
+		e.clk[r] = nc
+	}
+	if metered {
+		e.meters.add(kind, vol, side)
+	}
+}
+
+// barrier replays one world Barrier on the base timeline: latency-only,
+// never metered, but it does consume a world rendezvous round and its
+// skew lands in comm time, exactly as live.
+func (e *engine) barrier() {
+	if e.p < 2 {
+		return
+	}
+	for r := 0; r < e.p; r++ {
+		e.clk[r] = e.occ[r].Free(hw.ResCompute)
+		e.resCur[r] = hw.ResCompute
+	}
+	t := e.meter.Barrier(e.world)
+	e.collective(nil, e.world, gidWorld, "barrier", hw.OpSendRecv, t, comm.Volume{}, false, false)
+	for r := 0; r < e.p; r++ {
+		e.occ[r].Advance(hw.ResCompute, e.clk[r])
+		e.occ[r].Join()
+	}
+}
+
+// regrid replays dist.regrid's charge order on every rank — divide
+// memcpy, metered world all-to-all, merge memcpy — from the cached
+// byte census. side routes the round to the side-channel meters (the
+// byte-packed ReLU masks of RedistributeMask).
+func (e *engine) regrid(n *plan.DAGNode, from, to dist.Layout, rows, cols int, packed, side bool) {
+	x := e.pc.Exchange(from, to, rows, cols, packed)
+	for _, r := range e.world {
+		e.mem(n, r, x.Div[r])
+	}
+	if e.p >= 2 {
+		var t float64
+		var vol comm.Volume
+		if e.tp != nil {
+			cst := e.pc.AllToAllCost(from, to, rows, cols, packed)
+			t = cst.Time
+			vol = comm.Volume{Bytes: cst.Bytes(), Tier1: cst.Tier[topo.TierInter]}
+		} else {
+			t = e.h.CollectiveTime(hw.OpAllToAll, e.p, x.MaxInj)
+			vol = comm.Volume{Bytes: x.Total}
+		}
+		e.collective(n, e.world, gidWorld, "alltoall", hw.OpAllToAll, t, vol, true, side)
+	}
+	for _, r := range e.world {
+		e.mem(n, r, x.Mer[r])
+	}
+}
+
+// tile returns rank r's tile bytes under a layout, the executor's
+// Local.Bytes().
+func (e *engine) tile(l dist.Layout, r, rows, cols int) int64 {
+	tr, tc := dist.TileShape(l, e.p, r, rows, cols)
+	return int64(tr) * int64(tc) * 4
+}
+
+// execNode replays one op's exact charge sequence on every rank.
+func (e *engine) execNode(n *plan.DAGNode) {
+	op := n.Op
+	s, p := e.s, e.p
+	switch op.Kind {
+	case plan.KInput:
+		e.regs[op.Dst] = regShape{op.Layout.Normalize(p), op.Rows, op.Cols}
+	case plan.KRedist:
+		a := e.regs[op.A]
+		from, to := a.layout, op.To.Normalize(p)
+		switch {
+		case from == to:
+			// Pointer alias, free.
+		case to == dist.R:
+			// replicate: world allgather of ragged source tiles, then
+			// the full-matrix assembly memcpy.
+			if p >= 2 {
+				chunks := e.chunkBuf[:p]
+				for r := 0; r < p; r++ {
+					chunks[r] = e.tile(from, r, a.rows, a.cols)
+				}
+				t, vol := e.meter.AllGather(e.world, chunks)
+				e.collective(n, e.world, gidWorld, "allgather", hw.OpAllGather, t, vol, true, false)
+			}
+			for _, r := range e.world {
+				e.mem(n, r, int64(a.rows)*int64(a.cols)*4)
+			}
+		case from == dist.R:
+			// Distribute from a replicated local copy: free.
+		default:
+			e.regrid(n, from, to, a.rows, a.cols, false, false)
+		}
+		e.regs[op.Dst] = regShape{to, op.Rows, op.Cols}
+	case plan.KSpMM:
+		a := e.regs[op.A]
+		if p/s.RA > 1 {
+			// Each column group allgathers its ragged feature slice
+			// concurrently; rank r participates in its own group only.
+			for j := 0; j < s.RA; j++ {
+				grp := e.colGroups[j]
+				chunks := e.chunkBuf[:len(grp)]
+				for k, r := range grp {
+					chunks[k] = e.tile(s.GridL, r, a.rows, a.cols)
+				}
+				t, vol := e.meter.AllGather(grp, chunks)
+				e.collective(n, grp, gidCol(j), "allgather", hw.OpAllGather, t, vol, true, false)
+			}
+			for r := 0; r < p; r++ {
+				_, pcols := dist.TileShape(s.GridL, p, r, a.rows, a.cols)
+				e.mem(n, r, int64(a.rows)*int64(pcols)*4)
+			}
+		}
+		for r := 0; r < p; r++ {
+			_, pcols := dist.TileShape(s.GridL, p, r, a.rows, a.cols)
+			nnz := int64(0)
+			src := e.cen.NNZBwd
+			if op.Forward {
+				src = e.cen.NNZFwd
+			}
+			if r < len(src) {
+				nnz = src[r]
+			}
+			e.kernel(n, r, "spmm", e.h.SpMMTime(nnz, pcols), 0, nnz*int64(pcols))
+		}
+		e.regs[op.Dst] = regShape{s.GridL, op.Rows, op.Cols}
+	case plan.KGEMM:
+		a := e.regs[op.A]
+		for r := 0; r < p; r++ {
+			arows, _ := dist.TileShape(dist.H, p, r, a.rows, a.cols)
+			e.kernel(n, r, "gemm", e.h.GemmTime(arows, a.cols, op.Cols),
+				0, int64(arows)*int64(a.cols)*int64(op.Cols))
+		}
+		e.regs[op.Dst] = regShape{dist.H, op.Rows, op.Cols}
+	case plan.KGradGEMM:
+		a, bb := e.regs[op.A], e.regs[op.B]
+		for r := 0; r < p; r++ {
+			arows, _ := dist.TileShape(dist.H, p, r, a.rows, a.cols)
+			e.kernel(n, r, "gemm", e.h.GemmTime(a.cols, arows, bb.cols),
+				0, int64(a.cols)*int64(arows)*int64(bb.cols))
+		}
+		e.regs[op.Dst] = regShape{dist.R, op.Rows, op.Cols}
+	case plan.KAllReduceGrad:
+		if p >= 2 {
+			bytes := int64(op.Rows) * int64(op.Cols) * 4
+			t, vol := e.meter.AllReduce(e.world, bytes)
+			e.collective(n, e.world, gidWorld, "allreduce", hw.OpAllReduce, t, vol, true, false)
+		}
+	case plan.KReLU:
+		a := e.regs[op.A]
+		for r := 0; r < p; r++ {
+			e.mem(n, r, e.tile(a.layout, r, a.rows, a.cols))
+		}
+	case plan.KReLUGrad:
+		u, src := e.regs[op.A], e.regs[op.B]
+		if src.layout != u.layout {
+			for r := 0; r < p; r++ {
+				e.mem(n, r, e.tile(src.layout, r, src.rows, src.cols))
+			}
+			e.regrid(n, src.layout, u.layout, src.rows, src.cols, true, true)
+		}
+		for r := 0; r < p; r++ {
+			e.mem(n, r, e.tile(u.layout, r, u.rows, u.cols))
+		}
+	case plan.KAdd:
+		a := e.regs[op.A]
+		for r := 0; r < p; r++ {
+			e.mem(n, r, e.tile(a.layout, r, a.rows, a.cols))
+		}
+	case plan.KMemoize, plan.KReuse:
+		e.regs[op.Dst] = e.regs[op.A]
+	case plan.KLoss:
+		a := e.regs[op.A]
+		for r := 0; r < p; r++ {
+			e.mem(n, r, 2*e.tile(dist.H, r, a.rows, a.cols))
+		}
+		if p >= 2 {
+			t, vol := e.meter.AllReduce(e.world, 8)
+			e.collective(n, e.world, gidWorld, "allreduce", hw.OpAllReduce, t, vol, true, false)
+		}
+		e.regs[op.Dst] = regShape{dist.H, op.Rows, op.Cols}
+	case plan.KMemWrite:
+		a := e.regs[op.A]
+		for r := 0; r < p; r++ {
+			e.mem(n, r, e.tile(a.layout, r, a.rows, a.cols))
+		}
+	case plan.KUpdate:
+		for r := 0; r < p; r++ {
+			e.mem(n, r, 4*e.wBytes)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; the P=4096 interactivity smoke only makes sense uninstrumented.
+const raceEnabled = false

@@ -1,0 +1,202 @@
+// Package sim is the discrete-event execution backend: it replays a
+// compiled schedule's dependency DAG over per-device occupancy lanes
+// (hw.Occupancy — one serial timeline per compute/link resource) and
+// produces everything the live fabric would measure — per-device
+// clocks, per-rank communication and compute time, the full per-kind /
+// per-tier byte census, and optional trace events — without ever
+// materializing a payload buffer.
+//
+// The engine is an extraction, not an approximation: the charge
+// sequence is the interpreter's own (internal/core execOp, charge for
+// charge, in order), the rendezvous rule is the fabric's (all member
+// clocks synchronize to max(deposits) + the metering seam's time for
+// the same group and byte census, via comm.Meter), and the overlap
+// lane model is the DAG executor's (ops start at max(resource free,
+// dependency finishes), advance only their resource, and rejoin at
+// epoch boundaries in the same merge order). verify.CheckSimMatchesFabric
+// pins clocks, time accumulators, and all meters bit-identical to live
+// fabric runs for both executors.
+//
+// Because no payloads move, a run costs O(ops × P) float arithmetic
+// plus memoized O(P²) redistribution censuses (plan.PriceCache, shared
+// across the 16 Table IV configs of a sweep) — which is what lets
+// `rdmbench scale` sweep 16 configs × topologies at P = 4096 in
+// seconds instead of simulating terabytes of tile traffic.
+package sim
+
+import (
+	"errors"
+
+	"gnnrdm/internal/comm"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
+	"gnnrdm/internal/topo"
+	"gnnrdm/internal/trace"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	// Sched is the compiled, optimized op schedule (required unless DAG
+	// is given, in which case DAG.Sched is used).
+	Sched *plan.Schedule
+	// DAG is Sched's dependency DAG; built on demand when nil.
+	DAG *plan.DAG
+	// Census carries the per-rank adjacency panel NNZ counts (and
+	// optional straggler multipliers) the SpMM charges need. Use
+	// core.PanelCensus for exact fabric equality, or
+	// Schedule.ApproxCensus for synthetic sweeps.
+	Census plan.Census
+	// HW is the device model (required).
+	HW *hw.Model
+	// Topology routes collectives hierarchically when non-nil; nil is
+	// the flat interconnect. Collectives price under topo.Auto, the
+	// fabric's default algorithm policy.
+	Topology *topo.Topology
+	// Epochs is the number of epochs to replay (default 1). Per-device
+	// clocks carry across epoch boundaries exactly as live.
+	Epochs int
+	// Overlap selects the DAG executor's lane model; false replays the
+	// sequential interpreter.
+	Overlap bool
+	// EpochBarriers is the number of world barriers after each epoch: 0
+	// reproduces a bare Engine.Epoch loop (verify's differential
+	// harnesses), 2 reproduces core.TrainResumable's barrier/snapshot
+	// protocol. Per-epoch snapshots are taken after the first barrier
+	// (or at the epoch join when 0), matching where TrainResumable
+	// reads its stats.
+	EpochBarriers int
+	// Tracer, when non-nil, records the synthesized timeline into a
+	// virtual session labelled TraceLabel (default "sim"). Tracing off
+	// keeps the run allocation-free on the hot path.
+	Tracer     *trace.Tracer
+	TraceLabel string
+	// Cache shares redistribution censuses and topology-routed
+	// all-to-all costs across runs of one (P, HW, Topology) context —
+	// pass one cache to every run of a sweep. Nil uses a private cache.
+	Cache *plan.PriceCache
+}
+
+// Meters is the simulated fabric's byte census, field-for-field the
+// live fabric's accounting (comm.Fabric addVolume): primary and
+// side-channel volume, call counts, and per-link-tier splits, all by
+// collective kind.
+type Meters struct {
+	Volume         [hw.NumCollectiveKinds]int64
+	SideVolume     [hw.NumCollectiveKinds]int64
+	Calls          [hw.NumCollectiveKinds]int64
+	TierVolume     [topo.NumTiers][hw.NumCollectiveKinds]int64
+	SideTierVolume [topo.NumTiers][hw.NumCollectiveKinds]int64
+}
+
+// add replicates Fabric.addVolume: primary or side routing, intra/inter
+// tier split, and the per-kind call counter.
+func (m *Meters) add(kind hw.CollectiveKind, vol comm.Volume, side bool) {
+	if side {
+		m.SideVolume[kind] += vol.Bytes
+		m.SideTierVolume[topo.TierIntra][kind] += vol.Bytes - vol.Tier1
+		m.SideTierVolume[topo.TierInter][kind] += vol.Tier1
+	} else {
+		m.Volume[kind] += vol.Bytes
+		m.TierVolume[topo.TierIntra][kind] += vol.Bytes - vol.Tier1
+		m.TierVolume[topo.TierInter][kind] += vol.Tier1
+	}
+	m.Calls[kind]++
+}
+
+// TotalVolume returns all bytes moved including side-channel traffic,
+// matching Fabric.TotalVolume.
+func (m *Meters) TotalVolume() int64 {
+	var s int64
+	for k := range m.Volume {
+		s += m.Volume[k] + m.SideVolume[k]
+	}
+	return s
+}
+
+// TotalSideVolume returns the side-channel bytes across all kinds.
+func (m *Meters) TotalSideVolume() int64 {
+	var s int64
+	for k := range m.SideVolume {
+		s += m.SideVolume[k]
+	}
+	return s
+}
+
+// Result is everything a simulated run measured.
+type Result struct {
+	P int
+	// Clocks is each device's final simulated clock (the occupancy
+	// makespan), equal to Device.Clock after the same live run.
+	Clocks []float64
+	// CommTime and ComputeTime are the per-rank accumulators, equal to
+	// Device.CommTime / Device.ComputeTime after the same live run
+	// (including the overlap executor's lane-merge accumulation order).
+	CommTime    []float64
+	ComputeTime []float64
+	// Meters is the final byte census.
+	Meters Meters
+	// EpochClock/EpochComm/EpochCompute are cumulative per-rank
+	// snapshots at each epoch's snapshot point ([epoch][rank]);
+	// EpochBytes is the cumulative total metered volume (including
+	// side-channel) there. Deltas between consecutive epochs reproduce
+	// core.EpochStats exactly when EpochBarriers is 2.
+	EpochClock   [][]float64
+	EpochComm    [][]float64
+	EpochCompute [][]float64
+	EpochBytes   []int64
+}
+
+// MaxClock returns the maximum final clock across devices.
+func (r *Result) MaxClock() float64 {
+	m := 0.0
+	for _, c := range r.Clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Run executes the simulated training run.
+func Run(cfg Config) (*Result, error) {
+	s := cfg.Sched
+	if s == nil && cfg.DAG != nil {
+		s = cfg.DAG.Sched
+	}
+	if s == nil {
+		return nil, errors.New("sim: Config.Sched or Config.DAG required")
+	}
+	if cfg.HW == nil {
+		return nil, errors.New("sim: Config.HW required")
+	}
+	if cfg.EpochBarriers < 0 {
+		return nil, errors.New("sim: negative EpochBarriers")
+	}
+	d := cfg.DAG
+	if d == nil {
+		var err error
+		if d, err = plan.BuildDAG(s); err != nil {
+			return nil, err
+		}
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	pc := cfg.Cache
+	if pc == nil {
+		pc = plan.NewPriceCache()
+	}
+	e := newEngine(d, cfg, epochs, pc)
+	e.run()
+	return e.result(), nil
+}
+
+// MustRun is Run panicking on a config error.
+func MustRun(cfg Config) *Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -158,7 +158,14 @@ func NewTracer(capacity int) *Tracer {
 type Session struct {
 	Label string
 	P     int
-	ranks []*rankState
+	// Virtual marks a session whose events were synthesized by the
+	// discrete-event engine (internal/sim) rather than recorded from a
+	// live fabric run: the timeline is identical in shape — kernels,
+	// collectives, phases on per-resource tracks — but no payload ever
+	// moved. Consumers (the Chrome exporter, Summarize) treat both the
+	// same; the flag exists so tooling can label the provenance.
+	Virtual bool
+	ranks   []*rankState
 }
 
 // rankState is one device's recording state: one trackState per resource
@@ -200,6 +207,16 @@ func (t *Tracer) StartSession(label string, p int) *Session {
 		s.ranks[r] = &rankState{tracks: []*trackState{{}}}
 	}
 	t.sessions = append(t.sessions, s)
+	return s
+}
+
+// StartVirtualSession is StartSession for a synthesized (simulated)
+// timeline: the returned session is marked Virtual. The discrete-event
+// engine opens one per sim.Run, keeping virtual and live sessions
+// distinguishable in mixed traces.
+func (t *Tracer) StartVirtualSession(label string, p int) *Session {
+	s := t.StartSession(label, p)
+	s.Virtual = true
 	return s
 }
 

@@ -43,6 +43,8 @@ type overlapRun struct {
 	logits  []*tensor.Dense
 	weights [][]*tensor.Dense
 	clocks  []float64
+	commT   []float64
+	compT   []float64
 }
 
 // trainOverlapMode trains epochs on a fresh fabric with the given
@@ -55,6 +57,8 @@ func trainOverlapMode(p int, prob *core.Problem, o core.Options, epochs int, ove
 		logits:  make([]*tensor.Dense, p),
 		weights: make([][]*tensor.Dense, p),
 		clocks:  make([]float64, p),
+		commT:   make([]float64, p),
+		compT:   make([]float64, p),
 	}
 	fab := comm.NewFabric(p, hw.A6000())
 	if o.Topology != nil {
@@ -75,6 +79,8 @@ func trainOverlapMode(p int, prob *core.Problem, o core.Options, epochs int, ove
 		run.logits[d.Rank] = eng.LastLogits().Local
 		run.weights[d.Rank] = eng.Weights()
 		run.clocks[d.Rank] = d.Clock()
+		run.commT[d.Rank] = d.CommTime()
+		run.compT[d.Rank] = d.ComputeTime()
 	})
 	run.fab = fab
 	return run

@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"testing"
+
+	"gnnrdm/internal/core"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
+	"gnnrdm/internal/sim"
+)
+
+// CheckSimMatchesFabric is the discrete-event backend's differential
+// pin: it trains the same problem on a live fabric — sequential
+// interpreter and overlap DAG executor — and replays it on the sim
+// engine, asserting bit-identical per-device clocks, per-device
+// communication and compute time accumulators, and the complete meter
+// matrix (per-kind volume, side-channel volume, call counts, and both
+// link-tier splits), with no tolerance anywhere. The fabric legs run
+// bare epoch loops (no epoch barriers), which is what the sim's
+// EpochBarriers=0 protocol reproduces.
+//
+// Options must not request accuracy evaluation (EvalMask): its
+// all-reduce is outside the epoch schedule the sim replays.
+func CheckSimMatchesFabric(t testing.TB, prob *core.Problem, p, epochs int, o core.Options) {
+	t.Helper()
+	if o.EvalMask != nil {
+		panic("verify: CheckSimMatchesFabric with EvalMask")
+	}
+	sched := scheduleFor(prob, p, o)
+	dag := plan.MustBuildDAG(sched)
+	ra := o.RA
+	if ra == 0 {
+		ra = p
+	}
+	cen := core.PanelCensus(prob, p, ra)
+	for _, overlap := range []bool{false, true} {
+		mode := "sequential"
+		if overlap {
+			mode = "overlap"
+		}
+		live := trainOverlapMode(p, prob, o, epochs, overlap)
+		res := sim.MustRun(sim.Config{
+			DAG: dag, Census: cen, HW: hw.A6000(), Topology: o.Topology,
+			Epochs: epochs, Overlap: overlap,
+		})
+		for r := 0; r < p; r++ {
+			if res.Clocks[r] != live.clocks[r] {
+				t.Fatalf("%s rank %d: sim clock %.17g != live %.17g (Δ=%g)",
+					mode, r, res.Clocks[r], live.clocks[r], res.Clocks[r]-live.clocks[r])
+			}
+			if res.CommTime[r] != live.commT[r] {
+				t.Fatalf("%s rank %d: sim comm time %.17g != live %.17g (Δ=%g)",
+					mode, r, res.CommTime[r], live.commT[r], res.CommTime[r]-live.commT[r])
+			}
+			if res.ComputeTime[r] != live.compT[r] {
+				t.Fatalf("%s rank %d: sim compute time %.17g != live %.17g (Δ=%g)",
+					mode, r, res.ComputeTime[r], live.compT[r], res.ComputeTime[r]-live.compT[r])
+			}
+		}
+		for _, k := range collectiveKinds {
+			if g, w := res.Meters.Volume[k], live.fab.Volume(k); g != w {
+				t.Fatalf("%s %v volume: sim %d bytes != live %d", mode, k, g, w)
+			}
+			if g, w := res.Meters.SideVolume[k], live.fab.SideVolume(k); g != w {
+				t.Fatalf("%s %v side volume: sim %d bytes != live %d", mode, k, g, w)
+			}
+			if g, w := res.Meters.Calls[k], live.fab.Calls(k); g != w {
+				t.Fatalf("%s %v calls: sim %d != live %d", mode, k, g, w)
+			}
+			for tier := 0; tier < 2; tier++ {
+				if g, w := res.Meters.TierVolume[tier][k], live.fab.TierVolume(k, tier); g != w {
+					t.Fatalf("%s %v tier %d volume: sim %d bytes != live %d", mode, k, tier, g, w)
+				}
+				if g, w := res.Meters.SideTierVolume[tier][k], live.fab.SideTierVolume(k, tier); g != w {
+					t.Fatalf("%s %v tier %d side volume: sim %d bytes != live %d", mode, k, tier, g, w)
+				}
+			}
+		}
+	}
+}
