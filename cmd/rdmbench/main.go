@@ -6,7 +6,7 @@
 //	rdmbench [flags] <experiment>
 //
 // Experiments: fig8 fig9 fig10 fig11 fig12 fig13 table6 table7 table8
-// table9 table10 memo ra volume topo serve overlap member scale all
+// table9 table10 memo ra volume topo serve overlap member scale sparse all
 //
 // Example:
 //
@@ -43,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	saintEpochs := fs.Int("saint-epochs", 15, "training epochs for fig13 curves")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (open in Perfetto or chrome://tracing)")
 	traceSummary := fs.Bool("trace-summary", false, "with -trace, also print per-op counters and sim-time totals")
-	jsonOut := fs.String("json", "", "write machine-readable results of JSON-capable experiments (topo -> BENCH_topo.json, serve -> BENCH_serve.json, overlap -> BENCH_overlap.json, member -> BENCH_member.json, scale -> BENCH_scale.json) to this file")
+	jsonOut := fs.String("json", "", "write machine-readable results of JSON-capable experiments (topo -> BENCH_topo.json, serve -> BENCH_serve.json, overlap -> BENCH_overlap.json, member -> BENCH_member.json, scale -> BENCH_scale.json, sparse -> BENCH_sparse.json) to this file")
 	scalePoints := fs.String("scale-points", bench.DefaultScaleSpec, "scale experiment sweep, semicolon-separated P[@topoSpec|@flat] points (bare P sweeps flat plus (P/8)x8:nvlink,ib)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: rdmbench [flags] <experiment>\n\nexperiments:\n")
@@ -61,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "  overlap                comm/compute overlap: sequential vs DAG-executor epoch time\n")
 		fmt.Fprintf(stderr, "  member                 gossip membership: detection latency and control-plane bytes vs P\n")
 		fmt.Fprintf(stderr, "  scale                  discrete-event backend: 16-config x topology sweeps at P up to 4096\n")
+		fmt.Fprintf(stderr, "  sparse                 sparsity-aware exchange: comm bytes and epoch time vs feature density\n")
 		fmt.Fprintf(stderr, "  hwablate predict spmm  interconnect sensitivity; model validation; SpMM kernels\n")
 		fmt.Fprintf(stderr, "  all                    everything above\n\nflags:\n")
 		fs.PrintDefaults()
@@ -163,6 +164,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if res, err = bench.RunScale(cfg, *scalePoints); err == nil && *jsonOut != "" {
 				err = writeJSONFile(*jsonOut, res)
 			}
+		case "sparse":
+			var res *bench.SparseResult
+			if res, err = bench.RunSparse(cfg); err == nil && *jsonOut != "" {
+				err = writeJSONFile(*jsonOut, res)
+			}
 		case "hwablate":
 			_, err = bench.RunHWAblation(cfg)
 		case "predict":
@@ -172,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case "all":
 			for _, e := range []string{"table6", "table10", "fig8", "fig9", "fig10", "fig11",
 				"fig12", "table7", "table8", "table9", "memo", "ra", "volume", "topo",
-				"serve", "overlap", "member", "scale", "hwablate", "predict", "spmm", "fig13"} {
+				"serve", "overlap", "member", "scale", "sparse", "hwablate", "predict", "spmm", "fig13"} {
 				fmt.Fprintln(stdout, "==== "+e+" ====")
 				if err := runExp(e); err != nil {
 					return err

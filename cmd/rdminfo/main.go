@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dimsStr := fs.String("dims", "16,12,8", "comma-separated layer widths f_0..f_L (with -plan)")
 	nnz := fs.Int64("nnz", 0, "stored adjacency entries, 0 = 8n (with -plan)")
 	nomemo := fs.Bool("nomemo", false, "disable forward memoization (with -plan)")
+	density := fs.Float64("density", 1, "live feature-row fraction; <1 compiles the sparsity-aware exchange (with -plan)")
 	overlap := fs.Bool("overlap", false, "also print the dependency-DAG critical path and the overlap-vs-sequential ordering argmins (with -plan)")
 	engine := fs.String("engine", "fabric", "execution backend for -plan: fabric prints the priced schedule only; sim also replays it on the discrete-event engine and reconciles clocks against plan.PriceDAGEpochs")
 	topoFlag := fs.Bool("topo", false, "print an interconnect spec's link tiers and predicted collective times")
@@ -67,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *planFlag {
-		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *nomemo, *overlap, *specStr, *engine)
+		return runPlan(stdout, stderr, *cfgID, *devs, *ra, *n, *dimsStr, *nnz, *density, *nomemo, *overlap, *specStr, *engine)
 	}
 
 	fmt.Fprintf(stdout, "Dataset recipes (Table V), scale=1/%d\n", *scale)
@@ -104,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // the -spec topology) and the Table IV argmin under both pricers. Exit
 // code 1 signals a planner/model disagreement, or a critical path
 // exceeding the sequential replay.
-func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, nomemo, overlap bool, specStr, engine string) int {
+func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz int64, density float64, nomemo, overlap bool, specStr, engine string) int {
 	dims, err := parseDims(dimsStr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rdminfo: %v\n", err)
@@ -126,9 +127,18 @@ func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz 
 	if nnz == 0 {
 		nnz = int64(8 * n)
 	}
+	if density <= 0 || density > 1 {
+		fmt.Fprintf(stderr, "rdminfo: -density %g out of range (0, 1]\n", density)
+		return 2
+	}
+	live := 0
+	if density < 1 {
+		live = costmodel.LiveCount(n, density)
+	}
 	sp := plan.Spec{
 		N: n, Dims: dims, Config: costmodel.ConfigFromID(cfgID, layers),
 		P: p, RA: ra, Memoize: !nomemo, InputGrad: true,
+		Live: live, SparseSeed: sparseSeed,
 	}
 	sched := plan.Compile(sp).Optimize()
 	cost := sched.Price(nnz, hw.A6000())
@@ -136,8 +146,12 @@ func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz 
 	for _, oc := range cost.PerOp {
 		byStep[oc.Step] = oc
 	}
-	fmt.Fprintf(stdout, "compiled schedule: config=%d p=%d ra=%d n=%d dims=%s memoize=%d regs=%d ops=%d\n",
+	header := fmt.Sprintf("compiled schedule: config=%d p=%d ra=%d n=%d dims=%s memoize=%d regs=%d ops=%d",
 		cfgID, p, ra, n, dimsStr, b01(!nomemo), sched.NumRegs, sched.Ops())
+	if sched.Live > 0 {
+		header += fmt.Sprintf(" density=%g live=%d", density, sched.Live)
+	}
+	fmt.Fprintln(stdout, header)
 	for i := range sched.Sections {
 		sec := &sched.Sections[i]
 		fmt.Fprintf(stdout, "section %s %d\n", sec.Phase, sec.Layer)
@@ -168,7 +182,16 @@ func runPlan(stdout, stderr io.Writer, cfgID, p, ra, n int, dimsStr string, nnz 
 		cost.AllToAll, cost.AllGather, cost.RDMBytes(), cost.AllReduce, cost.Side)
 	net := costmodel.Network{Dims: dims, N: int64(n), NNZ: nnz, P: p, RA: ra, NoMemo: nomemo}
 	want := costmodel.EvaluateEngine(net, sp.Config).CommVolumeBytes()
-	fmt.Fprintf(stdout, "model:  rdm=%dB (Table IV closed form)\n", want)
+	if sched.Live > 0 {
+		// The Table IV closed form prices dense tiles; swap the
+		// sparse-eligible exchange legs for their data-dependent forms.
+		exd, _, exp := sparseExchangeTotals(sched, p)
+		want += exp - exd
+		fmt.Fprintf(stdout, "model:  rdm=%dB (Table IV closed form, sparse exchange legs: dense %dB -> payload %dB)\n",
+			want, exd, exp)
+	} else {
+		fmt.Fprintf(stdout, "model:  rdm=%dB (Table IV closed form)\n", want)
+	}
 	if got := cost.RDMBytes(); got != want {
 		fmt.Fprintf(stderr, "rdminfo: schedule prices %d RDM bytes but model predicts %d (Δ=%d)\n",
 			got, want, got-want)
@@ -304,6 +327,30 @@ func runPlanOverlap(stdout, stderr io.Writer, sp plan.Spec, sched *plan.Schedule
 	fmt.Fprintf(stdout, "overlap argmin (Table IV, %s): sequential=config %d  overlap=config %d\n",
 		specStr, argminSeq, argminOvl)
 	return 0
+}
+
+// sparseSeed is the canonical live-set seed the CLI compiles with,
+// matching the planner test suite's convention (dist.GenRows identity).
+const sparseSeed = 3
+
+// sparseExchangeTotals sums the closed-form dense, metadata, and payload
+// bytes of the schedule's sparse-eligible redistributions.
+func sparseExchangeTotals(sched *plan.Schedule, p int) (dense, meta, pay int64) {
+	live := sched.LiveSet()
+	for i := range sched.Sections {
+		for j := range sched.Sections[i].Ops {
+			op := &sched.Sections[i].Ops[j]
+			if op.Kind != plan.KRedist || !op.Sparse ||
+				!costmodel.SparseExchangeEligible(p, op.From, op.To) {
+				continue
+			}
+			dense += costmodel.DenseExchangeBytes(p, op.Rows, op.Cols, op.From, op.To)
+			m, pl := costmodel.SparseExchangeBytes(p, op.Rows, op.Cols, op.From, op.To, live)
+			meta += m
+			pay += pl
+		}
+	}
+	return dense, meta, pay
 }
 
 func parseDims(s string) ([]int, error) {

@@ -105,6 +105,39 @@ func TestPlanOverlapGolden(t *testing.T) {
 	}
 }
 
+// TestPlanSparseGolden pins the -plan -density dump: the schedule
+// compiles with the sparsity-aware exchange (two-round sparse redists,
+// side-channel byte annotations) and the totals must reconcile against
+// the sparse-adjusted Table IV closed form. The dump doubles as a CI
+// golden (.github/workflows/ci.yml diffs it).
+func TestPlanSparseGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-plan", "-config", "3", "-density", "0.25"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errb.String())
+	}
+	for _, want := range []string{"density=0.25", "sparse exchange legs", "side="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-density dump missing %q in\n%s", want, out.String())
+		}
+	}
+	path := filepath.Join("testdata", "plan_sparse.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-plan -density dump differs from %s; rerun with -update if intended\n--- got\n%s--- want\n%s",
+			path, out.String(), want)
+	}
+}
+
 // TestPlanFlagValidation: malformed -plan inputs exit 2 without output.
 func TestPlanFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
@@ -114,6 +147,8 @@ func TestPlanFlagValidation(t *testing.T) {
 		{"-plan", "-p", "4", "-ra", "3"},
 		{"-plan", "-overlap", "-spec", "8x4:warp,ib"},
 		{"-plan", "-overlap", "-p", "64"},
+		{"-plan", "-density", "0"},
+		{"-plan", "-density", "1.5"},
 	} {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code != 2 {

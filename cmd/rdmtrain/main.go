@@ -21,6 +21,7 @@ import (
 
 	"gnnrdm/internal/core"
 	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/dist"
 	"gnnrdm/internal/fault"
 	"gnnrdm/internal/graph"
 	"gnnrdm/internal/hw"
@@ -28,6 +29,7 @@ import (
 	"gnnrdm/internal/plan"
 	"gnnrdm/internal/saint"
 	"gnnrdm/internal/sparse"
+	"gnnrdm/internal/tensor"
 	"gnnrdm/internal/trace"
 )
 
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		configID  = fs.Int("config", -1, "Table IV ordering config ID (-1 = model-selected best)")
 		ra        = fs.Int("ra", 0, "adjacency replication factor (0 = full replication)")
 		fanout    = fs.Int("fanout", 0, "masked neighbor-sampling fanout (0 = full aggregation)")
+		density   = fs.Float64("density", 1, "live feature-row fraction; <1 zeroes the rest and trains with the sparsity-aware exchange")
 		save      = fs.String("save", "", "write a checkpoint here after training")
 		resume    = fs.String("resume", "", "resume from a checkpoint")
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
@@ -125,6 +128,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	prob.X = graph.SynthesizeFeatures(rng, labels, *classes, *features, 0.8)
 
+	// Optional row-sparse features: keep only the canonical live set and
+	// let the planner and executor agree on it by construction (the
+	// executor's value scan recovers exactly these rows).
+	if *density <= 0 || *density > 1 {
+		return fail(fmt.Errorf("-density %g out of range (0, 1]", *density))
+	}
+	live := 0
+	if *density < 1 {
+		live = costmodel.LiveCount(*n, *density)
+		sparsifyFeatures(prob, live, trainSparseSeed)
+		fmt.Fprintf(stdout, "sparse features: density %g -> %d/%d live rows (two-round exchange enabled)\n",
+			*density, live, *n)
+	}
+
 	// 3. Pick the ordering configuration.
 	dims := []int{*features}
 	for i := 1; i < *layers; i++ {
@@ -140,7 +157,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Model-driven per-layer selection (§IV-B): the planner prices a
 		// fully compiled schedule per candidate slot, so mixed orderings
 		// no uniform Table IV row expresses fall out naturally.
-		sp := plan.Spec{N: *n, Dims: dims, P: *gpus, RA: raEff, SAGE: *sage, Memoize: true}
+		sp := plan.Spec{N: *n, Dims: dims, P: *gpus, RA: raEff, SAGE: *sage, Memoize: true,
+			Live: live, SparseSeed: trainSparseSeed}
 		cfg := plan.ChooseOrdering(sp, prob.A.NNZ(), hw.A6000())
 		id = cfg.ID()
 		sp.Config = cfg
@@ -150,13 +168,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := core.Options{
-		Dims:    dims,
-		Config:  costmodel.ConfigFromID(id, *layers),
-		RA:      *ra,
-		Memoize: true,
-		LR:      *lr,
-		Seed:    *seed,
-		SAGE:    *sage,
+		Dims:       dims,
+		Config:     costmodel.ConfigFromID(id, *layers),
+		RA:         *ra,
+		Memoize:    true,
+		LR:         *lr,
+		Seed:       *seed,
+		SAGE:       *sage,
+		Live:       live,
+		SparseSeed: trainSparseSeed,
 	}
 	if *fanout > 0 {
 		opts.MaskProvider = saint.NeighborMaskProvider(prob.A, *fanout, *seed)
@@ -272,6 +292,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "checkpoint written to %s\n", *save)
 	}
 	return 0
+}
+
+// trainSparseSeed is the canonical live-set seed (dist.GenRows
+// identity), matching the rdminfo CLI and the planner test suite.
+const trainSparseSeed = 3
+
+// sparsifyFeatures zeroes every feature row outside the canonical live
+// set and guarantees each live row at least one nonzero, so the
+// executor's value scan (dist.LiveRows) recovers exactly the planner's
+// assumed set.
+func sparsifyFeatures(prob *core.Problem, live int, sseed int64) {
+	n, f := prob.X.Rows, prob.X.Cols
+	x := tensor.NewDense(n, f)
+	for _, r := range dist.GenRows(sseed, n, live) {
+		row := x.Row(int(r))
+		copy(row, prob.X.Row(int(r)))
+		nonzero := false
+		for _, v := range row {
+			if v != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			row[0] = 0.5
+		}
+	}
+	prob.X = x
 }
 
 // faultFlags carries the flag values the elastic training path needs.

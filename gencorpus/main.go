@@ -196,6 +196,17 @@ func main() {
 	write(rg, "seed-single-device", bytesArgs(1, 1, 0, 0, 0)...)
 	write(rg, "seed-wide", bytesArgs(3, 9, 1, 1, 0)...)
 
+	// internal/dist: two-round sparse row-set redistribution
+	// (codec round-trip + sparse-vs-dense differential). Args:
+	// rows, cols, pSel, srcSel, dstSel, liveCount, seed.
+	sx := "internal/dist/testdata/fuzz/FuzzSparseExchange"
+	write(sx, "seed-quarter-live", bytesArgs(12, 5, 2, 0, 1, 4, 3)...)
+	write(sx, "seed-tall-p4", bytesArgs(24, 3, 3, 1, 0, 6, 9)...)
+	write(sx, "seed-grid-dst", bytesArgs(8, 4, 1, 2, 0, 2, 1)...)
+	write(sx, "seed-single-device", bytesArgs(1, 1, 0, 0, 0, 0, 0)...)
+	write(sx, "seed-all-live", bytesArgs(16, 6, 3, 0, 1, 16, 5)...)
+	write(sx, "seed-empty-live", bytesArgs(10, 2, 1, 0, 1, 0, 7)...)
+
 	// internal/topo: interconnect spec grammar (parse/String fixed
 	// point). Valid specs across the class table plus malformed shapes
 	// the parser must reject.

@@ -72,6 +72,12 @@ type Fabric struct {
 	tierVol  [topo.NumTiers][hw.NumCollectiveKinds]atomic.Int64
 	tierSide [topo.NumTiers][hw.NumCollectiveKinds]atomic.Int64
 
+	// rankSent is the per-rank injection census of the variable-volume
+	// collectives (TryAllToAllV / TryAllGatherV): the logical bytes each
+	// rank contributed to V-rounds, independent of how the topology
+	// routed them. Dense collectives do not touch it. See RankSent.
+	rankSent []atomic.Int64
+
 	// topology, when non-nil, switches every collective's time and byte
 	// accounting from the flat linkModel path to the topology-aware
 	// algorithm library (internal/topo); algs holds the per-kind
@@ -152,6 +158,7 @@ func NewFabric(p int, model *hw.Model) *Fabric {
 		panic("comm: need at least one device")
 	}
 	f := &Fabric{P: p, HW: model, groups: make(map[string]*groupComm)}
+	f.rankSent = make([]atomic.Int64, p)
 	f.devices = make([]*Device, p)
 	for r := 0; r < p; r++ {
 		f.devices[r] = &Device{Rank: r, F: f}
@@ -377,6 +384,15 @@ func (f *Fabric) TotalSideVolume() int64 {
 // Calls returns the number of collectives of the given kind executed.
 func (f *Fabric) Calls(kind hw.CollectiveKind) int64 { return f.calls[kind].Load() }
 
+// RankSent returns the bytes rank injected into variable-volume
+// collectives (TryAllToAllV: the rank's cross-pair part bytes;
+// TryAllGatherV: the rank's chunk replicated to each peer). The census
+// is logical — defined by what each rank contributed, not by how a
+// topology routed the bytes — so it is identical under flat and
+// hierarchical pricing, and on a flat fabric the ranks sum to the
+// V-collectives' metered volume (primary plus side channel).
+func (f *Fabric) RankSent(rank int) int64 { return f.rankSent[rank].Load() }
+
 // TierVolume returns the bytes of the given kind that crossed links of
 // the given tier (topo.TierIntra or topo.TierInter), excluding
 // side-channel traffic. Summed over tiers it equals Volume(kind); on a
@@ -401,6 +417,9 @@ func (f *Fabric) ResetVolumes() {
 			f.tierVol[t][i].Store(0)
 			f.tierSide[t][i].Store(0)
 		}
+	}
+	for i := range f.rankSent {
+		f.rankSent[i].Store(0)
 	}
 }
 

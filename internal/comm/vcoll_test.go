@@ -1,0 +1,253 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/topo"
+)
+
+// ragged parts for rank r in a P-rank world: r sends r+j+1 elements to
+// rank j (self part included but never metered).
+func raggedParts(r, p int) ([][]float32, []int) {
+	parts := make([][]float32, p)
+	counts := make([]int, p)
+	for j := range parts {
+		n := r + j + 1
+		buf := make([]float32, n)
+		for k := range buf {
+			buf[k] = float32(100*r + 10*j + k)
+		}
+		parts[j] = buf
+		counts[j] = n
+	}
+	return parts, counts
+}
+
+func TestAllToAllVDataAndCounts(t *testing.T) {
+	const p = 4
+	f := NewFabric(p, hw.A6000())
+	f.Run(func(d *Device) {
+		parts, counts := raggedParts(d.Rank, p)
+		out, recv, err := d.TryAllToAllV(d.World(), parts, counts)
+		if err != nil {
+			t.Errorf("rank %d: %v", d.Rank, err)
+			return
+		}
+		for i := 0; i < p; i++ {
+			want := i + d.Rank + 1 // what rank i sends to me
+			if recv[i] != want || len(out[i]) != want {
+				t.Errorf("rank %d: recv[%d]=%d len=%d, want %d", d.Rank, i, recv[i], len(out[i]), want)
+				return
+			}
+			for k, v := range out[i] {
+				if v != float32(100*i+10*d.Rank+k) {
+					t.Errorf("rank %d: out[%d][%d]=%v", d.Rank, i, k, v)
+					return
+				}
+			}
+		}
+	})
+	// Conservation: per-rank injection census sums to the metered volume
+	// on a flat fabric, and matches each rank's cross-pair bytes.
+	var sum int64
+	for r := 0; r < p; r++ {
+		var inj int64
+		for j := 0; j < p; j++ {
+			if j != r {
+				inj += int64(r+j+1) * 4
+			}
+		}
+		if got := f.RankSent(r); got != inj {
+			t.Fatalf("rank %d sent census %d, want %d", r, got, inj)
+		}
+		sum += inj
+	}
+	if got := f.Volume(hw.OpAllToAll); got != sum {
+		t.Fatalf("metered alltoall volume %d, rank census sums to %d", got, sum)
+	}
+}
+
+func TestAllGatherVDataCountsAndCensus(t *testing.T) {
+	const p = 4
+	f := NewFabric(p, hw.A6000())
+	f.Run(func(d *Device) {
+		local := make([]float32, d.Rank+1)
+		for k := range local {
+			local[k] = float32(10*d.Rank + k)
+		}
+		out, recv, err := d.TryAllGatherV(d.World(), local, len(local))
+		if err != nil {
+			t.Errorf("rank %d: %v", d.Rank, err)
+			return
+		}
+		for i := 0; i < p; i++ {
+			if recv[i] != i+1 || len(out[i]) != i+1 {
+				t.Errorf("rank %d: recv[%d]=%d len=%d, want %d", d.Rank, i, recv[i], len(out[i]), i+1)
+				return
+			}
+			for k, v := range out[i] {
+				if v != float32(10*i+k) {
+					t.Errorf("rank %d: out[%d][%d]=%v", d.Rank, i, k, v)
+					return
+				}
+			}
+		}
+	})
+	var sum, want int64
+	for r := 0; r < p; r++ {
+		inj := int64(r+1) * 4 * int64(p-1)
+		if got := f.RankSent(r); got != inj {
+			t.Fatalf("rank %d sent census %d, want %d", r, got, inj)
+		}
+		sum += inj
+		want += int64(r+1) * 4
+	}
+	if got := f.Volume(hw.OpAllGather); got != want*int64(p-1) {
+		t.Fatalf("metered allgather volume %d, want %d", got, want*int64(p-1))
+	}
+	if got := f.Volume(hw.OpAllGather); got != sum {
+		t.Fatalf("metered allgather volume %d, rank census sums to %d", got, sum)
+	}
+}
+
+// TestVCollectivesMatchDenseMeters pins the V-paths to the dense
+// collectives: the same buffers moved through TryAllToAll /
+// TryAllGather must produce identical volumes, call counts, and clocks
+// — the V-variants add count validation and the rank census, never a
+// different price.
+func TestVCollectivesMatchDenseMeters(t *testing.T) {
+	const p = 4
+	run := func(v bool) (*Fabric, float64) {
+		f := NewFabric(p, hw.A6000())
+		f.Run(func(d *Device) {
+			parts, counts := raggedParts(d.Rank, p)
+			local := parts[0]
+			if v {
+				d.AllToAllV(d.World(), parts, counts)
+				d.AllGatherV(d.World(), local, len(local))
+			} else {
+				d.AllToAll(d.World(), parts)
+				d.AllGather(d.World(), local)
+			}
+		})
+		return f, f.MaxClock()
+	}
+	fv, cv := run(true)
+	fd, cd := run(false)
+	if cv != cd {
+		t.Fatalf("V clock %v != dense clock %v", cv, cd)
+	}
+	for _, k := range []hw.CollectiveKind{hw.OpAllToAll, hw.OpAllGather} {
+		if fv.Volume(k) != fd.Volume(k) || fv.Calls(k) != fd.Calls(k) {
+			t.Fatalf("kind %v: V volume/calls %d/%d != dense %d/%d",
+				k, fv.Volume(k), fv.Calls(k), fd.Volume(k), fd.Calls(k))
+		}
+	}
+}
+
+// TestVCollectivesTopoTiers runs the V-paths on a hierarchical topology
+// and checks the tier split is populated and consistent, and that the
+// rank census is routing-independent (equal to the flat run's).
+func TestVCollectivesTopoTiers(t *testing.T) {
+	const p = 8
+	spec, err := topo.ParseSpec("4x2:nvlink,ib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(hier bool) *Fabric {
+		f := NewFabric(p, hw.A6000())
+		if hier {
+			f.SetTopology(spec.MustTopology(p))
+		}
+		f.Run(func(d *Device) {
+			parts, counts := raggedParts(d.Rank, p)
+			d.AllToAllV(d.World(), parts, counts)
+		})
+		return f
+	}
+	fh, ff := run(true), run(false)
+	if fh.TierVolume(hw.OpAllToAll, topo.TierInter) == 0 {
+		t.Fatal("hierarchical alltoallv moved no inter-node bytes")
+	}
+	sum := fh.TierVolume(hw.OpAllToAll, topo.TierIntra) + fh.TierVolume(hw.OpAllToAll, topo.TierInter)
+	if sum != fh.Volume(hw.OpAllToAll) {
+		t.Fatalf("tier split %d != volume %d", sum, fh.Volume(hw.OpAllToAll))
+	}
+	for r := 0; r < p; r++ {
+		if fh.RankSent(r) != ff.RankSent(r) {
+			t.Fatalf("rank %d census differs across routings: hier %d, flat %d",
+				r, fh.RankSent(r), ff.RankSent(r))
+		}
+	}
+}
+
+func TestAllToAllVCountMismatch(t *testing.T) {
+	const p = 2
+	f := NewFabric(p, hw.A6000())
+	f.Run(func(d *Device) {
+		parts, counts := raggedParts(d.Rank, p)
+		counts[1]++ // advertise a lie
+		_, _, err := d.TryAllToAllV(d.World(), parts, counts)
+		if !errors.Is(err, ErrCountMismatch) {
+			t.Errorf("rank %d: got %v, want ErrCountMismatch", d.Rank, err)
+		}
+	})
+	if f.Calls(hw.OpAllToAll) != 0 {
+		t.Fatal("rejected round was metered")
+	}
+}
+
+func TestAllGatherVCountMismatch(t *testing.T) {
+	f := NewFabric(1, hw.A6000())
+	f.Run(func(d *Device) {
+		_, _, err := d.TryAllGatherV(d.World(), make([]float32, 3), 4)
+		if !errors.Is(err, ErrCountMismatch) {
+			t.Errorf("got %v, want ErrCountMismatch", err)
+		}
+	})
+}
+
+// TestAllToAllVNilPartsCooperative: a nil parts slice is delivered
+// cooperatively to every member, exactly like the dense path.
+func TestAllToAllVNilPartsCooperative(t *testing.T) {
+	const p = 2
+	f := NewFabric(p, hw.A6000())
+	f.Run(func(d *Device) {
+		var parts [][]float32
+		var counts []int
+		if d.Rank != 0 {
+			parts, counts = raggedParts(d.Rank, p)
+		}
+		_, _, err := d.TryAllToAllV(d.World(), parts, counts)
+		if !errors.Is(err, ErrNilBuffer) {
+			t.Errorf("rank %d: got %v, want ErrNilBuffer", d.Rank, err)
+		}
+	})
+}
+
+// TestAllToAllVPeerDead: deadline/fault semantics match the dense
+// collectives — a dead peer surfaces as a FaultError wrapping
+// ErrPeerDead on every survivor, with the collective deadline charged.
+func TestAllToAllVPeerDead(t *testing.T) {
+	const p = 2
+	f := NewFabric(p, hw.A6000())
+	f.Run(func(d *Device) {
+		if d.Rank == 1 {
+			return // exits immediately: departed rank
+		}
+		parts, counts := raggedParts(d.Rank, p)
+		_, _, err := d.TryAllToAllV(d.World(), parts, counts)
+		if !errors.Is(err, ErrPeerDead) {
+			t.Errorf("rank %d: got %v, want ErrPeerDead", d.Rank, err)
+		}
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Errorf("rank %d: error %v is not a *FaultError", d.Rank, err)
+		}
+		if d.Clock() < DefaultCollectiveDeadline {
+			t.Errorf("rank %d: clock %v < deadline charge", d.Rank, d.Clock())
+		}
+	})
+}

@@ -126,6 +126,17 @@ type Options struct {
 	// sequential reference leg stays sequential even when CI forces the
 	// overlap executor on everywhere else.
 	PinExecutor bool
+	// Live declares the feature matrix row-sparse with this many live
+	// (nonzero) rows: the compiler marks the redistributions whose
+	// operands inherit X's row support, and the executor runs them
+	// through the two-round sparse exchange (dist.RedistributeSparse)
+	// over the live set scanned from the actual features. 0 (or >= N)
+	// means dense. The planner's live set is dist.GenRows(SparseSeed, N,
+	// Live); feed features generated from the same identity when
+	// meter-equals-model matters (verify.CheckSparseMatchesModel).
+	Live int
+	// SparseSeed selects the planner's assumed live row set (see Live).
+	SparseSeed int64
 }
 
 // overlapEnv reads the GNNRDM_OVERLAP force flag once per process.
@@ -208,6 +219,10 @@ type Engine struct {
 	// (overlap.go).
 	dag *plan.DAG
 
+	// live is the sorted live row set of X (value scan), consumed by the
+	// schedule's sparse redistributions; nil for a dense schedule.
+	live []int32
+
 	// epochMask is the current epoch's sampled-neighbor mask for this
 	// device's panel rows (nil when sampling is off).
 	epochMask [][]int32
@@ -259,9 +274,23 @@ func NewEngine(dev *comm.Device, prob *Problem, opts Options) *Engine {
 		N: prob.N(), Dims: opts.Dims, Config: opts.Config,
 		P: p, RA: opts.RA, SAGE: opts.SAGE, Memoize: opts.Memoize,
 		InputGrad: opts.ComputeInputGrad,
+		Live:      opts.Live, SparseSeed: opts.SparseSeed,
 	}).Optimize()
+	e.scanLive()
 	dev.TraceSetConfig(opts.Config.String())
 	return e
+}
+
+// scanLive refreshes the executor's live row set for sparse
+// redistributions: the value-based scan of the actual features, so the
+// exchange ships exactly the rows that are nonzero — the planner's
+// GenRows assumption is a pricing identity, not a correctness
+// requirement.
+func (e *Engine) scanLive() {
+	e.live = nil
+	if e.sched.Live > 0 {
+		e.live = dist.LiveRows(e.prob.X)
+	}
 }
 
 // Schedule returns the compiled, optimized op schedule this engine
@@ -425,7 +454,11 @@ func (e *Engine) execOp(dev *comm.Device, op *plan.Op, regs []*dist.Mat, grads [
 		if m.Dev != dev {
 			m = m.WithDevice(dev)
 		}
-		regs[op.Dst] = m.Redistribute(op.To)
+		if op.Sparse {
+			regs[op.Dst] = m.RedistributeSparse(op.To, e.live)
+		} else {
+			regs[op.Dst] = m.Redistribute(op.To)
+		}
 	case plan.KSpMM:
 		regs[op.Dst] = e.spmm(dev, regs[op.A], op.Forward)
 	case plan.KGEMM:
@@ -602,6 +635,7 @@ func (e *Engine) SetProblem(prob *Problem) {
 	}
 	e.prob = prob
 	e.extractPanels()
+	e.scanLive()
 	e.lastLogits = nil
 }
 

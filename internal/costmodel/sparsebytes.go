@@ -1,0 +1,87 @@
+package costmodel
+
+import (
+	"math"
+
+	"gnnrdm/internal/dist"
+)
+
+// This file is the §IV-style closed-form accounting of the sparsity-
+// aware exchange (DESIGN.md §4g): the byte volumes of one two-round
+// sparse redistribution, derived from the live row set and the layout
+// geometry alone. The fabric's meters, the planner's per-op prices, and
+// the discrete-event simulator are all asserted equal to these numbers
+// (verify.CheckSparseMatchesModel) — this is the model side of the
+// meter-equals-model invariant.
+
+// LiveCount maps a feature density to a live row count: round(density·n)
+// clamped to [0, n]. Density >= 1 yields n, which the planner
+// normalizes to the dense schedule (plan.Spec treats Live >= N as
+// dense), so a density-1.0 sparse run reproduces the dense path
+// bit-for-bit.
+func LiveCount(n int, density float64) int {
+	c := int(math.Round(density * float64(n)))
+	return min(max(c, 0), n)
+}
+
+// SparseExchangeEligible mirrors dist.RedistributeSparse's fallback
+// rule: the two-round protocol runs only between two non-replicated,
+// distinct layouts on a multi-device world; everything else takes the
+// dense path and prices as such.
+func SparseExchangeEligible(p int, from, to dist.Layout) bool {
+	from, to = from.Normalize(p), to.Normalize(p)
+	return p > 1 && from != to &&
+		from.Kind != dist.Replicated && to.Kind != dist.Replicated
+}
+
+// SparseExchangeBytes returns the closed-form fabric volumes of one
+// two-round sparse redistribution of a rows×cols matrix from layout
+// `from` to layout `to` over p devices, given the sorted live row set:
+//
+//	meta    = Σ_{active pairs r≠q} 4·(2 + |live ∩ rowWindow(r,q)|)
+//	payload = Σ_{active pairs r≠q} 4·|live ∩ rowWindow(r,q)|·colWidth(r,q)
+//
+// where a pair is active iff the sender's and receiver's dense tiles
+// intersect (the dense protocol's pair set — sparsity changes volumes,
+// never the communication pattern), the row window is that
+// intersection's row extent, and colWidth its column extent. Metadata
+// rides the side channel; payload is the primary metered volume.
+func SparseExchangeBytes(p, rows, cols int, from, to dist.Layout, live []int32) (meta, payload int64) {
+	from, to = from.Normalize(p), to.Normalize(p)
+	for r := 0; r < p; r++ {
+		arlo, arhi := dist.RowRange(from, p, r, rows)
+		aclo, achi := dist.ColRange(from, p, r, cols)
+		for q := 0; q < p; q++ {
+			if q == r {
+				continue
+			}
+			brlo, brhi := dist.RowRange(to, p, q, rows)
+			bclo, bchi := dist.ColRange(to, p, q, cols)
+			rlo, rhi := max(arlo, brlo), min(arhi, brhi)
+			clo, chi := max(aclo, bclo), min(achi, bchi)
+			if rlo >= rhi || clo >= chi {
+				continue
+			}
+			cnt := int64(dist.CountInRange(live, rlo, rhi))
+			meta += 4 * (2 + cnt)
+			payload += 4 * cnt * int64(chi-clo)
+		}
+	}
+	return meta, payload
+}
+
+// DenseExchangeBytes is the matching dense-path volume of the same
+// conversion (every cross-pair tile intersection, once), for
+// reduction-factor reporting next to SparseExchangeBytes.
+func DenseExchangeBytes(p, rows, cols int, from, to dist.Layout) int64 {
+	from, to = from.Normalize(p), to.Normalize(p)
+	var vol int64
+	for r := 0; r < p; r++ {
+		for q := 0; q < p; q++ {
+			if q != r {
+				vol += 4 * int64(dist.TileOverlap(from, r, to, q, p, rows, cols))
+			}
+		}
+	}
+	return vol
+}

@@ -20,6 +20,13 @@ type Spec struct {
 	// (0 = P, full replication).
 	P, RA                    int
 	SAGE, Memoize, InputGrad bool
+	// Live > 0 declares the input features row-sparse with exactly Live
+	// nonzero rows, the set dist.GenRows(SparseSeed, N, Live).
+	// Redistributions of values whose support is contained in that set
+	// compile to sparse exchanges (redist.sp). Live <= 0 or >= N is the
+	// dense problem.
+	Live       int
+	SparseSeed int64
 }
 
 func (sp Spec) withDefaults() Spec {
@@ -28,6 +35,9 @@ func (sp Spec) withDefaults() Spec {
 	}
 	if len(sp.Config.Fwd) == 0 {
 		sp.Config = costmodel.ConfigFromID(0, len(sp.Dims)-1)
+	}
+	if sp.Live < 0 || sp.Live >= sp.N {
+		sp.Live = 0
 	}
 	return sp
 }
@@ -67,6 +77,18 @@ type compiler struct {
 	s     *Schedule
 	next  Reg
 	step  int
+	// sparse marks registers whose value's row support is contained in
+	// the schedule's live set: H^0 itself, and anything reached from it
+	// by row-local ops (GEMM preserves row sparsity; aggregation does
+	// not). Redistributions of marked registers compile to redist.sp.
+	sparse map[Reg]bool
+}
+
+// markSparse records a freshly defined register as row-sparse.
+func (c *compiler) markSparse(r Reg, sparse bool) {
+	if sparse && c.sp.Live > 0 {
+		c.sparse[r] = true
+	}
 }
 
 // Compile lowers one training epoch under the given spec into a naive
@@ -79,7 +101,7 @@ type compiler struct {
 func Compile(sp Spec) *Schedule {
 	sp = sp.withDefaults()
 	sp.validate()
-	c := &compiler{sp: sp, gridL: dist.G(sp.RA).Normalize(sp.P)}
+	c := &compiler{sp: sp, gridL: dist.G(sp.RA).Normalize(sp.P), sparse: map[Reg]bool{}}
 	L := len(sp.Dims) - 1
 	nw := L
 	if sp.SAGE {
@@ -92,6 +114,7 @@ func Compile(sp Spec) *Schedule {
 		SAGE:   sp.SAGE, Memoize: sp.Memoize, InputGrad: sp.InputGrad,
 		GridL:      c.gridL,
 		NumWeights: nw,
+		Live:       sp.Live, SparseSeed: sp.SparseSeed,
 	}
 
 	h, memo := c.forwardPass()
@@ -236,9 +259,10 @@ func (c *compiler) get(v *val, l dist.Layout) Reg {
 // identity the elision pass removes.
 func (c *compiler) redist(a Reg, from, to dist.Layout, rows, cols int) Reg {
 	dst := c.fresh()
-	c.emit(Op{Kind: KRedist, Dst: dst, A: a,
+	c.emit(Op{Kind: KRedist, Dst: dst, A: a, Sparse: c.sparse[a],
 		From: from.Normalize(c.sp.P), To: to.Normalize(c.sp.P), Layout: to.Normalize(c.sp.P),
 		Rows: rows, Cols: cols})
+	c.markSparse(dst, c.sparse[a])
 	return dst
 }
 
@@ -258,6 +282,9 @@ func (c *compiler) gemm(a Reg, weight int, transW bool, rows, cols int) Reg {
 	dst := c.fresh()
 	c.emit(Op{Kind: KGEMM, Dst: dst, A: a, Weight: weight, TransW: transW,
 		Layout: dist.H, Rows: rows, Cols: cols})
+	// A GEMM is row-local: zero rows of A yield zero rows of A·W, so the
+	// product inherits the operand's row sparsity.
+	c.markSparse(dst, c.sparse[a])
 	return dst
 }
 

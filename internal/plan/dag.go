@@ -153,7 +153,7 @@ func BuildDAG(s *Schedule) (*DAG, error) {
 					readReg(op.A)
 					defReg(op.Dst)
 				}
-			case KSpMM:
+			case KSpMM, KSpMMABC:
 				readReg(op.A)
 				defReg(op.Dst)
 			case KGEMM:
@@ -323,6 +323,9 @@ func (s *Schedule) OpResource(op *Op, rank int, tp *topo.Topology) hw.Resource {
 		return s.linkRes(s.world(), tp)
 	case KSpMM:
 		return s.linkRes(s.colGroup(rank), tp)
+	case KSpMMABC:
+		// The structural exchange is a world all-to-all (two rounds).
+		return s.linkRes(s.world(), tp)
 	case KAllReduceGrad, KLoss:
 		return s.linkRes(s.world(), tp)
 	case KReLUGrad:

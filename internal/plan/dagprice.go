@@ -30,6 +30,13 @@ type Census struct {
 	// model, comm.Device.SetComputeSlowdown); nil or values <= 1 mean
 	// no slowdown.
 	Slow []float64
+	// ABCPairs and NNZABC carry the KSpMMABC structural census: result
+	// rows shipped r→q and each rank's partial-aggregation stored-entry
+	// work. ApproxCensus fills them analytically whenever R_A == P (the
+	// op's validity precondition); schedules without ABC ops ignore
+	// them.
+	ABCPairs [][]int64
+	NNZABC   []int64
 }
 
 // ApproxCensus estimates a census from a global stored-entry count by
@@ -45,6 +52,9 @@ func (s *Schedule) ApproxCensus(nnz int64) Census {
 		panel := (nnz*int64(prows) + int64(s.N) - 1) / int64(s.N)
 		c.NNZFwd[r] = panel
 		c.NNZBwd[r] = panel
+	}
+	if s.RA == s.P {
+		c.ABCPairs, c.NNZABC = s.ApproxABCPairs(nnz)
 	}
 	return c
 }
@@ -197,6 +207,44 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 			mem(r, x.Mer[r])
 		}
 	}
+	// sparseRounds replays one two-round sparse exchange's charge order
+	// (dist.RedistributeSparse / the KSpMMABC result exchange): metadata
+	// divide memcpy, metadata rendezvous, metadata merge, payload
+	// divide, payload rendezvous, payload merge. timeOf prices one
+	// round's collective under the topology (or the flat closed form
+	// over the round's busiest injector).
+	sparseRounds := func(x *SparseExchangeCensus, metaTime, payTime func() float64) {
+		for _, r := range world {
+			mem(r, x.MetaDiv[r])
+		}
+		rendezvous(world, metaTime())
+		for _, r := range world {
+			mem(r, x.MetaMer[r])
+		}
+		for _, r := range world {
+			mem(r, x.PayDiv[r])
+		}
+		rendezvous(world, payTime())
+		for _, r := range world {
+			mem(r, x.PayMer[r])
+		}
+	}
+	sparseRegrid := func(from, to dist.Layout, rows, cols int) {
+		x := pc.SparseExchange(s, from, to, rows, cols)
+		metaTime := func() float64 {
+			if tp != nil {
+				return pc.SparseAllToAllCost(s, from, to, rows, cols, true).Time
+			}
+			return h.CollectiveTime(hw.OpAllToAll, p, x.MetaMaxInj)
+		}
+		payTime := func() float64 {
+			if tp != nil {
+				return pc.SparseAllToAllCost(s, from, to, rows, cols, false).Time
+			}
+			return h.CollectiveTime(hw.OpAllToAll, p, x.PayMaxInj)
+		}
+		sparseRounds(x, metaTime, payTime)
+	}
 	allgatherTime := func(group []int, chunks []int64) float64 {
 		if len(group) < 2 {
 			return 0
@@ -273,7 +321,11 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 				case from == dist.R:
 					// Distribute from a replicated local copy: free.
 				default:
-					regrid(from, to, a.rows, a.cols, false)
+					if op.Sparse && s.SparseEligible(from, to) {
+						sparseRegrid(from, to, a.rows, a.cols)
+					} else {
+						regrid(from, to, a.rows, a.cols, false)
+					}
 				}
 				regs[op.Dst] = regShape{to, op.Rows, op.Cols}
 			case KSpMM:
@@ -309,6 +361,38 @@ func (d *DAG) simulate(cen Census, h *hw.Model, tp *topo.Topology, overlap bool,
 					kernel(r, h.SpMMTime(nnz, pcols))
 				}
 				regs[op.Dst] = regShape{s.GridL, op.Rows, op.Cols}
+			case KSpMMABC:
+				a := regs[op.A]
+				pairs, nnzABC := cen.ABCPairs, cen.NNZABC
+				if pairs == nil {
+					// Census built without the ABC fill (hand-rolled): fall
+					// back to the analytic estimate over the panel total.
+					var total int64
+					for _, v := range cen.NNZFwd {
+						total += v
+					}
+					pairs, nnzABC = s.ApproxABCPairs(total)
+				}
+				for r := 0; r < p; r++ {
+					nnz := int64(0)
+					if r < len(nnzABC) {
+						nnz = nnzABC[r]
+					}
+					kernel(r, h.SpMMTime(nnz, a.cols))
+				}
+				meta, pay := abcFns(pairs, a.cols)
+				x := buildSparseCensus(p, meta, pay)
+				abcTime := func(fn func(i, j int) int64, maxInj int64) func() float64 {
+					return func() float64 {
+						if tp != nil {
+							_, cst := tp.AllToAll(h, topo.Auto, world, fn)
+							return cst.Time
+						}
+						return h.CollectiveTime(hw.OpAllToAll, p, maxInj)
+					}
+				}
+				sparseRounds(x, abcTime(meta, x.MetaMaxInj), abcTime(pay, x.PayMaxInj))
+				regs[op.Dst] = regShape{dist.H, op.Rows, op.Cols}
 			case KGEMM:
 				a := regs[op.A]
 				for r := 0; r < p; r++ {

@@ -26,9 +26,13 @@ func (c *compiler) forwardPass() (h []*val, memo []Reg) {
 	// two coincide in one register, exactly like the executor's cache.
 	c.section("init", 0)
 	h[0] = c.newVal(sp.N, sp.Dims[0])
-	c.cache(h[0], dist.H, c.input(dist.H, sp.N, sp.Dims[0]))
+	x := c.input(dist.H, sp.N, sp.Dims[0])
+	c.cache(h[0], dist.H, x)
+	c.markSparse(x, true)
 	if c.gridL != dist.H {
-		c.cache(h[0], c.gridL, c.input(c.gridL, sp.N, sp.Dims[0]))
+		xg := c.input(c.gridL, sp.N, sp.Dims[0])
+		c.cache(h[0], c.gridL, xg)
+		c.markSparse(xg, true)
 	}
 
 	for l := 1; l <= L; l++ {
@@ -86,7 +90,7 @@ func CompileInference(sp Spec) *Schedule {
 	sp.InputGrad = false
 	sp = sp.withDefaults()
 	sp.validate()
-	c := &compiler{sp: sp, gridL: dist.G(sp.RA).Normalize(sp.P)}
+	c := &compiler{sp: sp, gridL: dist.G(sp.RA).Normalize(sp.P), sparse: map[Reg]bool{}}
 	L := len(sp.Dims) - 1
 	nw := L
 	if sp.SAGE {
@@ -99,6 +103,7 @@ func CompileInference(sp Spec) *Schedule {
 		SAGE:       sp.SAGE,
 		GridL:      c.gridL,
 		NumWeights: nw,
+		Live:       sp.Live, SparseSeed: sp.SparseSeed,
 	}
 	h, _ := c.forwardPass()
 	logits := c.get(h[L], dist.H)

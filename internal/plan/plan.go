@@ -88,6 +88,14 @@ const (
 	// KUpdate applies the Adam step to all weights from the accumulated
 	// gradient slots.
 	KUpdate
+	// KSpMMABC is the aggregate-before-communicate fusion (DESIGN.md
+	// §4g): at R_A = P every rank holds the full adjacency, so instead of
+	// redistributing a row-sparse A to the grid, aggregating, and
+	// redistributing back, each rank partial-aggregates its own live rows
+	// locally and the ranks exchange only the structurally touched result
+	// rows, summed on arrival. Dst = A_adj·A, both Horizontal. Produced
+	// only by the opt-in ABC rewrite pass, never by Compile/Optimize.
+	KSpMMABC
 )
 
 // Op is one schedule step. Fields beyond Kind/Step are used or ignored
@@ -110,6 +118,11 @@ type Op struct {
 	From, To dist.Layout
 	// Forward selects the forward operator Aᵀ for KSpMM.
 	Forward bool
+	// Sparse marks a KRedist as row-sparse: only the schedule's live rows
+	// (dist.GenRows(SparseSeed, N, Live)) travel, through the two-round
+	// metadata + variable-volume payload exchange
+	// (dist.RedistributeSparse).
+	Sparse bool
 	// Weight is the weight (and gradient) slot of KGEMM, KGradGEMM and
 	// KAllReduceGrad.
 	Weight int
@@ -138,6 +151,14 @@ type Schedule struct {
 	// be non-uniform across layers (planner-chosen mixed orderings).
 	Config                   costmodel.Config
 	SAGE, Memoize, InputGrad bool
+	// Live > 0 declares the input features row-sparse: exactly Live of
+	// the N rows are nonzero, and the live set is
+	// dist.GenRows(SparseSeed, N, Live) — the canonical seeded generator
+	// shared with the feature synthesizer and the executor, so the
+	// pricer's assumed rows and the fabric's shipped rows coincide by
+	// construction. Live == 0 is the dense schedule.
+	Live       int
+	SparseSeed int64
 	// GridL is dist.G(RA) normalized for P: the SpMM-side layout.
 	GridL dist.Layout
 	// NumRegs is the register-file size the executor allocates.
@@ -181,7 +202,7 @@ func (s *Schedule) CountKind(k Kind) int {
 // slots).
 func (k Kind) assigns() bool {
 	switch k {
-	case KInput, KRedist, KSpMM, KGEMM, KGradGEMM, KMemoize, KReuse, KLoss:
+	case KInput, KRedist, KSpMM, KSpMMABC, KGEMM, KGradGEMM, KMemoize, KReuse, KLoss:
 		return true
 	}
 	return false
@@ -192,12 +213,17 @@ func (k Kind) mnemonic(op *Op) string {
 	case KInput:
 		return "input"
 	case KRedist:
+		if op.Sparse {
+			return "redist.sp"
+		}
 		return "redist"
 	case KSpMM:
 		if op.Forward {
 			return "spmm.fwd"
 		}
 		return "spmm.bwd"
+	case KSpMMABC:
+		return "spmm.abc"
 	case KGEMM:
 		if op.TransW {
 			return "gemm.t"
@@ -235,8 +261,8 @@ func (op *Op) OpString() string {
 	case KInput:
 		return fmt.Sprintf("r%d = input %s %s", op.Dst, op.Layout, shape)
 	case KRedist:
-		return fmt.Sprintf("r%d = redist r%d %s->%s %s", op.Dst, op.A, op.From, op.To, shape)
-	case KSpMM:
+		return fmt.Sprintf("r%d = %s r%d %s->%s %s", op.Dst, op.Kind.mnemonic(op), op.A, op.From, op.To, shape)
+	case KSpMM, KSpMMABC:
 		return fmt.Sprintf("r%d = %s r%d %s %s", op.Dst, op.Kind.mnemonic(op), op.A, op.Layout, shape)
 	case KGEMM:
 		return fmt.Sprintf("r%d = %s r%d w%d %s", op.Dst, op.Kind.mnemonic(op), op.A, op.Weight, shape)
@@ -280,9 +306,13 @@ func (s *Schedule) String() string {
 	for i, d := range s.Dims {
 		dims[i] = fmt.Sprint(d)
 	}
-	fmt.Fprintf(&b, "schedule p=%d ra=%d n=%d dims=%s config=%d sage=%d memoize=%d inputgrad=%d regs=%d weights=%d\n",
+	fmt.Fprintf(&b, "schedule p=%d ra=%d n=%d dims=%s config=%d sage=%d memoize=%d inputgrad=%d regs=%d weights=%d",
 		s.P, s.RA, s.N, strings.Join(dims, ","), s.Config.ID(),
 		b01(s.SAGE), b01(s.Memoize), b01(s.InputGrad), s.NumRegs, s.NumWeights)
+	if s.Live > 0 {
+		fmt.Fprintf(&b, " live=%d sseed=%d", s.Live, s.SparseSeed)
+	}
+	b.WriteByte('\n')
 	if len(s.Outputs) > 0 {
 		outs := make([]string, len(s.Outputs))
 		for i, r := range s.Outputs {
@@ -395,6 +425,18 @@ func Parse(text string) (*Schedule, error) {
 		return nil, fmt.Errorf("plan: bad flags")
 	}
 	s.SAGE, s.Memoize, s.InputGrad = sage == 1, memo == 1, igrad == 1
+	// The sparse extension (" live=N sseed=S") is appended to the header
+	// only for sparse schedules; the positional Sscanf above ignores
+	// trailing tokens, so dense dumps and old parsers are unaffected.
+	if i := strings.Index(lines[0], " live="); i >= 0 {
+		if _, err := fmt.Sscanf(lines[0][i:], " live=%d sseed=%d", &s.Live, &s.SparseSeed); err != nil {
+			return nil, fmt.Errorf("plan: bad sparse header: %v", err)
+		}
+		if s.Live < 1 || s.Live > s.N ||
+			fmt.Sprintf(" live=%d sseed=%d", s.Live, s.SparseSeed) != lines[0][i:] {
+			return nil, fmt.Errorf("plan: bad sparse header %q", lines[0][i:])
+		}
+	}
 	for _, d := range strings.Split(dimsStr, ",") {
 		var v int
 		if _, err := fmt.Sscanf(d, "%d", &v); err != nil || v < 1 || v > maxDim || fmt.Sprint(v) != d {
@@ -533,7 +575,7 @@ func parseOp(f []string) (Op, error) {
 			}
 		}
 		op.Kind = KInput
-	case "redist":
+	case "redist", "redist.sp":
 		if a, k := reg(0); k && op.Dst != None && len(args) == 3 {
 			op.A = a
 			if op.From, op.To, err = parseFromTo(args[1]); err == nil && shape(2) {
@@ -541,7 +583,7 @@ func parseOp(f []string) (Op, error) {
 				ok = true
 			}
 		}
-		op.Kind = KRedist
+		op.Kind, op.Sparse = KRedist, mn == "redist.sp"
 	case "spmm.fwd", "spmm.bwd":
 		if a, k := reg(0); k && op.Dst != None && len(args) == 3 {
 			op.A = a
@@ -550,6 +592,14 @@ func parseOp(f []string) (Op, error) {
 			}
 		}
 		op.Kind, op.Forward = KSpMM, mn == "spmm.fwd"
+	case "spmm.abc":
+		if a, k := reg(0); k && op.Dst != None && len(args) == 3 {
+			op.A = a
+			if op.Layout, err = parseLayout(args[1]); err == nil && shape(2) {
+				ok = true
+			}
+		}
+		op.Kind, op.Forward = KSpMMABC, true
 	case "gemm", "gemm.t":
 		if a, k := reg(0); k && op.Dst != None && len(args) == 3 {
 			op.A = a
@@ -703,8 +753,19 @@ func (s *Schedule) Validate() error {
 				err = def(op.Dst, op.Layout.Normalize(s.P), op.Rows, op.Cols)
 			case KRedist:
 				from := op.From.Normalize(s.P)
-				if err = use(op.A, &from); err == nil {
+				if op.Sparse && s.Live <= 0 {
+					err = fmt.Errorf("plan: sparse redist in a dense schedule (live=0)")
+				} else if err = use(op.A, &from); err == nil {
 					err = def(op.Dst, op.To.Normalize(s.P), op.Rows, op.Cols)
+				}
+			case KSpMMABC:
+				h := dist.H
+				if s.RA != s.P {
+					err = fmt.Errorf("plan: spmm.abc needs ra == p, have ra=%d p=%d", s.RA, s.P)
+				} else if op.Layout.Normalize(s.P) != dist.H {
+					err = fmt.Errorf("plan: spmm.abc layout %s, want H", op.Layout)
+				} else if err = use(op.A, &h); err == nil {
+					err = def(op.Dst, dist.H, op.Rows, op.Cols)
 				}
 			case KSpMM:
 				if op.Layout.Normalize(s.P) != s.GridL {

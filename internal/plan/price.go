@@ -88,6 +88,30 @@ func (s *Schedule) PriceOn(nnz int64, h *hw.Model, tp *topo.Topology) Cost {
 			case KInput:
 				def(op.Dst, op.Layout, op.Rows, op.Cols)
 			case KRedist:
+				if op.Sparse && s.SparseEligible(op.From, op.To) {
+					// Two-round sparse exchange: metadata adverts on the
+					// side channel, then the variable-volume payload. Each
+					// round is its own fused rendezvous, so the time model
+					// charges pack/collective/merge twice — mirroring
+					// dist.RedistributeSparse's charge sequence.
+					live := s.LiveSet()
+					x := s.sparseExchange(op.From, op.To, op.Rows, op.Cols, live)
+					if tp != nil {
+						_, mc := tp.AllToAll(h, topo.Auto, world, s.sparsePairFn(op.From, op.To, op.Rows, op.Cols, live, true))
+						_, pc := tp.AllToAll(h, topo.Auto, world, s.sparsePairFn(op.From, op.To, op.Rows, op.Cols, live, false))
+						oc.Side, oc.SideTier = mc.Bytes(), mc.Tier
+						oc.AllToAll, oc.Tier = pc.Bytes(), pc.Tier
+						oc.Time = h.MemTime(x.MetaMaxInj) + mc.Time + h.MemTime(x.MetaMaxEj) +
+							h.MemTime(x.PayMaxInj) + pc.Time + h.MemTime(x.PayMaxEj)
+					} else {
+						oc.Side = x.MetaTotal
+						oc.AllToAll = x.PayTotal
+						oc.Time = h.MemTime(x.MetaMaxInj) + h.CollectiveTime(hw.OpAllToAll, s.P, x.MetaMaxInj) + h.MemTime(x.MetaMaxEj) +
+							h.MemTime(x.PayMaxInj) + h.CollectiveTime(hw.OpAllToAll, s.P, x.PayMaxInj) + h.MemTime(x.PayMaxEj)
+					}
+					def(op.Dst, op.To, op.Rows, op.Cols)
+					break
+				}
 				vol, inj, ej := s.exchange(op.From, op.To, op.Rows, op.Cols, false)
 				if tp != nil {
 					_, cst := tp.AllToAll(h, topo.Auto, world, s.pairFn(op.From, op.To, op.Rows, op.Cols, false))
@@ -137,6 +161,38 @@ func (s *Schedule) PriceOn(nnz int64, h *hw.Model, tp *topo.Topology) Cost {
 				panelNNZ := (nnz*int64(prows) + int64(op.Rows) - 1) / int64(op.Rows)
 				oc.Time += h.SpMMTime(panelNNZ, pcols)
 				def(op.Dst, s.GridL, op.Rows, op.Cols)
+			case KSpMMABC:
+				// Aggregate-before-communicate: each rank partial-aggregates
+				// its own live rows against its full adjacency replica
+				// (R_A == P), then the ranks run a two-round exchange of the
+				// structurally-touched result rows, summed on arrival. The
+				// structural census is the shared Erdős–Rényi estimate, so
+				// flat pricing, DAG simulation, and the discrete-event
+				// engine agree on the same integers.
+				pairs, nnzABC := s.ApproxABCPairs(nnz)
+				meta, pay := abcFns(pairs, op.Cols)
+				x := buildSparseCensus(s.P, meta, pay)
+				var worst float64
+				for r := 0; r < s.P; r++ {
+					if t := h.SpMMTime(nnzABC[r], op.Cols); t > worst {
+						worst = t
+					}
+				}
+				oc.Time = worst
+				if tp != nil {
+					_, mc := tp.AllToAll(h, topo.Auto, world, meta)
+					_, pc := tp.AllToAll(h, topo.Auto, world, pay)
+					oc.Side, oc.SideTier = mc.Bytes(), mc.Tier
+					oc.AllToAll, oc.Tier = pc.Bytes(), pc.Tier
+					oc.Time += h.MemTime(x.MetaMaxInj) + mc.Time + h.MemTime(x.MetaMaxEj) +
+						h.MemTime(x.PayMaxInj) + pc.Time + h.MemTime(x.PayMaxEj)
+				} else {
+					oc.Side = x.MetaTotal
+					oc.AllToAll = x.PayTotal
+					oc.Time += h.MemTime(x.MetaMaxInj) + h.CollectiveTime(hw.OpAllToAll, s.P, x.MetaMaxInj) + h.MemTime(x.MetaMaxEj) +
+						h.MemTime(x.PayMaxInj) + h.CollectiveTime(hw.OpAllToAll, s.P, x.PayMaxInj) + h.MemTime(x.PayMaxEj)
+				}
+				def(op.Dst, dist.H, op.Rows, op.Cols)
 			case KGEMM:
 				a := regs[op.A]
 				m0, _ := dist.TileShape(dist.H, s.P, 0, op.Rows, op.Cols)

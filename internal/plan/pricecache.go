@@ -35,15 +35,25 @@ type PriceCache struct {
 	ranges map[rangeKey]*rangeSet
 	exch   map[exchKey]*ExchangeCensus
 	a2a    map[exchKey]topo.Cost
+
+	// Sparse-exchange memoization (sparse.go). Keys carry the live-set
+	// identity (N, Live, SparseSeed) — one cache serves sweeps that mix
+	// densities.
+	liveSets map[liveSetKey][]int32
+	sx       map[sparseExchKey]*SparseExchangeCensus
+	sa2a     map[sparseA2AKey]topo.Cost
 }
 
 // NewPriceCache returns an empty cache. Share one across every pricing
 // and simulation call of a sweep that fixes (P, hardware, topology).
 func NewPriceCache() *PriceCache {
 	return &PriceCache{
-		ranges: make(map[rangeKey]*rangeSet),
-		exch:   make(map[exchKey]*ExchangeCensus),
-		a2a:    make(map[exchKey]topo.Cost),
+		ranges:   make(map[rangeKey]*rangeSet),
+		exch:     make(map[exchKey]*ExchangeCensus),
+		a2a:      make(map[exchKey]topo.Cost),
+		liveSets: make(map[liveSetKey][]int32),
+		sx:       make(map[sparseExchKey]*SparseExchangeCensus),
+		sa2a:     make(map[sparseA2AKey]topo.Cost),
 	}
 }
 

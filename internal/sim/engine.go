@@ -393,6 +393,53 @@ func (e *engine) regrid(n *plan.DAGNode, from, to dist.Layout, rows, cols int, p
 	}
 }
 
+// sparseRounds replays one two-round sparse exchange's charge order —
+// dist.RedistributeSparse's metadata advert round on the side channel
+// followed by the variable-volume payload round, or the KSpMMABC
+// result exchange — metering each round like the live fabric's
+// AllToAllV. Each round function returns the collective's rendezvous
+// time and metered volume.
+func (e *engine) sparseRounds(n *plan.DAGNode, x *plan.SparseExchangeCensus, metaRound, payRound func() (float64, comm.Volume)) {
+	for _, r := range e.world {
+		e.mem(n, r, x.MetaDiv[r])
+	}
+	if e.p >= 2 {
+		t, vol := metaRound()
+		e.collective(n, e.world, gidWorld, "alltoall", hw.OpAllToAll, t, vol, true, true)
+	}
+	for _, r := range e.world {
+		e.mem(n, r, x.MetaMer[r])
+	}
+	for _, r := range e.world {
+		e.mem(n, r, x.PayDiv[r])
+	}
+	if e.p >= 2 {
+		t, vol := payRound()
+		e.collective(n, e.world, gidWorld, "alltoall", hw.OpAllToAll, t, vol, true, false)
+	}
+	for _, r := range e.world {
+		e.mem(n, r, x.PayMer[r])
+	}
+}
+
+// sparseRegrid replays one sparse from→to redistribution from the
+// cached two-round census.
+func (e *engine) sparseRegrid(n *plan.DAGNode, from, to dist.Layout, rows, cols int) {
+	x := e.pc.SparseExchange(e.s, from, to, rows, cols)
+	round := func(metaRound bool, maxInj, total int64) func() (float64, comm.Volume) {
+		return func() (float64, comm.Volume) {
+			if e.tp != nil {
+				cst := e.pc.SparseAllToAllCost(e.s, from, to, rows, cols, metaRound)
+				return cst.Time, comm.Volume{Bytes: cst.Bytes(), Tier1: cst.Tier[topo.TierInter]}
+			}
+			return e.h.CollectiveTime(hw.OpAllToAll, e.p, maxInj), comm.Volume{Bytes: total}
+		}
+	}
+	e.sparseRounds(n, x,
+		round(true, x.MetaMaxInj, x.MetaTotal),
+		round(false, x.PayMaxInj, x.PayTotal))
+}
+
 // tile returns rank r's tile bytes under a layout, the executor's
 // Local.Bytes().
 func (e *engine) tile(l dist.Layout, r, rows, cols int) int64 {
@@ -430,7 +477,11 @@ func (e *engine) execNode(n *plan.DAGNode) {
 		case from == dist.R:
 			// Distribute from a replicated local copy: free.
 		default:
-			e.regrid(n, from, to, a.rows, a.cols, false, false)
+			if op.Sparse && s.SparseEligible(from, to) {
+				e.sparseRegrid(n, from, to, a.rows, a.cols)
+			} else {
+				e.regrid(n, from, to, a.rows, a.cols, false, false)
+			}
 		}
 		e.regs[op.Dst] = regShape{to, op.Rows, op.Cols}
 	case plan.KSpMM:
@@ -465,6 +516,35 @@ func (e *engine) execNode(n *plan.DAGNode) {
 			e.kernel(n, r, "spmm", e.h.SpMMTime(nnz, pcols), 0, nnz*int64(pcols))
 		}
 		e.regs[op.Dst] = regShape{s.GridL, op.Rows, op.Cols}
+	case plan.KSpMMABC:
+		a := e.regs[op.A]
+		pairs, nnzABC := e.cen.ABCPairs, e.cen.NNZABC
+		if pairs == nil {
+			// Census built without the ABC fill: fall back to the
+			// analytic estimate over the panel total, like the DAG pricer.
+			var total int64
+			for _, v := range e.cen.NNZFwd {
+				total += v
+			}
+			pairs, nnzABC = s.ApproxABCPairs(total)
+		}
+		for r := 0; r < p; r++ {
+			nnz := int64(0)
+			if r < len(nnzABC) {
+				nnz = nnzABC[r]
+			}
+			e.kernel(n, r, "spmm", e.h.SpMMTime(nnz, a.cols), 0, nnz*int64(a.cols))
+		}
+		x, meta, pay := plan.ABCCensus(p, pairs, a.cols)
+		round := func(fn func(i, j int) int64, maxInj, total int64) func() (float64, comm.Volume) {
+			return func() (float64, comm.Volume) {
+				return e.meter.AllToAll(e.world, fn, maxInj, total)
+			}
+		}
+		e.sparseRounds(n, x,
+			round(meta, x.MetaMaxInj, x.MetaTotal),
+			round(pay, x.PayMaxInj, x.PayTotal))
+		e.regs[op.Dst] = regShape{dist.H, op.Rows, op.Cols}
 	case plan.KGEMM:
 		a := e.regs[op.A]
 		for r := 0; r < p; r++ {

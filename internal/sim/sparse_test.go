@@ -1,0 +1,84 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gnnrdm/internal/costmodel"
+	"gnnrdm/internal/hw"
+	"gnnrdm/internal/plan"
+	"gnnrdm/internal/sim"
+	"gnnrdm/internal/topo"
+)
+
+func sparseSchedFor(n int, dims []int, cfg, p, live int, abc bool) *plan.Schedule {
+	s := plan.Compile(plan.Spec{
+		N: n, Dims: dims, Config: costmodel.ConfigFromID(cfg, len(dims)-1),
+		P: p, RA: p, Memoize: true, InputGrad: true,
+		Live: live, SparseSeed: 3,
+	}).Optimize()
+	if abc {
+		s = s.ABC()
+	}
+	return s
+}
+
+// TestSimClocksEqualPricerSparse extends the engine-vs-pricer clock pin
+// to sparse schedules (two-round exchanges) and ABC-rewritten ones
+// (KSpMMABC): both executors, flat and hierarchical, bit-identical
+// clocks, with the metered volumes matching the pricer's byte totals.
+func TestSimClocksEqualPricerSparse(t *testing.T) {
+	h := hw.A6000()
+	dims := []int{16, 12, 8}
+	const n, epochs, nnz = 256, 2, 4 * 256
+	for _, spec := range []string{"", "8x4:nvlink,ib"} {
+		for _, abc := range []bool{false, true} {
+			p := 8
+			var tp *topo.Topology
+			name := fmt.Sprintf("flat/abc=%v", abc)
+			if spec != "" {
+				ts, err := topo.ParseSpec(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tp = ts.MustTopology(p)
+				name = fmt.Sprintf("%s/abc=%v", spec, abc)
+			}
+			pc := plan.NewPriceCache()
+			t.Run(name, func(t *testing.T) {
+				for _, cfg := range []int{2, 3, 10, 15} { // DenseFirst forward layers
+					s := sparseSchedFor(n, dims, cfg, p, 32, abc)
+					d := plan.MustBuildDAG(s)
+					cen := s.ApproxCensus(nnz)
+					cost := d.PriceDAGEpochsCached(cen, h, tp, epochs, pc)
+					for _, overlap := range []bool{false, true} {
+						res := sim.MustRun(sim.Config{
+							DAG: d, Census: cen, HW: h, Topology: tp,
+							Epochs: epochs, Overlap: overlap, Cache: pc,
+						})
+						want := cost.PerDeviceSeq
+						if overlap {
+							want = cost.PerDevice
+						}
+						for r := 0; r < p; r++ {
+							if res.Clocks[r] != want[r] {
+								t.Fatalf("cfg %d overlap=%v rank %d: sim clock %.17g != priced %.17g",
+									cfg, overlap, r, res.Clocks[r], want[r])
+							}
+						}
+						// Meters must also agree with the aggregate pricer's
+						// byte totals (volumes are per-epoch invariant).
+						c := s.PriceOn(nnz, h, tp)
+						primary := res.Meters.TotalVolume() - res.Meters.TotalSideVolume()
+						if w := int64(epochs) * (c.RDMBytes() + c.AllReduce); primary != w {
+							t.Fatalf("cfg %d overlap=%v: sim primary volume %d != priced %d", cfg, overlap, primary, w)
+						}
+						if side, w := res.Meters.TotalSideVolume(), int64(epochs)*c.Side; side != w {
+							t.Fatalf("cfg %d overlap=%v: sim side volume %d != priced %d", cfg, overlap, side, w)
+						}
+					}
+				}
+			})
+		}
+	}
+}

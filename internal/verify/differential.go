@@ -201,6 +201,7 @@ func scheduleFor(prob *core.Problem, p int, o core.Options) *plan.Schedule {
 	return plan.Compile(plan.Spec{
 		N: prob.N(), Dims: o.Dims, Config: cfg, P: p, RA: ra,
 		SAGE: o.SAGE, Memoize: o.Memoize, InputGrad: o.ComputeInputGrad,
+		Live: o.Live, SparseSeed: o.SparseSeed,
 	}).Optimize()
 }
 
